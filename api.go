@@ -1,0 +1,330 @@
+package ctgdvfs
+
+import (
+	"io"
+	"math/rand"
+
+	"ctgdvfs/internal/apps/cruise"
+	"ctgdvfs/internal/apps/mpeg"
+	"ctgdvfs/internal/apps/wlan"
+	"ctgdvfs/internal/core"
+	"ctgdvfs/internal/ctg"
+	"ctgdvfs/internal/ctgio"
+	"ctgdvfs/internal/platform"
+	"ctgdvfs/internal/sched"
+	"ctgdvfs/internal/sim"
+	"ctgdvfs/internal/stretch"
+	"ctgdvfs/internal/tgff"
+	"ctgdvfs/internal/trace"
+)
+
+// Conditional task graph model (package internal/ctg).
+type (
+	// Graph is a conditional task graph: tasks, (conditional) edges,
+	// branch probabilities and a common deadline.
+	Graph = ctg.Graph
+	// GraphBuilder assembles a Graph.
+	GraphBuilder = ctg.Builder
+	// TaskID identifies a task in a Graph.
+	TaskID = ctg.TaskID
+	// Task is a vertex of the CTG.
+	Task = ctg.Task
+	// Edge is a (possibly conditional) dependency between tasks.
+	Edge = ctg.Edge
+	// Cond is the branch-outcome guard of an edge.
+	Cond = ctg.Cond
+	// Kind distinguishes and-nodes from or-nodes.
+	Kind = ctg.Kind
+	// Analysis is the scenario (leaf-minterm) decomposition of a Graph.
+	Analysis = ctg.Analysis
+	// Scenario is one leaf minterm: outcome assignment, probability and
+	// active task set.
+	Scenario = ctg.Scenario
+)
+
+// Node kinds.
+const (
+	// AndNode activates when all incoming edges are satisfied.
+	AndNode = ctg.AndNode
+	// OrNode activates when at least one incoming edge is satisfied.
+	OrNode = ctg.OrNode
+)
+
+// Platform and DVFS model (package internal/platform).
+type (
+	// Platform is the MPSoC: per-task per-PE costs plus the interconnect.
+	Platform = platform.Platform
+	// PlatformBuilder assembles a Platform.
+	PlatformBuilder = platform.Builder
+	// DVFS is the voltage/frequency scaling model (continuous or
+	// discrete speed levels).
+	DVFS = platform.DVFS
+)
+
+// Scheduling and stretching (packages internal/sched, internal/stretch).
+type (
+	// PlanResult is a mapped, ordered and (optionally) stretched
+	// schedule.
+	PlanResult = sched.Schedule
+	// SchedOptions selects the list-scheduler variant.
+	SchedOptions = sched.Options
+	// StretchResult summarizes a DVFS stretching pass.
+	StretchResult = stretch.Result
+	// NLPOptions tunes the NLP reference stretcher.
+	NLPOptions = stretch.NLPOptions
+	// ScenarioSpeeds is a scenario-conditioned DVFS table (an extension
+	// beyond the paper's single speed per task).
+	ScenarioSpeeds = stretch.ScenarioSpeeds
+)
+
+// Simulation (package internal/sim).
+type (
+	// Instance is the outcome of replaying one CTG iteration.
+	Instance = sim.Instance
+	// SimSummary aggregates replays over all scenarios.
+	SimSummary = sim.Summary
+	// SimConfig selects optional runtime-fidelity features: strict
+	// or-node dependencies and DVFS switching overhead.
+	SimConfig = sim.Config
+	// Breakdown attributes expected energy and load to PEs and links.
+	Breakdown = sim.Breakdown
+)
+
+// Adaptive runtime (package internal/core).
+type (
+	// Adaptive is the window-based adaptive scheduling/DVFS runtime.
+	Adaptive = core.Manager
+	// AdaptiveOptions configures window, threshold, DVFS and scheduler.
+	AdaptiveOptions = core.Options
+	// StepResult reports one processed CTG instance.
+	StepResult = core.StepResult
+	// RunStats aggregates a replayed vector sequence.
+	RunStats = core.RunStats
+	// Profiler is the sliding-window branch-probability estimator.
+	Profiler = core.Profiler
+	// SeriesPoint is one instant of a filtered-probability series.
+	SeriesPoint = core.SeriesPoint
+)
+
+// Workloads (packages internal/tgff, internal/apps/*, internal/trace).
+type (
+	// RandomConfig parameterizes the TGFF-style random CTG generator.
+	RandomConfig = tgff.Config
+	// RandomCategory selects fork-join (1) or flat (2) structure.
+	RandomCategory = tgff.Category
+	// Movie is a synthetic MPEG clip decision source.
+	Movie = trace.Movie
+	// Vectors is a sequence of branch decision vectors.
+	Vectors = trace.Vectors
+)
+
+// Random CTG structural families.
+const (
+	// CategoryForkJoin is the paper's Category 1 (nested fork-join).
+	CategoryForkJoin = tgff.ForkJoin
+	// CategoryFlat is the paper's Category 2 (no fork-join, no nesting).
+	CategoryFlat = tgff.Flat
+)
+
+// NewGraph returns an empty conditional-task-graph builder.
+func NewGraph() *GraphBuilder { return ctg.NewBuilder() }
+
+// NewPlatform returns a platform builder for the given number of tasks and
+// PEs.
+func NewPlatform(numTasks, numPEs int) *PlatformBuilder {
+	return platform.NewBuilder(numTasks, numPEs)
+}
+
+// Uncond returns the unconditional edge guard.
+func Uncond() Cond { return ctg.Uncond() }
+
+// When returns the guard "fork selected the given outcome".
+func When(fork TaskID, outcome int) Cond { return ctg.When(fork, outcome) }
+
+// ContinuousDVFS is the paper's scaling model: any speed in (0, 1].
+func ContinuousDVFS() DVFS { return platform.Continuous() }
+
+// DiscreteDVFS restricts speeds to the given levels (must include 1).
+func DiscreteDVFS(levels ...float64) DVFS { return platform.Discrete(levels...) }
+
+// Analyze computes the scenario decomposition of a graph: leaf minterms,
+// activation sets and probabilities, and the mutual-exclusion relation.
+func Analyze(g *Graph) (*Analysis, error) { return ctg.Analyze(g) }
+
+// ModifiedDLS returns the paper's scheduler options: probability-weighted
+// static levels, mutual-exclusion-aware PE sharing, communication-aware
+// start times.
+func ModifiedDLS() SchedOptions { return sched.Modified() }
+
+// PlainDLS returns the reference algorithm 1 ordering options.
+func PlainDLS() SchedOptions { return sched.Plain() }
+
+// Schedule maps and orders the tasks of an analyzed graph onto the platform
+// with dynamic-level scheduling. All speeds start at 1; apply a stretcher to
+// assign DVFS speeds.
+func Schedule(a *Analysis, p *Platform, opts SchedOptions) (*PlanResult, error) {
+	return sched.DLS(a, p, opts)
+}
+
+// ScheduleHEFT maps and orders with the Heterogeneous Earliest Finish Time
+// heuristic (mutual-exclusion aware) — the literature's standard baseline,
+// not part of the paper.
+func ScheduleHEFT(a *Analysis, p *Platform) (*PlanResult, error) {
+	return sched.HEFT(a, p)
+}
+
+// Stretch runs the paper's online task-stretching heuristic on a schedule,
+// assigning one DVFS speed per task in scheduling order.
+func Stretch(s *PlanResult, d DVFS) (*StretchResult, error) {
+	return stretch.Heuristic(s, d, 0)
+}
+
+// StretchWorstCase runs the probability-blind critical-path stretcher
+// (reference algorithm 1's DVFS stage).
+func StretchWorstCase(s *PlanResult, d DVFS) (*StretchResult, error) {
+	return stretch.WorstCase(s, d, 0)
+}
+
+// StretchNLP runs the convex-programming stretcher (reference algorithm 2's
+// DVFS stage).
+func StretchNLP(s *PlanResult, d DVFS, opts NLPOptions) (*StretchResult, error) {
+	return stretch.NLP(s, d, opts)
+}
+
+// StretchPerScenario computes scenario-conditioned speeds for an
+// unstretched schedule: each task's speed may depend on the outcomes of the
+// branch forks that precede it (see stretch.PerScenario). Replay with
+// SimConfig.ScenarioSpeeds.
+func StretchPerScenario(s *PlanResult, d DVFS) (*ScenarioSpeeds, error) {
+	return stretch.PerScenario(s, d)
+}
+
+// Plan is the one-call online algorithm: modified DLS followed by the
+// stretching heuristic under continuous DVFS.
+func Plan(g *Graph, p *Platform) (*PlanResult, error) {
+	return core.BuildOnline(g, p, core.Options{})
+}
+
+// TightenDeadline rebuilds the graph with deadline = factor × the nominal
+// full-speed makespan of a modified-DLS schedule.
+func TightenDeadline(g *Graph, p *Platform, factor float64) (*Graph, error) {
+	return core.TightenDeadline(g, p, factor)
+}
+
+// Replay executes a schedule under one leaf scenario and reports energy,
+// makespan and deadline compliance.
+func Replay(s *PlanResult, scenario int) (Instance, error) { return sim.Replay(s, scenario) }
+
+// ReplayDecisions resolves a full branch decision vector and replays the
+// matching scenario.
+func ReplayDecisions(s *PlanResult, decisions []int) (Instance, error) {
+	return sim.ReplayDecisions(s, decisions)
+}
+
+// Exhaustive replays every leaf scenario and aggregates by probability.
+func Exhaustive(s *PlanResult) (SimSummary, error) { return sim.Exhaustive(s) }
+
+// ReplayCfg is Replay with runtime-fidelity options (strict or-node
+// dependencies, DVFS switching overhead).
+func ReplayCfg(s *PlanResult, scenario int, cfg SimConfig) (Instance, error) {
+	return sim.ReplayCfg(s, scenario, cfg)
+}
+
+// ExhaustiveCfg is Exhaustive with runtime-fidelity options.
+func ExhaustiveCfg(s *PlanResult, cfg SimConfig) (SimSummary, error) {
+	return sim.ExhaustiveCfg(s, cfg)
+}
+
+// AnalyzeBreakdown attributes a schedule's expected energy and load to its
+// PEs and the interconnect.
+func AnalyzeBreakdown(s *PlanResult) Breakdown { return sim.AnalyzeBreakdown(s) }
+
+// Sample estimates expected energy/makespan by Monte-Carlo replay of n
+// instances drawn from the graph's branch probabilities — for workloads
+// whose scenario count makes Exhaustive expensive.
+func Sample(s *PlanResult, rng *rand.Rand, n int, cfg SimConfig) (SimSummary, error) {
+	return sim.Sample(s, rng, n, cfg)
+}
+
+// NewAdaptive builds the adaptive runtime: it schedules with the graph's
+// current branch probabilities and re-runs the online algorithm whenever the
+// sliding-window estimates drift past the threshold.
+func NewAdaptive(g *Graph, p *Platform, opts AdaptiveOptions) (*Adaptive, error) {
+	return core.New(g, p, opts)
+}
+
+// RunStatic replays a decision sequence against a fixed schedule (the
+// paper's non-adaptive online algorithm).
+func RunStatic(s *PlanResult, vectors Vectors) (RunStats, error) {
+	return core.RunStatic(s, vectors)
+}
+
+// NewProfiler builds a standalone sliding-window branch profiler seeded
+// with the graph's current probabilities.
+func NewProfiler(g *Graph, window int) (*Profiler, error) { return core.NewProfiler(g, window) }
+
+// FilteredSeries reproduces the paper's Figure 4 mechanics for one
+// two-outcome branch selection stream.
+func FilteredSeries(selections []int, initProb float64, window int, threshold float64) []SeriesPoint {
+	return core.FilteredSeries(selections, initProb, window, threshold)
+}
+
+// GenerateRandom builds a TGFF-style random CTG and a matching platform.
+func GenerateRandom(cfg RandomConfig) (*Graph, *Platform, error) { return tgff.Generate(cfg) }
+
+// BuildMPEG builds the MPEG macroblock decoder CTG (40 tasks, 9 branch
+// forks) and its 3-PE platform.
+func BuildMPEG() (*Graph, *Platform, error) { return mpeg.Build() }
+
+// BuildCruise builds the vehicle cruise-controller CTG (32 tasks, 2 branch
+// forks) and its 5-PE platform.
+func BuildCruise() (*Graph, *Platform, error) { return cruise.Build() }
+
+// BuildWLAN builds the 802.11b physical-layer receive CTG (22 tasks, a
+// two-way preamble fork and a four-way rate fork) and its 3-PE platform —
+// the paper's motivating example of task-level branching.
+func BuildWLAN() (*Graph, *Platform, error) { return wlan.Build() }
+
+// WLANChannelTrace generates frame decision vectors from a drifting-SNR
+// 802.11b channel model.
+func WLANChannelTrace(g *Graph, seed int64, n int) Vectors {
+	return wlan.ChannelTrace(g, seed, n)
+}
+
+// MovieClips returns the eight synthetic MPEG movie-clip sources of the
+// paper's Figure 5 / Table 2 experiment.
+func MovieClips() []Movie { return trace.MovieClips() }
+
+// RoadSequence generates cruise-controller branch decisions from a random
+// sequence of road segments.
+func RoadSequence(g *Graph, seed int64, n int) Vectors { return trace.RoadSequence(g, seed, n) }
+
+// FluctuatingVectors generates decision vectors with equal long-run branch
+// averages but large scene-level fluctuation (the paper's Tables 4/5
+// workload).
+func FluctuatingVectors(g *Graph, seed int64, n int, amplitude float64) Vectors {
+	return trace.Fluctuating(g, seed, n, amplitude)
+}
+
+// AverageProbs measures the empirical per-fork outcome frequencies of a
+// vector sequence.
+func AverageProbs(g *Graph, v Vectors) [][]float64 { return trace.AverageProbs(g, v) }
+
+// ApplyProfile writes a per-fork probability profile into the graph.
+func ApplyProfile(g *Graph, profile [][]float64) error { return trace.ApplyProfile(g, profile) }
+
+// SaveWorkload writes a graph and (optionally nil) platform to a file in
+// the line-oriented text format of internal/ctgio.
+func SaveWorkload(path string, g *Graph, p *Platform) error {
+	return ctgio.WriteFile(path, g, p)
+}
+
+// LoadWorkload reads a workload file; the platform is nil when the file has
+// no platform section.
+func LoadWorkload(path string) (*Graph, *Platform, error) { return ctgio.ReadFile(path) }
+
+// WriteWorkload renders a workload to an io.Writer.
+func WriteWorkload(w io.Writer, g *Graph, p *Platform) error { return ctgio.Write(w, g, p) }
+
+// ReadWorkload parses a workload from an io.Reader.
+func ReadWorkload(r io.Reader) (*Graph, *Platform, error) { return ctgio.Read(r) }

@@ -1,0 +1,453 @@
+package ctgdvfs_test
+
+// Benchmarks that regenerate every table and figure of the paper's
+// evaluation (one benchmark per table/figure — run with
+// `go test -bench=. -benchmem`), plus micro-benchmarks of the pipeline
+// stages. The experiment benchmarks report their headline numbers as custom
+// metrics so a bench run doubles as a compact reproduction record.
+
+import (
+	"testing"
+
+	"ctgdvfs"
+	"ctgdvfs/internal/exp"
+)
+
+// BenchmarkTable1 regenerates Table 1: online heuristic vs reference
+// algorithms 1 [10] and 2 [17] on five random CTGs, plus the runtime gap of
+// the NLP-based stretcher.
+func BenchmarkTable1(b *testing.B) {
+	var r *exp.Table1Result
+	var err error
+	for i := 0; i < b.N; i++ {
+		r, err = exp.Table1()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(r.AvgRef1, "ref1-normalized")
+	b.ReportMetric(r.AvgRef2, "ref2-normalized")
+	b.ReportMetric(r.Speedup, "nlp-speedup-x")
+}
+
+// BenchmarkFigure4 regenerates Figure 4: raw branch selections, windowed
+// probability and filtered probability on the MPEG type branch.
+func BenchmarkFigure4(b *testing.B) {
+	var r *exp.Figure4Result
+	var err error
+	for i := 0; i < b.N; i++ {
+		r, err = exp.Figure4()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(r.Updates), "filter-updates")
+}
+
+// BenchmarkFigure5Table2 regenerates Figure 5 and Table 2 together: MPEG
+// energy and re-scheduling call counts over eight movie clips at thresholds
+// 0.5 and 0.1.
+func BenchmarkFigure5Table2(b *testing.B) {
+	var r *exp.MPEGResult
+	var err error
+	for i := 0; i < b.N; i++ {
+		r, err = exp.MPEG()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(100*r.SavingsT05, "savings-T0.5-pct")
+	b.ReportMetric(100*r.SavingsT01, "savings-T0.1-pct")
+	b.ReportMetric(r.AvgCallsT05, "calls-T0.5")
+	b.ReportMetric(r.AvgCallsT01, "calls-T0.1")
+}
+
+// BenchmarkTable3 regenerates Table 3: the vehicle cruise controller over
+// three road sequences.
+func BenchmarkTable3(b *testing.B) {
+	var r *exp.CruiseResult
+	var err error
+	for i := 0; i < b.N; i++ {
+		r, err = exp.Cruise()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(100*r.AvgSaving, "savings-pct")
+}
+
+// BenchmarkTable4 regenerates Table 4: ten random CTGs with the online
+// profile biased toward the lowest-energy minterm.
+func BenchmarkTable4(b *testing.B) {
+	benchRandom(b, exp.Table4)
+}
+
+// BenchmarkTable5 regenerates Table 5: the same CTGs with the profile
+// biased toward the highest-energy minterm.
+func BenchmarkTable5(b *testing.B) {
+	benchRandom(b, exp.Table5)
+}
+
+// BenchmarkFigure6 regenerates Figure 6: ideal profiling vs adaptive.
+func BenchmarkFigure6(b *testing.B) {
+	benchRandom(b, exp.Figure6)
+}
+
+func benchRandom(b *testing.B, run func() (*exp.RandomResult, error)) {
+	b.Helper()
+	var r *exp.RandomResult
+	var err error
+	for i := 0; i < b.N; i++ {
+		r, err = run()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(100*r.AvgSavingT05, "savings-T0.5-pct")
+	b.ReportMetric(100*r.AvgSavingT01, "savings-T0.1-pct")
+	b.ReportMetric(r.AvgCallsT01, "calls-T0.1")
+}
+
+// BenchmarkSweep regenerates (a trimmed grid of) the window × threshold
+// extension sweep.
+func BenchmarkSweep(b *testing.B) {
+	var r *exp.SweepResult
+	var err error
+	for i := 0; i < b.N; i++ {
+		r, err = exp.Sweep([]int{10, 20}, []float64{0.1, 0.5})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	best := 0.0
+	for _, c := range r.Cells {
+		if c.Saving > best {
+			best = c.Saving
+		}
+	}
+	b.ReportMetric(100*best, "best-savings-pct")
+}
+
+// BenchmarkOverheadSweep regenerates the DVFS switching-overhead extension.
+func BenchmarkOverheadSweep(b *testing.B) {
+	var r *exp.OverheadResult
+	var err error
+	for i := 0; i < b.N; i++ {
+		r, err = exp.Overhead()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	last := r.Points[len(r.Points)-1]
+	b.ReportMetric(float64(last.Misses), "misses-at-max-overhead")
+}
+
+// BenchmarkAblationRatio regenerates the Figure-2 ratio-denominator
+// ablation.
+func BenchmarkAblationRatio(b *testing.B) {
+	var r *exp.AblationResult
+	var err error
+	for i := 0; i < b.N; i++ {
+		r, err = exp.AblationRatio()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(r.AvgReleased, "released-vs-nlp")
+	b.ReportMetric(r.AvgLiteral, "literal-vs-nlp")
+}
+
+// --- Micro-benchmarks of the pipeline stages ---
+
+func benchWorkload(b *testing.B) (*ctgdvfs.Graph, *ctgdvfs.Platform, *ctgdvfs.Analysis) {
+	b.Helper()
+	g, p, err := ctgdvfs.GenerateRandom(ctgdvfs.RandomConfig{
+		Seed: 99, Nodes: 25, PEs: 3, Branches: 3, Category: ctgdvfs.CategoryForkJoin,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	g, err = ctgdvfs.TightenDeadline(g, p, 1.6)
+	if err != nil {
+		b.Fatal(err)
+	}
+	a, err := ctgdvfs.Analyze(g)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return g, p, a
+}
+
+// BenchmarkAnalyze measures scenario enumeration on a 25-task 3-branch CTG.
+func BenchmarkAnalyze(b *testing.B) {
+	g, _, _ := benchWorkload(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ctgdvfs.Analyze(g); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDLS measures the modified dynamic-level scheduler.
+func BenchmarkDLS(b *testing.B) {
+	_, p, a := benchWorkload(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ctgdvfs.Schedule(a, p, ctgdvfs.ModifiedDLS()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkHeuristicStretch measures the online stretching heuristic alone
+// — the stage whose low complexity enables runtime re-scheduling.
+func BenchmarkHeuristicStretch(b *testing.B) {
+	_, p, a := benchWorkload(b)
+	base, err := ctgdvfs.Schedule(a, p, ctgdvfs.ModifiedDLS())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := base.Clone()
+		if _, err := ctgdvfs.Stretch(s, ctgdvfs.ContinuousDVFS()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkNLPStretch measures the NLP-based stretcher it replaces.
+func BenchmarkNLPStretch(b *testing.B) {
+	_, p, a := benchWorkload(b)
+	base, err := ctgdvfs.Schedule(a, p, ctgdvfs.ModifiedDLS())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := base.Clone()
+		if _, err := ctgdvfs.StretchNLP(s, ctgdvfs.ContinuousDVFS(), ctgdvfs.NLPOptions{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkOnlineReschedule measures a full adaptive re-scheduling step
+// (DLS + heuristic), the operation the threshold triggers at runtime.
+func BenchmarkOnlineReschedule(b *testing.B) {
+	g, p, _ := benchWorkload(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ctgdvfs.Plan(g, p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkReplay measures one simulated CTG instance.
+func BenchmarkReplay(b *testing.B) {
+	g, p, a := benchWorkload(b)
+	s, err := ctgdvfs.Plan(g, p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ctgdvfs.Replay(s, i%a.NumScenarios()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAdaptiveStepMPEG measures the adaptive runtime's per-instance
+// cost on the MPEG decoder, rescheduling included.
+func BenchmarkAdaptiveStepMPEG(b *testing.B) {
+	g, p, err := ctgdvfs.BuildMPEG()
+	if err != nil {
+		b.Fatal(err)
+	}
+	g, err = ctgdvfs.TightenDeadline(g, p, 1.6)
+	if err != nil {
+		b.Fatal(err)
+	}
+	vec := ctgdvfs.MovieClips()[0].Generate(g, 4096)
+	mgr, err := ctgdvfs.NewAdaptive(g, p, ctgdvfs.AdaptiveOptions{Window: 20, Threshold: 0.1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := mgr.Step(vec[i%len(vec)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Ablation benchmarks (design choices DESIGN.md §6 calls out) ---
+
+// BenchmarkAblationDiscreteDVFS compares expected energy under continuous
+// scaling vs 4-level discrete scaling (reported as metrics).
+func BenchmarkAblationDiscreteDVFS(b *testing.B) {
+	_, p, a := benchWorkload(b)
+	var cont, disc float64
+	for i := 0; i < b.N; i++ {
+		s1, err := ctgdvfs.Schedule(a, p, ctgdvfs.ModifiedDLS())
+		if err != nil {
+			b.Fatal(err)
+		}
+		r1, err := ctgdvfs.Stretch(s1, ctgdvfs.ContinuousDVFS())
+		if err != nil {
+			b.Fatal(err)
+		}
+		s2, err := ctgdvfs.Schedule(a, p, ctgdvfs.ModifiedDLS())
+		if err != nil {
+			b.Fatal(err)
+		}
+		r2, err := ctgdvfs.Stretch(s2, ctgdvfs.DiscreteDVFS(0.25, 0.5, 0.75, 1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		cont, disc = r1.ExpectedEnergy, r2.ExpectedEnergy
+	}
+	b.ReportMetric(cont, "energy-continuous")
+	b.ReportMetric(disc, "energy-4level")
+	b.ReportMetric(100*(disc-cont)/cont, "quantization-loss-pct")
+}
+
+// BenchmarkAblationProbSL compares the probability-weighted static levels
+// of the modified DLS against worst-case levels, everything else equal.
+func BenchmarkAblationProbSL(b *testing.B) {
+	_, p, a := benchWorkload(b)
+	var prob, plain float64
+	for i := 0; i < b.N; i++ {
+		s1, err := ctgdvfs.Schedule(a, p, ctgdvfs.ModifiedDLS())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := ctgdvfs.Stretch(s1, ctgdvfs.ContinuousDVFS()); err != nil {
+			b.Fatal(err)
+		}
+		opts := ctgdvfs.ModifiedDLS()
+		opts.Probabilistic = false
+		s2, err := ctgdvfs.Schedule(a, p, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := ctgdvfs.Stretch(s2, ctgdvfs.ContinuousDVFS()); err != nil {
+			b.Fatal(err)
+		}
+		prob, plain = s1.ExpectedEnergy(), s2.ExpectedEnergy()
+	}
+	b.ReportMetric(prob, "energy-prob-SL")
+	b.ReportMetric(plain, "energy-plain-SL")
+}
+
+// BenchmarkAblationEnergyWeight quantifies the energy-aware mapping
+// extension (EnergyWeight in the scheduler options) against the paper's
+// delay-only dynamic level.
+func BenchmarkAblationEnergyWeight(b *testing.B) {
+	_, p, a := benchWorkload(b)
+	var plain, green float64
+	for i := 0; i < b.N; i++ {
+		s1, err := ctgdvfs.Schedule(a, p, ctgdvfs.ModifiedDLS())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := ctgdvfs.Stretch(s1, ctgdvfs.ContinuousDVFS()); err != nil {
+			b.Fatal(err)
+		}
+		opts := ctgdvfs.ModifiedDLS()
+		opts.EnergyWeight = 0.5
+		s2, err := ctgdvfs.Schedule(a, p, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := ctgdvfs.Stretch(s2, ctgdvfs.ContinuousDVFS()); err != nil {
+			b.Fatal(err)
+		}
+		plain, green = s1.ExpectedEnergy(), s2.ExpectedEnergy()
+	}
+	b.ReportMetric(plain, "energy-delay-only-DL")
+	b.ReportMetric(green, "energy-weighted-DL")
+}
+
+// BenchmarkAblationMEOverlap quantifies the value of letting mutually
+// exclusive tasks share PE time.
+func BenchmarkAblationMEOverlap(b *testing.B) {
+	_, p, a := benchWorkload(b)
+	var with, without float64
+	for i := 0; i < b.N; i++ {
+		s1, err := ctgdvfs.Schedule(a, p, ctgdvfs.ModifiedDLS())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := ctgdvfs.Stretch(s1, ctgdvfs.ContinuousDVFS()); err != nil {
+			b.Fatal(err)
+		}
+		opts := ctgdvfs.ModifiedDLS()
+		opts.MEOverlap = false
+		s2, err := ctgdvfs.Schedule(a, p, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := ctgdvfs.Stretch(s2, ctgdvfs.ContinuousDVFS()); err != nil {
+			b.Fatal(err)
+		}
+		with, without = s1.ExpectedEnergy(), s2.ExpectedEnergy()
+	}
+	b.ReportMetric(with, "energy-ME-overlap")
+	b.ReportMetric(without, "energy-serialized")
+}
+
+// BenchmarkPerScenarioDVFS regenerates the scenario-conditioned DVFS
+// extension comparison.
+func BenchmarkPerScenarioDVFS(b *testing.B) {
+	var r *exp.PerScenarioResult
+	var err error
+	for i := 0; i < b.N; i++ {
+		r, err = exp.PerScenarioDVFS()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(100*r.AvgSaving, "savings-over-single-speed-pct")
+}
+
+// BenchmarkHEFT measures the HEFT baseline scheduler on the standard
+// 25-task workload, for comparison with BenchmarkDLS.
+func BenchmarkHEFT(b *testing.B) {
+	_, p, a := benchWorkload(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ctgdvfs.ScheduleHEFT(a, p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationDLSvsHEFT compares the two mappers' stretched expected
+// energy on the standard workload.
+func BenchmarkAblationDLSvsHEFT(b *testing.B) {
+	_, p, a := benchWorkload(b)
+	var dls, heft float64
+	for i := 0; i < b.N; i++ {
+		s1, err := ctgdvfs.Schedule(a, p, ctgdvfs.ModifiedDLS())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := ctgdvfs.Stretch(s1, ctgdvfs.ContinuousDVFS()); err != nil {
+			b.Fatal(err)
+		}
+		s2, err := ctgdvfs.ScheduleHEFT(a, p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := ctgdvfs.Stretch(s2, ctgdvfs.ContinuousDVFS()); err != nil {
+			b.Fatal(err)
+		}
+		dls, heft = s1.ExpectedEnergy(), s2.ExpectedEnergy()
+	}
+	b.ReportMetric(dls, "energy-DLS")
+	b.ReportMetric(heft, "energy-HEFT")
+}

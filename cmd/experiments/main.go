@@ -1,0 +1,39 @@
+// Command experiments regenerates every table and figure of the paper's
+// evaluation section. With no flags it runs all of them in order; -exp
+// selects one (table1, figure4, figure5, table2, table3, table4, table5,
+// figure6).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+)
+
+func main() {
+	exp := flag.String("exp", "all",
+		"experiment to run: all, table1, figure4, figure5, table2, table3, table4, table5, figure6")
+	flag.Parse()
+
+	runners := orderedRunners()
+	ran := 0
+	for _, r := range runners {
+		if *exp != "all" && !r.matches(*exp) {
+			continue
+		}
+		start := time.Now()
+		out, err := r.run()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", r.name, err)
+			os.Exit(1)
+		}
+		fmt.Println(out)
+		fmt.Printf("(%s completed in %v)\n\n", r.name, time.Since(start).Round(time.Millisecond))
+		ran++
+	}
+	if ran == 0 {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
+		os.Exit(2)
+	}
+}

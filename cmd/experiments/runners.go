@@ -1,0 +1,112 @@
+package main
+
+import "ctgdvfs/internal/exp"
+
+type runner struct {
+	name    string
+	aliases []string
+	run     func() (string, error)
+}
+
+func (r runner) matches(s string) bool {
+	if s == r.name {
+		return true
+	}
+	for _, a := range r.aliases {
+		if s == a {
+			return true
+		}
+	}
+	return false
+}
+
+func orderedRunners() []runner {
+	return []runner{
+		{name: "table1", run: func() (string, error) {
+			r, err := exp.Table1()
+			if err != nil {
+				return "", err
+			}
+			return r.Render(), nil
+		}},
+		{name: "figure4", run: func() (string, error) {
+			r, err := exp.Figure4()
+			if err != nil {
+				return "", err
+			}
+			return r.Render(), nil
+		}},
+		// Figure 5 and Table 2 come from the same runs.
+		{name: "figure5", aliases: []string{"table2", "mpeg"}, run: func() (string, error) {
+			r, err := exp.MPEG()
+			if err != nil {
+				return "", err
+			}
+			return r.Render(), nil
+		}},
+		{name: "table3", aliases: []string{"cruise"}, run: func() (string, error) {
+			r, err := exp.Cruise()
+			if err != nil {
+				return "", err
+			}
+			return r.Render(), nil
+		}},
+		{name: "table4", run: func() (string, error) {
+			r, err := exp.Table4()
+			if err != nil {
+				return "", err
+			}
+			return r.Render(), nil
+		}},
+		{name: "table5", run: func() (string, error) {
+			r, err := exp.Table5()
+			if err != nil {
+				return "", err
+			}
+			return r.Render(), nil
+		}},
+		{name: "figure6", run: func() (string, error) {
+			r, err := exp.Figure6()
+			if err != nil {
+				return "", err
+			}
+			return r.Render(), nil
+		}},
+		// Extensions beyond the paper (DESIGN.md §6).
+		{name: "sweep", run: func() (string, error) {
+			r, err := exp.Sweep(nil, nil)
+			if err != nil {
+				return "", err
+			}
+			return r.Render(), nil
+		}},
+		{name: "overhead", run: func() (string, error) {
+			r, err := exp.Overhead()
+			if err != nil {
+				return "", err
+			}
+			return r.Render(), nil
+		}},
+		{name: "ablation", run: func() (string, error) {
+			r, err := exp.AblationRatio()
+			if err != nil {
+				return "", err
+			}
+			return r.Render(), nil
+		}},
+		{name: "perscenario", run: func() (string, error) {
+			r, err := exp.PerScenarioDVFS()
+			if err != nil {
+				return "", err
+			}
+			return r.Render(), nil
+		}},
+		{name: "robustness", run: func() (string, error) {
+			r, err := exp.Robustness(5)
+			if err != nil {
+				return "", err
+			}
+			return r.Render(), nil
+		}},
+	}
+}

@@ -1,0 +1,3 @@
+module ctgdvfs
+
+go 1.22

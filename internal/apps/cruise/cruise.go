@@ -1,0 +1,186 @@
+// Package cruise models the vehicle cruise-controller application of the
+// paper's second experiment (taken there from Paul Pop's thesis, ref [15]):
+// a conditional task graph of 32 tasks with two branch fork nodes, mapped
+// onto a 5-PE distributed automotive platform.
+//
+// The conditional structure yields exactly three leaf minterms, matching the
+// paper's remark that the CTG "typically has ... only three minterms": the
+// mode-select fork chooses between accelerating and decelerating, and only
+// the accelerate arm contains the nested stability fork (smooth tracking vs
+// corrective control). The two arms of each fork are deliberately close in
+// energy — the paper attributes the small (~5%) adaptive gains on this
+// application to that property, combined with a deadline of twice the
+// optimal schedule length.
+package cruise
+
+import (
+	"fmt"
+
+	"ctgdvfs/internal/ctg"
+	"ctgdvfs/internal/platform"
+)
+
+// NumPEs is the platform size of the paper's cruise-controller experiment.
+const NumPEs = 5
+
+// Landmark task indices (exported for tests and examples).
+const (
+	TaskSensorSpeed   = 0
+	TaskSensorPedal   = 1
+	TaskSensorIncline = 2
+	TaskFuseInputs    = 3
+	TaskEstimateState = 4
+	TaskModeSelect    = 5 // fork m: 0=accelerate, 1=decelerate
+	TaskThrottleMap   = 6
+	TaskStability     = 7 // fork s: 0=smooth, 1=corrective (accel arm only)
+	TaskCruiseHold    = 8
+	TaskSetpointTrack = 9
+	TaskPIDCorrect    = 10
+	TaskSlipEstimate  = 11
+	TaskTractionCtl   = 12
+	TaskStabJoin      = 13 // or-node
+	TaskBrakeMap      = 14
+	TaskEngineBrake   = 15
+	TaskABSCheck      = 16
+	TaskModeJoin      = 17 // or-node
+	TaskActThrottle   = 18
+	TaskActBrake      = 19
+	TaskDashboard     = 20
+	TaskSpeedLimit    = 21
+	TaskAlarmEval     = 22
+	TaskLogTelemetry  = 23
+	TaskCANBroadcast  = 24
+	TaskWatchdog      = 25
+	TaskDiagSelfTest  = 26
+	TaskDisplayUpdate = 27
+	TaskPowerMgmt     = 28
+	TaskFuelCalc      = 29
+	TaskIgnitionAdv   = 30
+	TaskComplete      = 31
+)
+
+// Build constructs the cruise-controller CTG and its 5-PE platform. The
+// deadline is provisional; the paper's experiment uses twice the optimal
+// schedule length (use core.TightenDeadline with factor 2).
+func Build() (*ctg.Graph, *platform.Platform, error) {
+	type spec struct {
+		name string
+		kind ctg.Kind
+		wcet float64
+	}
+	specs := [32]spec{
+		TaskSensorSpeed:   {"SensorSpeed", ctg.AndNode, 3},
+		TaskSensorPedal:   {"SensorPedal", ctg.AndNode, 3},
+		TaskSensorIncline: {"SensorIncline", ctg.AndNode, 4},
+		TaskFuseInputs:    {"FuseInputs", ctg.AndNode, 5},
+		TaskEstimateState: {"EstimateState", ctg.AndNode, 8},
+		TaskModeSelect:    {"ModeSelect", ctg.AndNode, 2},
+		TaskThrottleMap:   {"ThrottleMap", ctg.AndNode, 6},
+		TaskStability:     {"StabilityCheck", ctg.AndNode, 2},
+		TaskCruiseHold:    {"CruiseHold", ctg.AndNode, 7},
+		TaskSetpointTrack: {"SetpointTrack", ctg.AndNode, 6},
+		TaskPIDCorrect:    {"PIDCorrect", ctg.AndNode, 9},
+		TaskSlipEstimate:  {"SlipEstimate", ctg.AndNode, 8},
+		TaskTractionCtl:   {"TractionControl", ctg.AndNode, 9},
+		TaskStabJoin:      {"StabJoin", ctg.OrNode, 1},
+		TaskBrakeMap:      {"BrakeMap", ctg.AndNode, 6},
+		TaskEngineBrake:   {"EngineBrake", ctg.AndNode, 7},
+		TaskABSCheck:      {"ABSCheck", ctg.AndNode, 6},
+		TaskModeJoin:      {"ModeJoin", ctg.OrNode, 1},
+		TaskActThrottle:   {"ActuateThrottle", ctg.AndNode, 4},
+		TaskActBrake:      {"ActuateBrake", ctg.AndNode, 4},
+		TaskDashboard:     {"Dashboard", ctg.AndNode, 3},
+		TaskSpeedLimit:    {"SpeedLimitCheck", ctg.AndNode, 3},
+		TaskAlarmEval:     {"AlarmEval", ctg.AndNode, 3},
+		TaskLogTelemetry:  {"LogTelemetry", ctg.AndNode, 4},
+		TaskCANBroadcast:  {"CANBroadcast", ctg.AndNode, 4},
+		TaskWatchdog:      {"Watchdog", ctg.AndNode, 2},
+		TaskDiagSelfTest:  {"DiagSelfTest", ctg.AndNode, 5},
+		TaskDisplayUpdate: {"DisplayUpdate", ctg.AndNode, 3},
+		TaskPowerMgmt:     {"PowerMgmt", ctg.AndNode, 3},
+		TaskFuelCalc:      {"FuelCalc", ctg.AndNode, 5},
+		TaskIgnitionAdv:   {"IgnitionAdvance", ctg.AndNode, 4},
+		TaskComplete:      {"Complete", ctg.AndNode, 2},
+	}
+
+	b := ctg.NewBuilder()
+	for id, sp := range specs {
+		if got := b.AddTask(sp.name, sp.kind); int(got) != id {
+			return nil, nil, fmt.Errorf("cruise: task %s got id %d, want %d", sp.name, got, id)
+		}
+	}
+
+	// Sensor fusion front end.
+	b.AddEdge(TaskSensorSpeed, TaskFuseInputs, 1)
+	b.AddEdge(TaskSensorPedal, TaskFuseInputs, 1)
+	b.AddEdge(TaskSensorIncline, TaskFuseInputs, 1)
+	b.AddEdge(TaskFuseInputs, TaskEstimateState, 2)
+	b.AddEdge(TaskEstimateState, TaskModeSelect, 1)
+
+	// Fork m: accelerate vs decelerate. The accelerate arm nests fork s.
+	b.AddCondEdge(TaskModeSelect, TaskThrottleMap, 1, 0)
+	b.AddCondEdge(TaskModeSelect, TaskBrakeMap, 1, 1)
+	b.SetBranchProbs(TaskModeSelect, []float64{0.5, 0.5})
+
+	// Accelerate arm.
+	b.AddEdge(TaskThrottleMap, TaskFuelCalc, 1)
+	b.AddEdge(TaskFuelCalc, TaskIgnitionAdv, 1)
+	b.AddEdge(TaskIgnitionAdv, TaskStability, 1)
+	// Fork s (nested): smooth vs corrective.
+	b.AddCondEdge(TaskStability, TaskCruiseHold, 1, 0)
+	b.AddCondEdge(TaskStability, TaskPIDCorrect, 1, 1)
+	b.SetBranchProbs(TaskStability, []float64{0.7, 0.3})
+	b.AddEdge(TaskCruiseHold, TaskSetpointTrack, 1)
+	b.AddEdge(TaskSetpointTrack, TaskStabJoin, 1)
+	b.AddEdge(TaskPIDCorrect, TaskSlipEstimate, 1)
+	b.AddEdge(TaskSlipEstimate, TaskTractionCtl, 1)
+	b.AddEdge(TaskTractionCtl, TaskStabJoin, 1)
+	b.AddEdge(TaskStabJoin, TaskModeJoin, 1)
+
+	// Decelerate arm (comparable total energy to the accelerate arm).
+	b.AddEdge(TaskBrakeMap, TaskEngineBrake, 1)
+	b.AddEdge(TaskEngineBrake, TaskABSCheck, 1)
+	b.AddEdge(TaskABSCheck, TaskModeJoin, 1)
+
+	// Actuation and housekeeping tail.
+	b.AddEdge(TaskModeJoin, TaskActThrottle, 1)
+	b.AddEdge(TaskModeJoin, TaskActBrake, 1)
+	b.AddEdge(TaskModeJoin, TaskDashboard, 1)
+	b.AddEdge(TaskEstimateState, TaskSpeedLimit, 1)
+	b.AddEdge(TaskSpeedLimit, TaskAlarmEval, 1)
+	b.AddEdge(TaskActThrottle, TaskLogTelemetry, 1)
+	b.AddEdge(TaskActBrake, TaskLogTelemetry, 1)
+	b.AddEdge(TaskLogTelemetry, TaskCANBroadcast, 1)
+	b.AddEdge(TaskDashboard, TaskDisplayUpdate, 1)
+	b.AddEdge(TaskAlarmEval, TaskDisplayUpdate, 1)
+	b.AddEdge(TaskCANBroadcast, TaskWatchdog, 1)
+	b.AddEdge(TaskWatchdog, TaskDiagSelfTest, 1)
+	b.AddEdge(TaskDiagSelfTest, TaskPowerMgmt, 1)
+	b.AddEdge(TaskDisplayUpdate, TaskComplete, 1)
+	b.AddEdge(TaskPowerMgmt, TaskComplete, 1)
+
+	g, err := b.Build(10000)
+	if err != nil {
+		return nil, nil, fmt.Errorf("cruise: %w", err)
+	}
+
+	pb := platform.NewBuilder(len(specs), NumPEs)
+	for id, sp := range specs {
+		// Five ECU-class cores with mild heterogeneity.
+		mul := [NumPEs]float64{1.0, 1.1, 0.9, 1.2, 1.0}
+		epu := [NumPEs]float64{1.0, 0.85, 1.1, 0.75, 0.95}
+		w := make([]float64, NumPEs)
+		e := make([]float64, NumPEs)
+		for pe := 0; pe < NumPEs; pe++ {
+			w[pe] = sp.wcet * mul[pe]
+			e[pe] = sp.wcet * epu[pe]
+		}
+		pb.SetTask(id, w, e)
+	}
+	pb.SetAllLinks(10, 0.02) // CAN-like shared fabric, modeled point-to-point
+	p, err := pb.Build()
+	if err != nil {
+		return nil, nil, fmt.Errorf("cruise: %w", err)
+	}
+	return g, p, nil
+}

@@ -1,0 +1,182 @@
+// Package mpeg models the software MPEG decoder of the paper's §III.B/IV as
+// a conditional task graph: the macroblock decoding loop of the Berkeley
+// MPEG player, reconstructed from the paper's Figure 3 description — 40
+// tasks including 9 branch fork nodes, mapped onto a 3-PE MPSoC.
+//
+// The branch structure follows the text exactly:
+//
+//   - branch a ("Skipped"): a skipped macroblock bypasses decoding entirely;
+//   - branch b (macroblock type): an Intra macroblock takes the monolithic
+//     dequantize+IDCT path; otherwise motion vectors are decoded and the six
+//     blocks of the macroblock are processed individually;
+//   - branch i (motion mode): full-pel vs half-pel motion compensation (the
+//     ninth fork the paper counts but does not letter);
+//   - branches c–h: each of the six blocks independently needs or skips its
+//     IDCT, depending on the coded block pattern.
+//
+// To decode an I-frame macroblock, a1 and b1 are certain; in B/P frames
+// every branch can fire — matching the paper's observation that the workload
+// (hence the branch distribution) drifts with the visual content.
+package mpeg
+
+import (
+	"fmt"
+
+	"ctgdvfs/internal/ctg"
+	"ctgdvfs/internal/platform"
+)
+
+// NumPEs is the multiprocessor size the paper uses for the MPEG experiment.
+const NumPEs = 3
+
+// Task indices of the named landmarks (exported for tests and examples).
+const (
+	TaskParseHeader = 0
+	TaskVLD         = 1
+	TaskSkipCheck   = 2 // fork a
+	TaskSkipCopy    = 3
+	TaskTypeCheck   = 4 // fork b
+	TaskDequantI    = 5
+	TaskIDCTIntra   = 6
+	TaskDecodeMV    = 7
+	TaskMVMode      = 8 // fork i
+	TaskMCFull      = 9
+	TaskMCHalf      = 10
+	TaskMCJoin      = 11
+	TaskCBPDecode   = 12
+	// Tasks 13..36: six blocks × (BlockVLC fork, IDCT, SkipIDCT, join).
+	TaskAssemble  = 37
+	TaskColorConv = 38
+	TaskStore     = 39
+)
+
+// NumBlocks is the number of 8×8 blocks per macroblock.
+const NumBlocks = 6
+
+// BlockTask returns the task index of the given per-block stage
+// (0=BlockVLC/fork, 1=IDCT, 2=SkipIDCT, 3=join) for block j in [0,6).
+func BlockTask(j, stage int) ctg.TaskID {
+	return ctg.TaskID(13 + 4*j + stage)
+}
+
+// taskSpec carries the platform cost model of one task: base WCET and the
+// per-PE multiplier profile. PE0 is a general-purpose RISC, PE1 a slower
+// low-power core, PE2 a DSP-style core that accelerates the signal-heavy
+// kernels (IDCT, motion compensation, color conversion).
+type taskSpec struct {
+	name string
+	kind ctg.Kind
+	wcet float64
+	dsp  bool // accelerated on PE2
+}
+
+// Build constructs the MPEG macroblock CTG and its 3-PE platform. The
+// deadline is provisional (loose); callers typically tighten it with
+// core.TightenDeadline. Branch probabilities are initialized to plausible
+// B/P-frame statistics and are usually overwritten by profiling.
+func Build() (*ctg.Graph, *platform.Platform, error) {
+	specs := make([]taskSpec, 40)
+	set := func(id int, name string, kind ctg.Kind, wcet float64, dsp bool) {
+		specs[id] = taskSpec{name: name, kind: kind, wcet: wcet, dsp: dsp}
+	}
+	set(TaskParseHeader, "ParseHeader", ctg.AndNode, 3, false)
+	set(TaskVLD, "VLD", ctg.AndNode, 7, false)
+	set(TaskSkipCheck, "SkipCheck", ctg.AndNode, 2, false)
+	set(TaskSkipCopy, "SkipCopy", ctg.AndNode, 5, true)
+	set(TaskTypeCheck, "TypeCheck", ctg.AndNode, 2, false)
+	set(TaskDequantI, "DequantIntra", ctg.AndNode, 14, true)
+	set(TaskIDCTIntra, "IDCTIntra", ctg.AndNode, 28, true)
+	set(TaskDecodeMV, "DecodeMV", ctg.AndNode, 6, false)
+	set(TaskMVMode, "MVMode", ctg.AndNode, 2, false)
+	set(TaskMCFull, "MCFullPel", ctg.AndNode, 14, true)
+	set(TaskMCHalf, "MCHalfPel", ctg.AndNode, 21, true)
+	set(TaskMCJoin, "MCJoin", ctg.OrNode, 1, false)
+	set(TaskCBPDecode, "CBPDecode", ctg.AndNode, 3, false)
+	for j := 0; j < NumBlocks; j++ {
+		set(int(BlockTask(j, 0)), fmt.Sprintf("BlockVLC%d", j), ctg.AndNode, 4, false)
+		set(int(BlockTask(j, 1)), fmt.Sprintf("BlockIDCT%d", j), ctg.AndNode, 18, true)
+		set(int(BlockTask(j, 2)), fmt.Sprintf("BlockZero%d", j), ctg.AndNode, 1, false)
+		set(int(BlockTask(j, 3)), fmt.Sprintf("BlockJoin%d", j), ctg.OrNode, 1, false)
+	}
+	set(TaskAssemble, "Assemble", ctg.OrNode, 3, false)
+	set(TaskColorConv, "ColorConv", ctg.AndNode, 6, true)
+	set(TaskStore, "Store", ctg.AndNode, 3, false)
+
+	b := ctg.NewBuilder()
+	for id, sp := range specs {
+		if got := b.AddTask(sp.name, sp.kind); int(got) != id {
+			return nil, nil, fmt.Errorf("mpeg: task %s got id %d, want %d", sp.name, got, id)
+		}
+	}
+
+	// Front end.
+	b.AddEdge(TaskParseHeader, TaskVLD, 2)
+	b.AddEdge(TaskVLD, TaskSkipCheck, 1)
+	// Branch a: outcome 0 = not skipped, outcome 1 = skipped.
+	b.AddCondEdge(TaskSkipCheck, TaskTypeCheck, 1, 0)
+	b.AddCondEdge(TaskSkipCheck, TaskSkipCopy, 1, 1)
+	b.SetBranchProbs(TaskSkipCheck, []float64{0.85, 0.15})
+	// Branch b: outcome 0 = Intra, outcome 1 = predicted (P/B).
+	b.AddCondEdge(TaskTypeCheck, TaskDequantI, 6, 0)
+	b.AddCondEdge(TaskTypeCheck, TaskDecodeMV, 1, 1)
+	b.AddCondEdge(TaskTypeCheck, TaskCBPDecode, 2, 1)
+	b.SetBranchProbs(TaskTypeCheck, []float64{0.2, 0.8})
+	// Intra path.
+	b.AddEdge(TaskDequantI, TaskIDCTIntra, 6)
+	b.AddEdge(TaskIDCTIntra, TaskAssemble, 6)
+	// Motion path. Branch i: full-pel vs half-pel interpolation.
+	b.AddEdge(TaskDecodeMV, TaskMVMode, 1)
+	b.AddCondEdge(TaskMVMode, TaskMCFull, 4, 0)
+	b.AddCondEdge(TaskMVMode, TaskMCHalf, 4, 1)
+	b.SetBranchProbs(TaskMVMode, []float64{0.5, 0.5})
+	b.AddEdge(TaskMCFull, TaskMCJoin, 4)
+	b.AddEdge(TaskMCHalf, TaskMCJoin, 4)
+	b.AddEdge(TaskMCJoin, TaskAssemble, 4)
+	// Per-block pipelines; branches c..h: IDCT needed vs block unchanged.
+	for j := 0; j < NumBlocks; j++ {
+		vlc, idct, zero, join := BlockTask(j, 0), BlockTask(j, 1), BlockTask(j, 2), BlockTask(j, 3)
+		b.AddEdge(TaskCBPDecode, vlc, 1)
+		b.AddCondEdge(vlc, idct, 2, 0)
+		b.AddCondEdge(vlc, zero, 0.5, 1)
+		b.SetBranchProbs(vlc, []float64{0.6, 0.4})
+		b.AddEdge(idct, join, 2)
+		b.AddEdge(zero, join, 0.5)
+		b.AddEdge(join, TaskAssemble, 2)
+	}
+	// Back end.
+	b.AddEdge(TaskSkipCopy, TaskAssemble, 6)
+	b.AddEdge(TaskAssemble, TaskColorConv, 6)
+	b.AddEdge(TaskColorConv, TaskStore, 6)
+
+	// A very loose provisional deadline; experiments tighten it relative
+	// to the nominal makespan.
+	g, err := b.Build(10000)
+	if err != nil {
+		return nil, nil, fmt.Errorf("mpeg: %w", err)
+	}
+
+	pb := platform.NewBuilder(len(specs), NumPEs)
+	for id, sp := range specs {
+		// PE0 general core, PE1 low-power (slower), PE2 DSP.
+		mul := [NumPEs]float64{1.0, 1.35, 1.15}
+		if sp.dsp {
+			mul[2] = 0.6
+		}
+		w := make([]float64, NumPEs)
+		e := make([]float64, NumPEs)
+		for pe := 0; pe < NumPEs; pe++ {
+			w[pe] = sp.wcet * mul[pe]
+			// The low-power core trades time for energy; the DSP is
+			// efficient on its kernels.
+			epu := [NumPEs]float64{1.0, 0.65, 0.9}[pe]
+			e[pe] = sp.wcet * epu
+		}
+		pb.SetTask(id, w, e)
+	}
+	pb.SetAllLinks(8, 0.03)
+	p, err := pb.Build()
+	if err != nil {
+		return nil, nil, fmt.Errorf("mpeg: %w", err)
+	}
+	return g, p, nil
+}

@@ -1,0 +1,215 @@
+// Package wlan models an IEEE 802.11b physical-layer receive pipeline as a
+// conditional task graph — the paper's own motivating example of task-level
+// branching ("branches that select different modulation schemes for preamble
+// and payload based on 802.11b physical layer standard", §I).
+//
+// Two branch fork nodes drive the workload:
+//
+//   - preamble mode (2 outcomes): a long preamble carries a 1 Mbps DBPSK
+//     header; the short preamble's header is 2 Mbps DQPSK;
+//   - payload rate (4 outcomes): 1, 2, 5.5 or 11 Mbps — DBPSK, DQPSK,
+//     CCK-5.5 and CCK-11 demodulation chains of very different weight. The
+//     four-way fork exercises the library's k-ary branch support, which the
+//     paper's benchmarks (all binary) do not.
+//
+// Rate selection follows the channel: a station under a good SNR sends
+// short-preamble 11 Mbps frames almost exclusively, a fading channel forces
+// long preambles and low rates — so the branch distribution drifts exactly
+// the way the adaptive framework targets.
+package wlan
+
+import (
+	"fmt"
+	"math/rand"
+
+	"ctgdvfs/internal/ctg"
+	"ctgdvfs/internal/platform"
+	"ctgdvfs/internal/trace"
+)
+
+// NumPEs is the platform size: a RISC control core and two DSP-style cores.
+const NumPEs = 3
+
+// Landmark task indices.
+const (
+	TaskRFFrontEnd  = 0
+	TaskAGC         = 1
+	TaskSyncDetect  = 2 // fork p: 0=long preamble, 1=short preamble
+	TaskLongSync    = 3
+	TaskLongHeader  = 4
+	TaskShortSync   = 5
+	TaskShortHeader = 6
+	TaskHeaderJoin  = 7 // or-node
+	TaskRateSelect  = 8 // fork r: 0=1M, 1=2M, 2=5.5M, 3=11M
+	TaskDBPSKDemod  = 9
+	TaskDBPSKDecode = 10
+	TaskDQPSKDemod  = 11
+	TaskDQPSKDecode = 12
+	TaskCCK55Demod  = 13
+	TaskCCK55Decode = 14
+	TaskCCK11Demod  = 15
+	TaskCCK11Decode = 16
+	TaskPayloadJoin = 17 // or-node
+	TaskDescramble  = 18
+	TaskCRCCheck    = 19
+	TaskDeframe     = 20
+	TaskMACHandoff  = 21
+)
+
+// Build constructs the 802.11b receive CTG and its 3-PE platform. The
+// deadline is provisional; tighten against the nominal makespan as usual.
+func Build() (*ctg.Graph, *platform.Platform, error) {
+	type spec struct {
+		name string
+		kind ctg.Kind
+		wcet float64
+		dsp  bool
+	}
+	specs := [22]spec{
+		TaskRFFrontEnd:  {"RFFrontEnd", ctg.AndNode, 3, false},
+		TaskAGC:         {"AGC", ctg.AndNode, 4, true},
+		TaskSyncDetect:  {"SyncDetect", ctg.AndNode, 3, true},
+		TaskLongSync:    {"LongSync", ctg.AndNode, 12, true},
+		TaskLongHeader:  {"LongHeaderDecode", ctg.AndNode, 8, false},
+		TaskShortSync:   {"ShortSync", ctg.AndNode, 6, true},
+		TaskShortHeader: {"ShortHeaderDecode", ctg.AndNode, 5, false},
+		TaskHeaderJoin:  {"HeaderJoin", ctg.OrNode, 1, false},
+		TaskRateSelect:  {"RateSelect", ctg.AndNode, 2, false},
+		TaskDBPSKDemod:  {"DBPSKDemod", ctg.AndNode, 22, true},
+		TaskDBPSKDecode: {"DBPSKDecode", ctg.AndNode, 10, false},
+		TaskDQPSKDemod:  {"DQPSKDemod", ctg.AndNode, 14, true},
+		TaskDQPSKDecode: {"DQPSKDecode", ctg.AndNode, 7, false},
+		TaskCCK55Demod:  {"CCK55Demod", ctg.AndNode, 10, true},
+		TaskCCK55Decode: {"CCK55Decode", ctg.AndNode, 6, false},
+		TaskCCK11Demod:  {"CCK11Demod", ctg.AndNode, 8, true},
+		TaskCCK11Decode: {"CCK11Decode", ctg.AndNode, 5, false},
+		TaskPayloadJoin: {"PayloadJoin", ctg.OrNode, 1, false},
+		TaskDescramble:  {"Descramble", ctg.AndNode, 4, false},
+		TaskCRCCheck:    {"CRCCheck", ctg.AndNode, 3, false},
+		TaskDeframe:     {"Deframe", ctg.AndNode, 3, false},
+		TaskMACHandoff:  {"MACHandoff", ctg.AndNode, 2, false},
+	}
+
+	b := ctg.NewBuilder()
+	for id, sp := range specs {
+		if got := b.AddTask(sp.name, sp.kind); int(got) != id {
+			return nil, nil, fmt.Errorf("wlan: task %s got id %d, want %d", sp.name, got, id)
+		}
+	}
+
+	b.AddEdge(TaskRFFrontEnd, TaskAGC, 8)
+	b.AddEdge(TaskAGC, TaskSyncDetect, 8)
+	// Fork p: preamble mode.
+	b.AddCondEdge(TaskSyncDetect, TaskLongSync, 6, 0)
+	b.AddCondEdge(TaskSyncDetect, TaskShortSync, 6, 1)
+	b.SetBranchProbs(TaskSyncDetect, []float64{0.5, 0.5})
+	b.AddEdge(TaskLongSync, TaskLongHeader, 2)
+	b.AddEdge(TaskShortSync, TaskShortHeader, 2)
+	b.AddEdge(TaskLongHeader, TaskHeaderJoin, 1)
+	b.AddEdge(TaskShortHeader, TaskHeaderJoin, 1)
+	b.AddEdge(TaskHeaderJoin, TaskRateSelect, 1)
+	// Fork r: payload rate, four outcomes.
+	arms := [4][2]ctg.TaskID{
+		{TaskDBPSKDemod, TaskDBPSKDecode},
+		{TaskDQPSKDemod, TaskDQPSKDecode},
+		{TaskCCK55Demod, TaskCCK55Decode},
+		{TaskCCK11Demod, TaskCCK11Decode},
+	}
+	for rate, arm := range arms {
+		b.AddCondEdge(TaskRateSelect, arm[0], 10, rate)
+		b.AddEdge(arm[0], arm[1], 6)
+		b.AddEdge(arm[1], TaskPayloadJoin, 2)
+	}
+	b.SetBranchProbs(TaskRateSelect, []float64{0.1, 0.2, 0.3, 0.4})
+	// Back end.
+	b.AddEdge(TaskPayloadJoin, TaskDescramble, 2)
+	b.AddEdge(TaskDescramble, TaskCRCCheck, 2)
+	b.AddEdge(TaskCRCCheck, TaskDeframe, 2)
+	b.AddEdge(TaskDeframe, TaskMACHandoff, 1)
+
+	g, err := b.Build(10000)
+	if err != nil {
+		return nil, nil, fmt.Errorf("wlan: %w", err)
+	}
+
+	pb := platform.NewBuilder(len(specs), NumPEs)
+	for id, sp := range specs {
+		// PE0 RISC control core, PE1/PE2 DSPs (PE2 slightly faster).
+		mul := [NumPEs]float64{1.0, 0.85, 0.75}
+		if !sp.dsp {
+			mul = [NumPEs]float64{0.8, 1.2, 1.2}
+		}
+		w := make([]float64, NumPEs)
+		e := make([]float64, NumPEs)
+		for pe := 0; pe < NumPEs; pe++ {
+			w[pe] = sp.wcet * mul[pe]
+			e[pe] = sp.wcet * [NumPEs]float64{0.9, 1.0, 1.1}[pe]
+		}
+		pb.SetTask(id, w, e)
+	}
+	pb.SetAllLinks(12, 0.02)
+	p, err := pb.Build()
+	if err != nil {
+		return nil, nil, fmt.Errorf("wlan: %w", err)
+	}
+	return g, p, nil
+}
+
+// ChannelTrace generates n frame decision vectors from a drifting-SNR
+// channel model: the SNR random-walks between deep fade and excellent;
+// the rate distribution and the short-preamble probability follow it
+// (802.11b rate adaptation).
+func ChannelTrace(g *ctg.Graph, seed int64, n int) trace.Vectors {
+	rng := rand.New(rand.NewSource(seed))
+	out := make(trace.Vectors, n)
+	snr := 0.5 + 0.3*rng.Float64() // normalized 0..1
+	for i := 0; i < n; i++ {
+		if i%40 == 0 { // channel coherence block
+			snr += (2*rng.Float64() - 1) * 0.25
+			if snr < 0 {
+				snr = -snr
+			}
+			if snr > 1 {
+				snr = 2 - snr
+			}
+		}
+		// Preamble: short preamble needs a decent channel.
+		pShort := 0.1 + 0.8*snr
+		// Rate distribution: mass moves to 11M as SNR improves.
+		rates := []float64{
+			0.55 * (1 - snr) * (1 - snr),
+			0.45 * (1 - snr),
+			0.3 + 0.2*snr,
+			snr * snr,
+		}
+		sum := 0.0
+		for _, v := range rates {
+			sum += v
+		}
+		for k := range rates {
+			rates[k] /= sum
+		}
+		row := make([]int, g.NumForks())
+		for fi, fork := range g.Forks() {
+			switch fork {
+			case ctg.TaskID(TaskSyncDetect):
+				if rng.Float64() < pShort {
+					row[fi] = 1
+				}
+			case ctg.TaskID(TaskRateSelect):
+				r := rng.Float64()
+				acc := 0.0
+				row[fi] = len(rates) - 1
+				for k, v := range rates {
+					acc += v
+					if r < acc {
+						row[fi] = k
+						break
+					}
+				}
+			}
+		}
+		out[i] = row
+	}
+	return out
+}

@@ -1,0 +1,297 @@
+package core
+
+import (
+	"fmt"
+
+	"ctgdvfs/internal/ctg"
+	"ctgdvfs/internal/platform"
+	"ctgdvfs/internal/sched"
+	"ctgdvfs/internal/sim"
+	"ctgdvfs/internal/stretch"
+)
+
+// Options configures the adaptive framework.
+type Options struct {
+	// Window is the sliding-window length L (default DefaultWindow).
+	Window int
+	// Threshold is the drift threshold T (default DefaultThreshold).
+	Threshold float64
+	// DVFS is the speed-scaling model (default continuous).
+	DVFS platform.DVFS
+	// Sched selects the mapping/ordering algorithm (default the paper's
+	// modified DLS).
+	Sched sched.Options
+	// MaxPaths caps the stretching path model (default
+	// ctg.DefaultMaxPaths).
+	MaxPaths int
+	// PerScenario replaces the paper's single-speed stretching with the
+	// scenario-conditioned extension (stretch.PerScenario): every
+	// re-schedule computes a speed table indexed by leaf scenario, and
+	// replay dispatches each task at the speed of its realized knowledge
+	// class. Strictly more energy-efficient at the cost of a
+	// scenarios × tasks table per schedule.
+	PerScenario bool
+}
+
+func (o *Options) applyDefaults() {
+	if o.Window == 0 {
+		o.Window = DefaultWindow
+	}
+	if o.Threshold == 0 {
+		o.Threshold = DefaultThreshold
+	}
+	if o.Sched == (sched.Options{}) {
+		o.Sched = sched.Modified()
+	}
+}
+
+// Manager is the runtime of the adaptive framework: it owns the current
+// schedule, replays incoming CTG instances against it, feeds the observed
+// branch decisions to the profiler, and re-runs the online algorithm
+// whenever the probability estimates drift past the threshold.
+type Manager struct {
+	opts Options
+
+	g *ctg.Graph // current probability estimates live here
+	a *ctg.Analysis
+	p *platform.Platform
+
+	profiler *Profiler
+	schedule *sched.Schedule
+	// speeds is the scenario-conditioned table when opts.PerScenario is
+	// set; nil otherwise.
+	speeds *stretch.ScenarioSpeeds
+
+	calls int // re-scheduling invocations (the paper's "# of calls")
+}
+
+// StepResult reports one processed CTG instance.
+type StepResult struct {
+	Instance    sim.Instance
+	Rescheduled bool
+	// Drift is the profiler drift measured after observing this
+	// instance's branch decisions.
+	Drift float64
+}
+
+// RunStats aggregates a sequence of instances.
+type RunStats struct {
+	Instances   int
+	TotalEnergy float64
+	// AvgEnergy is TotalEnergy / Instances.
+	AvgEnergy   float64
+	AvgMakespan float64
+	Misses      int
+	// Calls counts online re-scheduling invocations (adaptive runs only).
+	Calls int
+}
+
+// New builds an adaptive manager. The graph's current branch probabilities
+// act as the initial profile; the initial schedule is built from them. The
+// graph is cloned, so the caller's instance is never mutated.
+func New(g *ctg.Graph, p *platform.Platform, opts Options) (*Manager, error) {
+	opts.applyDefaults()
+	if opts.Threshold <= 0 || opts.Threshold > 1 {
+		return nil, fmt.Errorf("core: threshold must be in (0,1], got %v", opts.Threshold)
+	}
+	m := &Manager{opts: opts, g: g.Clone(), p: p}
+	a, err := ctg.Analyze(m.g)
+	if err != nil {
+		return nil, err
+	}
+	m.a = a
+	m.profiler, err = NewProfiler(m.g, opts.Window)
+	if err != nil {
+		return nil, err
+	}
+	if err := m.reschedule(); err != nil {
+		return nil, err
+	}
+	m.calls = 0 // the initial schedule does not count as an adaptive call
+	return m, nil
+}
+
+// reschedule runs the online algorithm (DLS + stretching) with the graph's
+// current probability estimates.
+func (m *Manager) reschedule() error {
+	s, err := sched.DLS(m.a, m.p, m.opts.Sched)
+	if err != nil {
+		return err
+	}
+	if m.opts.PerScenario {
+		sp, err := stretch.PerScenario(s, m.opts.DVFS)
+		if err != nil {
+			return err
+		}
+		m.speeds = sp
+	} else {
+		if _, err := stretch.Heuristic(s, m.opts.DVFS, m.opts.MaxPaths); err != nil {
+			return err
+		}
+		m.speeds = nil
+	}
+	m.schedule = s
+	m.calls++
+	return nil
+}
+
+// Schedule returns the current schedule (read-only use).
+func (m *Manager) Schedule() *sched.Schedule { return m.schedule }
+
+// Calls returns the number of adaptive re-scheduling invocations so far.
+func (m *Manager) Calls() int { return m.calls }
+
+// Probs returns the current probability estimate for the fork with the
+// given dense index.
+func (m *Manager) Probs(forkIdx int) []float64 {
+	return m.g.BranchProbs(m.g.Forks()[forkIdx])
+}
+
+// Step processes one CTG instance: replay it under the current schedule,
+// shift the decisions of the branch forks that actually executed into their
+// windows, and re-run the online algorithm if the estimate drifted past the
+// threshold.
+func (m *Manager) Step(decisions []int) (StepResult, error) {
+	si, err := m.a.ScenarioForDecisions(decisions)
+	if err != nil {
+		return StepResult{}, err
+	}
+	var cfg sim.Config
+	if m.speeds != nil {
+		cfg.ScenarioSpeeds = m.speeds.Speeds
+	}
+	inst, err := sim.ReplayCfg(m.schedule, si, cfg)
+	if err != nil {
+		return StepResult{}, err
+	}
+	// Only executed branch forks produce observable decisions.
+	active := m.a.Scenario(inst.Scenario).Active
+	for fi, fork := range m.g.Forks() {
+		if !active.Get(int(fork)) {
+			continue
+		}
+		if err := m.profiler.Observe(fi, decisions[fi]); err != nil {
+			return StepResult{}, err
+		}
+	}
+	res := StepResult{Instance: inst, Drift: m.profiler.MaxDrift()}
+	// Update only the branches whose estimate crossed the threshold (the
+	// paper's "the branch probability is updated with this new value");
+	// any update triggers one re-scheduling. The comparison is inclusive:
+	// see FilteredSeries for why "crosses" must admit equality.
+	updated := false
+	for fi, fork := range m.g.Forks() {
+		cur := m.g.BranchProbs(fork)
+		est := m.profiler.Estimate(fi)
+		crossed := false
+		for k := range cur {
+			d := est[k] - cur[k]
+			if d < 0 {
+				d = -d
+			}
+			if d >= m.opts.Threshold-1e-12 {
+				crossed = true
+				break
+			}
+		}
+		if crossed {
+			if err := m.g.SetBranchProbs(fork, m.profiler.SmoothedEstimate(fi)); err != nil {
+				return StepResult{}, err
+			}
+			updated = true
+		}
+	}
+	if updated {
+		m.a.Reweight()
+		if err := m.reschedule(); err != nil {
+			return StepResult{}, err
+		}
+		res.Rescheduled = true
+	}
+	return res, nil
+}
+
+// Run processes a whole decision-vector sequence and aggregates statistics.
+func (m *Manager) Run(vectors [][]int) (RunStats, error) {
+	var st RunStats
+	for _, v := range vectors {
+		r, err := m.Step(v)
+		if err != nil {
+			return st, err
+		}
+		st.Instances++
+		st.TotalEnergy += r.Instance.Energy
+		st.AvgMakespan += r.Instance.Makespan
+		if !r.Instance.DeadlineMet {
+			st.Misses++
+		}
+	}
+	st.Calls = m.calls
+	if st.Instances > 0 {
+		st.AvgEnergy = st.TotalEnergy / float64(st.Instances)
+		st.AvgMakespan /= float64(st.Instances)
+	}
+	return st, nil
+}
+
+// RunStatic replays a decision-vector sequence against a fixed schedule —
+// the paper's non-adaptive "online algorithm", which profiles once (the
+// probabilities baked into the schedule) and never adapts.
+func RunStatic(s *sched.Schedule, vectors [][]int) (RunStats, error) {
+	var st RunStats
+	for _, v := range vectors {
+		inst, err := sim.ReplayDecisions(s, v)
+		if err != nil {
+			return st, err
+		}
+		st.Instances++
+		st.TotalEnergy += inst.Energy
+		st.AvgMakespan += inst.Makespan
+		if !inst.DeadlineMet {
+			st.Misses++
+		}
+	}
+	if st.Instances > 0 {
+		st.AvgEnergy = st.TotalEnergy / float64(st.Instances)
+		st.AvgMakespan /= float64(st.Instances)
+	}
+	return st, nil
+}
+
+// TightenDeadline rebuilds the graph with deadline = factor × the nominal
+// (full-speed) makespan of a modified-DLS schedule. The paper's experiments
+// fix deadlines relative to the optimal schedule length (e.g. the cruise
+// controller uses double the optimum); this helper reproduces that setup.
+func TightenDeadline(g *ctg.Graph, p *platform.Platform, factor float64) (*ctg.Graph, error) {
+	if !(factor > 0) {
+		return nil, fmt.Errorf("core: deadline factor must be positive, got %v", factor)
+	}
+	a, err := ctg.Analyze(g)
+	if err != nil {
+		return nil, err
+	}
+	s, err := sched.DLS(a, p, sched.Modified())
+	if err != nil {
+		return nil, err
+	}
+	return g.WithDeadline(factor * s.Makespan)
+}
+
+// BuildOnline builds the non-adaptive online schedule for a graph whose
+// branch probabilities hold the profiled values: modified DLS followed by
+// the stretching heuristic.
+func BuildOnline(g *ctg.Graph, p *platform.Platform, opts Options) (*sched.Schedule, error) {
+	opts.applyDefaults()
+	a, err := ctg.Analyze(g)
+	if err != nil {
+		return nil, err
+	}
+	s, err := sched.DLS(a, p, opts.Sched)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := stretch.Heuristic(s, opts.DVFS, opts.MaxPaths); err != nil {
+		return nil, err
+	}
+	return s, nil
+}

@@ -1,0 +1,246 @@
+package ctg
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestBuilderValidation(t *testing.T) {
+	t.Run("empty graph", func(t *testing.T) {
+		if _, err := NewBuilder().Build(10); err == nil {
+			t.Fatal("want error for empty graph")
+		}
+	})
+	t.Run("bad deadline", func(t *testing.T) {
+		b := NewBuilder()
+		b.AddTask("a", AndNode)
+		if _, err := b.Build(0); err == nil {
+			t.Fatal("want error for zero deadline")
+		}
+	})
+	t.Run("unknown endpoint", func(t *testing.T) {
+		b := NewBuilder()
+		x := b.AddTask("a", AndNode)
+		b.AddEdge(x, TaskID(7), 0)
+		if _, err := b.Build(10); err == nil {
+			t.Fatal("want error for unknown endpoint")
+		}
+	})
+	t.Run("self edge", func(t *testing.T) {
+		b := NewBuilder()
+		x := b.AddTask("a", AndNode)
+		b.AddEdge(x, x, 0)
+		if _, err := b.Build(10); err == nil {
+			t.Fatal("want error for self edge")
+		}
+	})
+	t.Run("negative comm", func(t *testing.T) {
+		b := NewBuilder()
+		x := b.AddTask("a", AndNode)
+		y := b.AddTask("b", AndNode)
+		b.AddEdge(x, y, -1)
+		if _, err := b.Build(10); err == nil {
+			t.Fatal("want error for negative comm volume")
+		}
+	})
+	t.Run("cycle", func(t *testing.T) {
+		b := NewBuilder()
+		x := b.AddTask("a", AndNode)
+		y := b.AddTask("b", AndNode)
+		b.AddEdge(x, y, 0)
+		b.AddEdge(y, x, 0)
+		if _, err := b.Build(10); err == nil {
+			t.Fatal("want error for cycle")
+		}
+	})
+	t.Run("negative outcome", func(t *testing.T) {
+		b := NewBuilder()
+		x := b.AddTask("a", AndNode)
+		y := b.AddTask("b", AndNode)
+		b.AddCondEdge(x, y, 0, -1)
+		if _, err := b.Build(10); err == nil {
+			t.Fatal("want error for negative outcome")
+		}
+	})
+	t.Run("missing outcome edge", func(t *testing.T) {
+		b := NewBuilder()
+		x := b.AddTask("a", AndNode)
+		y := b.AddTask("b", AndNode)
+		z := b.AddTask("c", AndNode)
+		b.AddCondEdge(x, y, 0, 0)
+		b.AddCondEdge(x, z, 0, 2) // outcome 1 unused
+		if _, err := b.Build(10); err == nil {
+			t.Fatal("want error for unused outcome index")
+		}
+	})
+	t.Run("single-outcome fork", func(t *testing.T) {
+		b := NewBuilder()
+		x := b.AddTask("a", AndNode)
+		y := b.AddTask("b", AndNode)
+		b.AddCondEdge(x, y, 0, 0)
+		if _, err := b.Build(10); err == nil {
+			t.Fatal("want error for single-outcome fork")
+		}
+	})
+	t.Run("probs on non-fork", func(t *testing.T) {
+		b := NewBuilder()
+		x := b.AddTask("a", AndNode)
+		y := b.AddTask("b", AndNode)
+		b.AddEdge(x, y, 0)
+		b.SetBranchProbs(y, []float64{0.5, 0.5})
+		if _, err := b.Build(10); err == nil {
+			t.Fatal("want error for probs on non-fork")
+		}
+	})
+	t.Run("bad prob vector", func(t *testing.T) {
+		b := NewBuilder()
+		x := b.AddTask("a", AndNode)
+		y := b.AddTask("b", AndNode)
+		z := b.AddTask("c", AndNode)
+		b.AddCondEdge(x, y, 0, 0)
+		b.AddCondEdge(x, z, 0, 1)
+		b.SetBranchProbs(x, []float64{0.5, 0.2})
+		if _, err := b.Build(10); err == nil {
+			t.Fatal("want error for probs not summing to 1")
+		}
+	})
+	t.Run("orphan or-node", func(t *testing.T) {
+		b := NewBuilder()
+		b.AddTask("a", OrNode)
+		if _, err := b.Build(10); err == nil {
+			t.Fatal("want error for or-node without predecessors")
+		}
+	})
+}
+
+func TestUniformDefaultProbs(t *testing.T) {
+	b := NewBuilder()
+	x := b.AddTask("a", AndNode)
+	y := b.AddTask("b", AndNode)
+	z := b.AddTask("c", AndNode)
+	b.AddCondEdge(x, y, 0, 0)
+	b.AddCondEdge(x, z, 0, 1)
+	g, err := b.Build(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.BranchProb(x, 0) != 0.5 || g.BranchProb(x, 1) != 0.5 {
+		t.Fatalf("default probs = %v", g.BranchProbs(x))
+	}
+}
+
+func TestTopoOrderRespectsEdges(t *testing.T) {
+	g := buildRandomDAG(t, rand.New(rand.NewSource(7)), 30, 0.15)
+	pos := make([]int, g.NumTasks())
+	for i, tid := range g.Topo() {
+		pos[tid] = i
+	}
+	for _, e := range g.Edges() {
+		if pos[e.From] >= pos[e.To] {
+			t.Fatalf("topo violates edge %d->%d", e.From, e.To)
+		}
+	}
+}
+
+func TestCloneIsolatesProbs(t *testing.T) {
+	b := NewBuilder()
+	x := b.AddTask("a", AndNode)
+	y := b.AddTask("b", AndNode)
+	z := b.AddTask("c", AndNode)
+	b.AddCondEdge(x, y, 0, 0)
+	b.AddCondEdge(x, z, 0, 1)
+	g, err := b.Build(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp := g.Clone()
+	if err := cp.SetBranchProbs(x, []float64{0.9, 0.1}); err != nil {
+		t.Fatal(err)
+	}
+	if g.BranchProb(x, 0) != 0.5 {
+		t.Fatal("clone mutation leaked into original")
+	}
+}
+
+func TestSetBranchProbsValidation(t *testing.T) {
+	b := NewBuilder()
+	x := b.AddTask("a", AndNode)
+	y := b.AddTask("b", AndNode)
+	z := b.AddTask("c", AndNode)
+	b.AddCondEdge(x, y, 0, 0)
+	b.AddCondEdge(x, z, 0, 1)
+	g, err := b.Build(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.SetBranchProbs(y, []float64{1}); err == nil {
+		t.Fatal("want error: y is not a fork")
+	}
+	if err := g.SetBranchProbs(x, []float64{0.2, 0.2}); err == nil {
+		t.Fatal("want error: probs do not sum to 1")
+	}
+	if err := g.SetBranchProbs(x, []float64{0.25, 0.75}); err != nil {
+		t.Fatal(err)
+	}
+	if g.BranchProb(x, 1) != 0.75 {
+		t.Fatal("SetBranchProbs did not stick")
+	}
+}
+
+func TestDotOutput(t *testing.T) {
+	b := NewBuilder()
+	x := b.AddTask("src", AndNode)
+	y := b.AddTask("dst", OrNode)
+	z := b.AddTask("alt", AndNode)
+	b.AddCondEdge(x, y, 1, 0)
+	b.AddCondEdge(x, z, 1, 1)
+	g, err := b.Build(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dot := g.Dot()
+	for _, want := range []string{"digraph", "shape=diamond", "style=dashed", `"src"`} {
+		if !strings.Contains(dot, want) {
+			t.Fatalf("Dot output missing %q:\n%s", want, dot)
+		}
+	}
+}
+
+func TestKindAndCondStrings(t *testing.T) {
+	if AndNode.String() != "and" || OrNode.String() != "or" {
+		t.Fatal("Kind strings wrong")
+	}
+	if Kind(9).String() != "Kind(9)" {
+		t.Fatal("unknown Kind string wrong")
+	}
+	if Uncond().String() != "1" {
+		t.Fatal("unconditional Cond string wrong")
+	}
+	if When(3, 1).String() != "b3=1" {
+		t.Fatal("conditional Cond string wrong")
+	}
+}
+
+// buildRandomDAG builds a layered unconditional DAG (no forks) for
+// structural tests.
+func buildRandomDAG(t *testing.T, rng *rand.Rand, n int, density float64) *Graph {
+	t.Helper()
+	b := NewBuilder()
+	ids := make([]TaskID, n)
+	for i := 0; i < n; i++ {
+		ids[i] = b.AddTask("", AndNode)
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if rng.Float64() < density {
+				b.AddEdge(ids[i], ids[j], rng.Float64()*10)
+			}
+		}
+	}
+	g, err := b.Build(1000)
+	if err != nil {
+		t.Fatalf("random DAG build: %v", err)
+	}
+	return g
+}

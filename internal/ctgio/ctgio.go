@@ -1,0 +1,394 @@
+// Package ctgio reads and writes workloads — a conditional task graph plus
+// (optionally) its platform — in a line-oriented text format, so benchmarks
+// can be stored, exchanged and re-run outside Go code. The format is
+// deliberately TGFF-spirited and diff-friendly:
+//
+//	# comments and blank lines are ignored
+//	ctg 4 deadline 120
+//	task 0 "decide" and
+//	task 1 "fast" and
+//	task 2 "slow" and
+//	task 3 "join" or
+//	edge 0 1 comm 1.5 cond 0 0
+//	edge 0 2 comm 1.5 cond 0 1
+//	edge 1 3 comm 0.5
+//	edge 2 3 comm 0.5
+//	probs 0 0.8 0.2
+//	platform 4 2
+//	wcet 0 5 6
+//	energy 0 5 4
+//	...
+//	link 0 1 4 0.1
+//
+// Sections must appear in order (ctg header, tasks, edges, probs, then the
+// optional platform). Write produces this canonical form; Read accepts any
+// whitespace and interleaving within a section.
+package ctgio
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"ctgdvfs/internal/ctg"
+	"ctgdvfs/internal/platform"
+)
+
+// Write renders the workload in the canonical text form. p may be nil to
+// write a graph-only file.
+func Write(w io.Writer, g *ctg.Graph, p *platform.Platform) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "# ctgdvfs workload\n")
+	fmt.Fprintf(bw, "ctg %d deadline %s\n", g.NumTasks(), ftoa(g.Deadline()))
+	for _, t := range g.Tasks() {
+		kind := "and"
+		if t.Kind == ctg.OrNode {
+			kind = "or"
+		}
+		fmt.Fprintf(bw, "task %d %s %s\n", t.ID, strconv.Quote(t.Name), kind)
+	}
+	for _, e := range g.Edges() {
+		fmt.Fprintf(bw, "edge %d %d comm %s", e.From, e.To, ftoa(e.CommKB))
+		if e.Cond.IsConditional() {
+			fmt.Fprintf(bw, " cond %d %d", e.Cond.Branch(), e.Cond.Outcome())
+		}
+		fmt.Fprintln(bw)
+	}
+	for _, fork := range g.Forks() {
+		fmt.Fprintf(bw, "probs %d", fork)
+		for _, v := range g.BranchProbs(fork) {
+			fmt.Fprintf(bw, " %s", ftoa(v))
+		}
+		fmt.Fprintln(bw)
+	}
+	if p != nil {
+		if p.NumTasks() != g.NumTasks() {
+			return fmt.Errorf("ctgio: platform sized for %d tasks, graph has %d", p.NumTasks(), g.NumTasks())
+		}
+		fmt.Fprintf(bw, "platform %d %d\n", p.NumTasks(), p.NumPEs())
+		for t := 0; t < p.NumTasks(); t++ {
+			fmt.Fprintf(bw, "wcet %d", t)
+			for pe := 0; pe < p.NumPEs(); pe++ {
+				fmt.Fprintf(bw, " %s", ftoa(p.WCET(t, pe)))
+			}
+			fmt.Fprintln(bw)
+			fmt.Fprintf(bw, "energy %d", t)
+			for pe := 0; pe < p.NumPEs(); pe++ {
+				fmt.Fprintf(bw, " %s", ftoa(p.Energy(t, pe)))
+			}
+			fmt.Fprintln(bw)
+		}
+		for i := 0; i < p.NumPEs(); i++ {
+			for j := 0; j < p.NumPEs(); j++ {
+				if i != j {
+					fmt.Fprintf(bw, "link %d %d %s %s\n",
+						i, j, ftoa(p.Bandwidth(i, j)), ftoa(p.CommEnergy(1, i, j)))
+				}
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+func ftoa(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+// parser carries the line-scanning state so errors cite line numbers.
+type parser struct {
+	sc   *bufio.Scanner
+	line int
+	toks []string
+}
+
+func (p *parser) next() bool {
+	for p.sc.Scan() {
+		p.line++
+		text := strings.TrimSpace(p.sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		p.toks = splitTokens(text)
+		return true
+	}
+	p.toks = nil
+	return false
+}
+
+// splitTokens splits a line on whitespace, keeping Go-quoted strings (which
+// may contain spaces) as single tokens.
+func splitTokens(line string) []string {
+	var toks []string
+	for line = strings.TrimSpace(line); line != ""; line = strings.TrimSpace(line) {
+		if line[0] == '"' {
+			if q, err := strconv.QuotedPrefix(line); err == nil {
+				toks = append(toks, q)
+				line = line[len(q):]
+				continue
+			}
+		}
+		end := strings.IndexFunc(line, func(r rune) bool { return r == ' ' || r == '\t' })
+		if end < 0 {
+			toks = append(toks, line)
+			break
+		}
+		toks = append(toks, line[:end])
+		line = line[end:]
+	}
+	return toks
+}
+
+func (p *parser) errf(format string, args ...interface{}) error {
+	return fmt.Errorf("ctgio: line %d: %s", p.line, fmt.Sprintf(format, args...))
+}
+
+func (p *parser) intArg(i int) (int, error) {
+	if i >= len(p.toks) {
+		return 0, p.errf("missing argument %d", i)
+	}
+	v, err := strconv.Atoi(p.toks[i])
+	if err != nil {
+		return 0, p.errf("bad integer %q", p.toks[i])
+	}
+	return v, nil
+}
+
+func (p *parser) floatArg(i int) (float64, error) {
+	if i >= len(p.toks) {
+		return 0, p.errf("missing argument %d", i)
+	}
+	v, err := strconv.ParseFloat(p.toks[i], 64)
+	if err != nil {
+		return 0, p.errf("bad number %q", p.toks[i])
+	}
+	return v, nil
+}
+
+// Read parses a workload. The returned platform is nil when the file has no
+// platform section.
+func Read(r io.Reader) (*ctg.Graph, *platform.Platform, error) {
+	p := &parser{sc: bufio.NewScanner(r)}
+	p.sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+
+	if !p.next() {
+		return nil, nil, fmt.Errorf("ctgio: empty input")
+	}
+	if p.toks[0] != "ctg" || len(p.toks) != 4 || p.toks[2] != "deadline" {
+		return nil, nil, p.errf("want header `ctg <tasks> deadline <d>`, got %q", strings.Join(p.toks, " "))
+	}
+	numTasks, err := p.intArg(1)
+	if err != nil {
+		return nil, nil, err
+	}
+	deadline, err := p.floatArg(3)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	gb := ctg.NewBuilder()
+	added := 0
+	havePlatform := false
+	var pb *platform.Builder
+	var numPEs int
+	wcetRows := map[int][]float64{}
+	energyRows := map[int][]float64{}
+
+	for p.next() {
+		switch p.toks[0] {
+		case "task":
+			id, err := p.intArg(1)
+			if err != nil {
+				return nil, nil, err
+			}
+			if id != added {
+				return nil, nil, p.errf("task ids must be dense and ordered; got %d, want %d", id, added)
+			}
+			if len(p.toks) != 4 {
+				return nil, nil, p.errf("want `task <id> <name> <and|or>`")
+			}
+			name, err := strconv.Unquote(p.toks[2])
+			if err != nil {
+				return nil, nil, p.errf("bad quoted name %q", p.toks[2])
+			}
+			var kind ctg.Kind
+			switch p.toks[3] {
+			case "and":
+				kind = ctg.AndNode
+			case "or":
+				kind = ctg.OrNode
+			default:
+				return nil, nil, p.errf("unknown node kind %q", p.toks[3])
+			}
+			gb.AddTask(name, kind)
+			added++
+		case "edge":
+			from, err := p.intArg(1)
+			if err != nil {
+				return nil, nil, err
+			}
+			to, err := p.intArg(2)
+			if err != nil {
+				return nil, nil, err
+			}
+			if len(p.toks) != 5 && len(p.toks) != 8 {
+				return nil, nil, p.errf("want `edge <from> <to> comm <kb> [cond <fork> <outcome>]`")
+			}
+			if p.toks[3] != "comm" {
+				return nil, nil, p.errf("want `comm`, got %q", p.toks[3])
+			}
+			comm, err := p.floatArg(4)
+			if err != nil {
+				return nil, nil, err
+			}
+			if len(p.toks) == 8 {
+				if p.toks[5] != "cond" {
+					return nil, nil, p.errf("want `cond`, got %q", p.toks[5])
+				}
+				fork, err := p.intArg(6)
+				if err != nil {
+					return nil, nil, err
+				}
+				if fork != from {
+					return nil, nil, p.errf("conditional edge must be guarded by its source (%d), got %d", from, fork)
+				}
+				outcome, err := p.intArg(7)
+				if err != nil {
+					return nil, nil, err
+				}
+				gb.AddCondEdge(ctg.TaskID(from), ctg.TaskID(to), comm, outcome)
+			} else {
+				gb.AddEdge(ctg.TaskID(from), ctg.TaskID(to), comm)
+			}
+		case "probs":
+			fork, err := p.intArg(1)
+			if err != nil {
+				return nil, nil, err
+			}
+			probs := make([]float64, 0, len(p.toks)-2)
+			for i := 2; i < len(p.toks); i++ {
+				v, err := p.floatArg(i)
+				if err != nil {
+					return nil, nil, err
+				}
+				probs = append(probs, v)
+			}
+			if len(probs) == 0 {
+				return nil, nil, p.errf("probs needs at least one value")
+			}
+			gb.SetBranchProbs(ctg.TaskID(fork), probs)
+		case "platform":
+			pt, err := p.intArg(1)
+			if err != nil {
+				return nil, nil, err
+			}
+			numPEs, err = p.intArg(2)
+			if err != nil {
+				return nil, nil, err
+			}
+			if pt != numTasks {
+				return nil, nil, p.errf("platform sized for %d tasks, graph header says %d", pt, numTasks)
+			}
+			pb = platform.NewBuilder(pt, numPEs)
+			havePlatform = true
+		case "wcet", "energy":
+			if pb == nil {
+				return nil, nil, p.errf("%s before platform header", p.toks[0])
+			}
+			task, err := p.intArg(1)
+			if err != nil {
+				return nil, nil, err
+			}
+			if len(p.toks) != 2+numPEs {
+				return nil, nil, p.errf("want %d values, got %d", numPEs, len(p.toks)-2)
+			}
+			vals := make([]float64, numPEs)
+			for i := range vals {
+				v, err := p.floatArg(2 + i)
+				if err != nil {
+					return nil, nil, err
+				}
+				vals[i] = v
+			}
+			// wcet and energy rows arrive separately; stage them and
+			// combine after parsing.
+			if p.toks[0] == "wcet" {
+				wcetRows[task] = vals
+			} else {
+				energyRows[task] = vals
+			}
+		case "link":
+			if pb == nil {
+				return nil, nil, p.errf("link before platform header")
+			}
+			i, err := p.intArg(1)
+			if err != nil {
+				return nil, nil, err
+			}
+			j, err := p.intArg(2)
+			if err != nil {
+				return nil, nil, err
+			}
+			bw, err := p.floatArg(3)
+			if err != nil {
+				return nil, nil, err
+			}
+			en, err := p.floatArg(4)
+			if err != nil {
+				return nil, nil, err
+			}
+			pb.SetLink(i, j, bw, en)
+		default:
+			return nil, nil, p.errf("unknown directive %q", p.toks[0])
+		}
+	}
+	if err := p.sc.Err(); err != nil {
+		return nil, nil, fmt.Errorf("ctgio: %w", err)
+	}
+	if added != numTasks {
+		return nil, nil, fmt.Errorf("ctgio: header declares %d tasks, file defines %d", numTasks, added)
+	}
+	g, err := gb.Build(deadline)
+	if err != nil {
+		return nil, nil, fmt.Errorf("ctgio: %w", err)
+	}
+	if !havePlatform {
+		return g, nil, nil
+	}
+	for t := 0; t < numTasks; t++ {
+		w, okW := wcetRows[t]
+		e, okE := energyRows[t]
+		if !okW || !okE {
+			return nil, nil, fmt.Errorf("ctgio: task %d missing wcet or energy row", t)
+		}
+		pb.SetTask(t, w, e)
+	}
+	pl, err := pb.Build()
+	if err != nil {
+		return nil, nil, fmt.Errorf("ctgio: %w", err)
+	}
+	return g, pl, nil
+}
+
+// WriteFile writes the workload to a file.
+func WriteFile(path string, g *ctg.Graph, p *platform.Platform) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := Write(f, g, p); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// ReadFile reads a workload from a file.
+func ReadFile(path string) (*ctg.Graph, *platform.Platform, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer f.Close()
+	return Read(f)
+}

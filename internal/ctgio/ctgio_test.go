@@ -1,0 +1,233 @@
+package ctgio
+
+import (
+	"bytes"
+	"math"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"ctgdvfs/internal/apps/cruise"
+	"ctgdvfs/internal/apps/mpeg"
+	"ctgdvfs/internal/ctg"
+	"ctgdvfs/internal/platform"
+	"ctgdvfs/internal/tgff"
+)
+
+func roundTrip(t *testing.T, g *ctg.Graph, p *platform.Platform) (*ctg.Graph, *platform.Platform) {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := Write(&buf, g, p); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	g2, p2, err := Read(&buf)
+	if err != nil {
+		t.Fatalf("Read: %v\ninput:\n%s", err, buf.String())
+	}
+	return g2, p2
+}
+
+func assertGraphsEqual(t *testing.T, g, g2 *ctg.Graph) {
+	t.Helper()
+	if g2.NumTasks() != g.NumTasks() || g2.NumEdges() != g.NumEdges() {
+		t.Fatalf("shape mismatch: %d/%d tasks, %d/%d edges",
+			g.NumTasks(), g2.NumTasks(), g.NumEdges(), g2.NumEdges())
+	}
+	if g2.Deadline() != g.Deadline() {
+		t.Fatalf("deadline %v != %v", g2.Deadline(), g.Deadline())
+	}
+	for i, task := range g.Tasks() {
+		if g2.Task(ctg.TaskID(i)) != task {
+			t.Fatalf("task %d mismatch: %+v vs %+v", i, task, g2.Task(ctg.TaskID(i)))
+		}
+	}
+	for i := range g.Edges() {
+		if g.Edge(i) != g2.Edge(i) {
+			t.Fatalf("edge %d mismatch: %+v vs %+v", i, g.Edge(i), g2.Edge(i))
+		}
+	}
+	for _, fork := range g.Forks() {
+		a, b := g.BranchProbs(fork), g2.BranchProbs(fork)
+		for k := range a {
+			if math.Abs(a[k]-b[k]) > 1e-12 {
+				t.Fatalf("fork %d probs mismatch: %v vs %v", fork, a, b)
+			}
+		}
+	}
+}
+
+func assertPlatformsEqual(t *testing.T, p, p2 *platform.Platform) {
+	t.Helper()
+	if p2.NumTasks() != p.NumTasks() || p2.NumPEs() != p.NumPEs() {
+		t.Fatal("platform shape mismatch")
+	}
+	for task := 0; task < p.NumTasks(); task++ {
+		for pe := 0; pe < p.NumPEs(); pe++ {
+			if p.WCET(task, pe) != p2.WCET(task, pe) || p.Energy(task, pe) != p2.Energy(task, pe) {
+				t.Fatalf("task %d pe %d cost mismatch", task, pe)
+			}
+		}
+	}
+	for i := 0; i < p.NumPEs(); i++ {
+		for j := 0; j < p.NumPEs(); j++ {
+			if i == j {
+				continue
+			}
+			if p.Bandwidth(i, j) != p2.Bandwidth(i, j) {
+				t.Fatalf("link %d->%d bandwidth mismatch", i, j)
+			}
+			if math.Abs(p.CommEnergy(1, i, j)-p2.CommEnergy(1, i, j)) > 1e-12 {
+				t.Fatalf("link %d->%d energy mismatch", i, j)
+			}
+		}
+	}
+}
+
+func TestRoundTripMPEG(t *testing.T) {
+	g, p, err := mpeg.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, p2 := roundTrip(t, g, p)
+	assertGraphsEqual(t, g, g2)
+	assertPlatformsEqual(t, p, p2)
+}
+
+func TestRoundTripCruise(t *testing.T) {
+	g, p, err := cruise.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, p2 := roundTrip(t, g, p)
+	assertGraphsEqual(t, g, g2)
+	assertPlatformsEqual(t, p, p2)
+}
+
+func TestRoundTripRandomGraphs(t *testing.T) {
+	for seed := int64(0); seed < 12; seed++ {
+		cat := tgff.ForkJoin
+		if seed%2 == 1 {
+			cat = tgff.Flat
+		}
+		g, p, err := tgff.Generate(tgff.Config{
+			Seed: seed, Nodes: 15 + int(seed), PEs: 2 + int(seed%3),
+			Branches: int(seed % 4), Category: cat,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		g2, p2 := roundTrip(t, g, p)
+		assertGraphsEqual(t, g, g2)
+		assertPlatformsEqual(t, p, p2)
+	}
+}
+
+func TestGraphOnlyFile(t *testing.T) {
+	g, _, err := tgff.Generate(tgff.Config{Seed: 3, Nodes: 12, PEs: 2, Branches: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, g, nil); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "platform") {
+		t.Fatal("graph-only file must not contain a platform section")
+	}
+	g2, p2, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p2 != nil {
+		t.Fatal("want nil platform")
+	}
+	assertGraphsEqual(t, g, g2)
+}
+
+func TestReadFileWriteFile(t *testing.T) {
+	g, p, err := tgff.Generate(tgff.Config{Seed: 8, Nodes: 14, PEs: 3, Branches: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "workload.ctg")
+	if err := WriteFile(path, g, p); err != nil {
+		t.Fatal(err)
+	}
+	g2, p2, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertGraphsEqual(t, g, g2)
+	assertPlatformsEqual(t, p, p2)
+	if _, _, err := ReadFile(filepath.Join(t.TempDir(), "missing.ctg")); err == nil {
+		t.Fatal("want error for missing file")
+	}
+}
+
+func TestQuotedNamesSurvive(t *testing.T) {
+	b := ctg.NewBuilder()
+	b.AddTask(`weird "name" with spaces`, ctg.AndNode)
+	x := b.AddTask("täsk-ünïcode", ctg.OrNode)
+	b.AddEdge(0, x, 1)
+	g, err := b.Build(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, _ := roundTrip(t, g, nil)
+	assertGraphsEqual(t, g, g2)
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		name, input string
+	}{
+		{"empty", ""},
+		{"bad header", "nonsense 3\n"},
+		{"bad task count", "ctg x deadline 5\n"},
+		{"bad deadline", "ctg 1 deadline zzz\n"},
+		{"task out of order", "ctg 2 deadline 5\ntask 1 \"b\" and\n"},
+		{"bad kind", "ctg 1 deadline 5\ntask 0 \"a\" maybe\n"},
+		{"unquoted name", "ctg 1 deadline 5\ntask 0 a and\n"},
+		{"unknown directive", "ctg 1 deadline 5\ntask 0 \"a\" and\nfrobnicate 1\n"},
+		{"edge arity", "ctg 2 deadline 5\ntask 0 \"a\" and\ntask 1 \"b\" and\nedge 0 1\n"},
+		{"edge missing comm kw", "ctg 2 deadline 5\ntask 0 \"a\" and\ntask 1 \"b\" and\nedge 0 1 xx 2\n"},
+		{"foreign cond fork", "ctg 3 deadline 5\ntask 0 \"a\" and\ntask 1 \"b\" and\ntask 2 \"c\" and\nedge 0 1 comm 1 cond 2 0\n"},
+		{"task count mismatch", "ctg 3 deadline 5\ntask 0 \"a\" and\n"},
+		{"probs no values", "ctg 1 deadline 5\ntask 0 \"a\" and\nprobs 0\n"},
+		{"wcet before platform", "ctg 1 deadline 5\ntask 0 \"a\" and\nwcet 0 1\n"},
+		{"platform task mismatch", "ctg 1 deadline 5\ntask 0 \"a\" and\nplatform 2 1\n"},
+		{"wcet arity", "ctg 1 deadline 5\ntask 0 \"a\" and\nplatform 1 2\nwcet 0 1\n"},
+		{"missing energy row", "ctg 1 deadline 5\ntask 0 \"a\" and\nplatform 1 1\nwcet 0 1\n"},
+		{"link before platform", "ctg 1 deadline 5\ntask 0 \"a\" and\nlink 0 1 1 0\n"},
+		{"cycle", "ctg 2 deadline 5\ntask 0 \"a\" and\ntask 1 \"b\" and\nedge 0 1 comm 1\nedge 1 0 comm 1\n"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if _, _, err := Read(strings.NewReader(c.input)); err == nil {
+				t.Fatalf("want parse error for:\n%s", c.input)
+			}
+		})
+	}
+}
+
+func TestCommentsAndWhitespaceTolerated(t *testing.T) {
+	input := `
+# a comment
+   ctg 2 deadline 50
+
+task 0 "a" and
+  # interleaved comment
+task 1 "b" or
+edge    0   1   comm 2.5
+`
+	g, p, err := Read(strings.NewReader(input))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p != nil {
+		t.Fatal("no platform expected")
+	}
+	if g.NumTasks() != 2 || g.Deadline() != 50 || g.Edge(0).CommKB != 2.5 {
+		t.Fatalf("parsed graph wrong: %v", g)
+	}
+}

@@ -1,0 +1,64 @@
+package ctgio
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"ctgdvfs/internal/tgff"
+)
+
+// FuzzRead feeds the parser arbitrary inputs: it must never panic, and any
+// input it accepts must round-trip through Write/Read to an equivalent
+// workload. Run with `go test -fuzz FuzzRead ./internal/ctgio` for a real
+// fuzzing session; the seed corpus alone runs as a normal test.
+func FuzzRead(f *testing.F) {
+	// Seed corpus: a valid workload, a graph-only file, and a pile of
+	// near-misses.
+	g, p, err := tgff.Generate(tgff.Config{Seed: 5, Nodes: 10, PEs: 2, Branches: 1})
+	if err != nil {
+		f.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, g, p); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.String())
+	var gOnly bytes.Buffer
+	if err := Write(&gOnly, g, nil); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(gOnly.String())
+	f.Add("")
+	f.Add("ctg 1 deadline 5\ntask 0 \"a\" and\n")
+	f.Add("ctg 1 deadline 5\ntask 0 \"a\" and\nplatform 1 1\nwcet 0 1\nenergy 0 1\n")
+	f.Add("ctg 2 deadline x\n")
+	f.Add("task 0 \"a\" and\n")
+	f.Add("ctg 1 deadline 5\ntask 0 \"unterminated quote and\n")
+	f.Add("ctg 1 deadline 5\n# only a comment\n")
+	f.Add(strings.Repeat("ctg 1 deadline 5\n", 3))
+	f.Add("ctg 1 deadline 5\ntask 0 \"a\" and\nedge 0 0 comm 1\n")
+	f.Add("ctg 3 deadline 9\ntask 0 \"a\" and\ntask 1 \"b\" and\ntask 2 \"c\" or\nedge 0 1 comm 1 cond 0 0\nedge 0 2 comm 1 cond 0 1\nprobs 0 0.25 0.75\n")
+
+	f.Fuzz(func(t *testing.T, input string) {
+		g1, p1, err := Read(strings.NewReader(input))
+		if err != nil {
+			return // rejected input is fine; panics are not
+		}
+		// Accepted input must survive a canonical round trip.
+		var out bytes.Buffer
+		if err := Write(&out, g1, p1); err != nil {
+			t.Fatalf("Write after accept: %v", err)
+		}
+		g2, p2, err := Read(&out)
+		if err != nil {
+			t.Fatalf("re-Read of canonical form: %v\ncanonical:\n%s", err, out.String())
+		}
+		if g2.NumTasks() != g1.NumTasks() || g2.NumEdges() != g1.NumEdges() {
+			t.Fatal("round trip changed the graph shape")
+		}
+		if (p1 == nil) != (p2 == nil) {
+			t.Fatal("round trip changed platform presence")
+		}
+	})
+}

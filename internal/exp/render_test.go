@@ -1,0 +1,58 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableRenderer(t *testing.T) {
+	out := table([]string{"col", "x"}, [][]string{
+		{"a", "1"},
+		{"longer-cell", "22"},
+	})
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("got %d lines:\n%s", len(lines), out)
+	}
+	// All rows align to the widest cell.
+	width := len(lines[0])
+	for i, ln := range lines {
+		if len(strings.TrimRight(ln, " ")) > width {
+			t.Fatalf("line %d wider than header: %q", i, ln)
+		}
+	}
+	if !strings.Contains(lines[1], "---") {
+		t.Fatalf("missing separator: %q", lines[1])
+	}
+	if !strings.Contains(out, "longer-cell") {
+		t.Fatal("cell content lost")
+	}
+}
+
+func TestFormatHelpers(t *testing.T) {
+	if f0(99.6) != "100" || f1(1.25) != "1.2" && f1(1.25) != "1.3" || f2(0.5) != "0.50" {
+		t.Fatalf("format helpers wrong: %q %q %q", f0(99.6), f1(1.25), f2(0.5))
+	}
+}
+
+func TestTimeItRepeatsAndPropagatesErrors(t *testing.T) {
+	n := 0
+	d, err := timeIt(3, func() error { n++; return nil })
+	if err != nil || n != 3 || d < 0 {
+		t.Fatalf("timeIt: n=%d d=%v err=%v", n, d, err)
+	}
+	// Zero reps clamps to one.
+	n = 0
+	if _, err := timeIt(0, func() error { n++; return nil }); err != nil || n != 1 {
+		t.Fatalf("timeIt clamp: n=%d err=%v", n, err)
+	}
+	if _, err := timeIt(2, func() error { return errSentinel }); err == nil {
+		t.Fatal("timeIt must propagate errors")
+	}
+}
+
+type sentinelError struct{}
+
+func (sentinelError) Error() string { return "sentinel" }
+
+var errSentinel = sentinelError{}

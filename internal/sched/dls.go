@@ -1,0 +1,251 @@
+package sched
+
+import (
+	"fmt"
+	"math"
+
+	"ctgdvfs/internal/ctg"
+	"ctgdvfs/internal/platform"
+)
+
+// Options selects between the modified DLS of the paper (ref [17]) and the
+// plainer list scheduler used to model reference algorithm 1.
+type Options struct {
+	// Probabilistic weights the static levels of branch fork nodes by the
+	// branch selection probabilities (modified DLS). When false, SL uses
+	// the worst case (max over successors) everywhere.
+	Probabilistic bool
+	// MEOverlap lets mutually exclusive tasks share PE time. When false,
+	// every pair of tasks on a PE is serialized.
+	MEOverlap bool
+	// CommAware models contention on the point-to-point links when
+	// computing AT (transfers on one link serialize). When false, links
+	// are treated as contention-free; transfers still take time.
+	CommAware bool
+	// EnergyWeight extends the dynamic level with an energy preference
+	// term (an extension beyond the paper, whose DL is delay-only):
+	//
+	//	DL'(τ, p) = DL(τ, p) + w·prob(τ)·(avgE(τ) − E(τ, p))
+	//
+	// rewarding PEs that run the task cheaper than average, weighted by
+	// how likely the task is to execute at all. Zero (the default)
+	// reproduces the paper. Units: w converts energy to the time scale of
+	// the dynamic level.
+	EnergyWeight float64
+}
+
+// Modified returns the options of the paper's modified DLS.
+func Modified() Options { return Options{Probabilistic: true, MEOverlap: true, CommAware: true} }
+
+// Plain returns the options modeling reference algorithm 1's ordering:
+// worst-case levels, no ME overlap, contention-blind communication.
+func Plain() Options { return Options{} }
+
+// DLS maps and orders the tasks of g on platform p using dynamic-level list
+// scheduling. The returned schedule has all speeds at 1; run a stretching
+// pass (package stretch) to assign DVFS speeds.
+func DLS(a *ctg.Analysis, p *platform.Platform, opts Options) (*Schedule, error) {
+	g := a.Graph()
+	n := g.NumTasks()
+	if p.NumTasks() != n {
+		return nil, fmt.Errorf("sched: platform sized for %d tasks, graph has %d", p.NumTasks(), n)
+	}
+
+	sl := staticLevels(g, p, opts.Probabilistic)
+
+	s := &Schedule{
+		G:         g,
+		A:         a,
+		P:         p,
+		PE:        make([]int, n),
+		Start:     make([]float64, n),
+		Speed:     make([]float64, n),
+		CommStart: make([]float64, g.NumEdges()),
+		LinkOrder: make(map[[2]int][]int),
+	}
+	for t := range s.Speed {
+		s.Speed[t] = 1
+		s.PE[t] = -1
+	}
+	for ei := range s.CommStart {
+		s.CommStart[ei] = LocalComm
+	}
+
+	peTL := make([]timeline, p.NumPEs())
+	linkTL := make(map[[2]int]*timeline)
+	tlFor := func(i, j int) *timeline {
+		key := [2]int{i, j}
+		tl, ok := linkTL[key]
+		if !ok {
+			tl = &timeline{}
+			linkTL[key] = tl
+		}
+		return tl
+	}
+
+	fullSet := ctg.NewBitset(a.NumScenarios())
+	for i := 0; i < a.NumScenarios(); i++ {
+		fullSet.Set(i)
+	}
+	scenOf := func(t ctg.TaskID) ctg.Bitset {
+		if opts.MEOverlap {
+			return a.ActivationSet(t)
+		}
+		return fullSet
+	}
+
+	scheduled := make([]bool, n)
+	unschedPreds := make([]int, n)
+	for t := 0; t < n; t++ {
+		unschedPreds[t] = len(g.Pred(ctg.TaskID(t)))
+	}
+	ready := make([]ctg.TaskID, 0, n)
+	for t := 0; t < n; t++ {
+		if unschedPreds[t] == 0 {
+			ready = append(ready, ctg.TaskID(t))
+		}
+	}
+
+	// placement evaluates AT(τ, pe): transfer start per incoming cross-PE
+	// edge, data-ready time, and the earliest PE fit.
+	type commPlan struct {
+		edge  int
+		link  [2]int
+		start float64
+		dur   float64
+		scen  ctg.Bitset
+	}
+	evaluate := func(t ctg.TaskID, pe int) (at float64, plans []commPlan) {
+		dataReady := 0.0
+		for _, ei := range g.Pred(t) {
+			e := g.Edge(ei)
+			from := e.From
+			finish := s.Start[from] + p.WCET(int(from), s.PE[from])
+			ct := p.CommTime(e.CommKB, s.PE[from], pe)
+			if ct == 0 {
+				if finish > dataReady {
+					dataReady = finish
+				}
+				continue
+			}
+			link := [2]int{s.PE[from], pe}
+			scen := a.ActivationSet(from).Clone()
+			scen.IntersectWith(a.ActivationSet(t))
+			if !opts.MEOverlap {
+				scen = fullSet
+			}
+			cs := finish
+			if opts.CommAware {
+				cs = tlFor(link[0], link[1]).earliestFit(finish, ct, scen)
+			}
+			plans = append(plans, commPlan{edge: ei, link: link, start: cs, dur: ct, scen: scen})
+			if arr := cs + ct; arr > dataReady {
+				dataReady = arr
+			}
+		}
+		at = peTL[pe].earliestFit(dataReady, p.WCET(int(t), pe), scenOf(t))
+		return at, plans
+	}
+
+	// Mean per-task energy across PEs, for the optional energy term.
+	avgEnergy := make([]float64, n)
+	if opts.EnergyWeight != 0 {
+		for t := 0; t < n; t++ {
+			sum := 0.0
+			for pe := 0; pe < p.NumPEs(); pe++ {
+				sum += p.Energy(t, pe)
+			}
+			avgEnergy[t] = sum / float64(p.NumPEs())
+		}
+	}
+
+	for len(ready) > 0 {
+		bestDL := math.Inf(-1)
+		bestAT := 0.0
+		var bestPlans []commPlan
+		bestIdx, bestPE := -1, -1
+		for ri, t := range ready {
+			for pe := 0; pe < p.NumPEs(); pe++ {
+				at, plans := evaluate(t, pe)
+				delta := p.AvgWCET(int(t)) - p.WCET(int(t), pe)
+				dl := sl[t] - at + delta
+				if opts.EnergyWeight != 0 {
+					dl += opts.EnergyWeight * a.ActivationProb(t) *
+						(avgEnergy[t] - p.Energy(int(t), pe))
+				}
+				if dl > bestDL+1e-12 {
+					bestDL, bestAT, bestPlans = dl, at, plans
+					bestIdx, bestPE = ri, pe
+				}
+			}
+		}
+		t := ready[bestIdx]
+
+		// Commit the placement.
+		s.PE[t] = bestPE
+		s.Start[t] = bestAT
+		peTL[bestPE].add(bestAT, p.WCET(int(t), bestPE), scenOf(t))
+		for _, cp := range bestPlans {
+			s.CommStart[cp.edge] = cp.start
+			s.LinkOrder[cp.link] = append(s.LinkOrder[cp.link], cp.edge)
+			tlFor(cp.link[0], cp.link[1]).add(cp.start, cp.dur, cp.scen)
+		}
+		s.Order = append(s.Order, t)
+		scheduled[t] = true
+
+		// Update the ready list.
+		ready = append(ready[:bestIdx], ready[bestIdx+1:]...)
+		for _, ei := range g.Succ(t) {
+			to := g.Edge(ei).To
+			unschedPreds[to]--
+			if unschedPreds[to] == 0 {
+				ready = append(ready, to)
+			}
+		}
+	}
+
+	for t := 0; t < n; t++ {
+		if !scheduled[t] {
+			return nil, fmt.Errorf("sched: task %d never became ready (graph inconsistency)", t)
+		}
+		if end := s.Start[t] + p.WCET(t, s.PE[t]); end > s.Makespan {
+			s.Makespan = end
+		}
+	}
+	s.sortPEOrder()
+	s.sortLinkOrder()
+	s.InjectPseudoEdges()
+	return s, nil
+}
+
+// staticLevels computes SL(τ) bottom-up over a reverse topological order.
+// For a non-branching node, SL(τ) = avgWCET(τ) + max over successors; for a
+// branch fork node in probabilistic mode, the successor terms are weighted
+// by the probability of the guarding condition and summed, matching the
+// paper's formula SL(τi) = *WCET(τi) + Σ prob(c_ij)·SL(τj).
+func staticLevels(g *ctg.Graph, p *platform.Platform, probabilistic bool) []float64 {
+	n := g.NumTasks()
+	sl := make([]float64, n)
+	topo := g.Topo()
+	for i := n - 1; i >= 0; i-- {
+		t := topo[i]
+		base := p.AvgWCET(int(t))
+		if probabilistic && g.IsFork(t) {
+			sum := 0.0
+			for _, ei := range g.Succ(t) {
+				e := g.Edge(ei)
+				sum += g.CondProb(e.Cond) * sl[e.To]
+			}
+			sl[t] = base + sum
+			continue
+		}
+		best := 0.0
+		for _, ei := range g.Succ(t) {
+			if v := sl[g.Edge(ei).To]; v > best {
+				best = v
+			}
+		}
+		sl[t] = base + best
+	}
+	return sl
+}

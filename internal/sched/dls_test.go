@@ -1,0 +1,509 @@
+package sched
+
+import (
+	"math"
+	"testing"
+
+	"ctgdvfs/internal/ctg"
+	"ctgdvfs/internal/platform"
+	"ctgdvfs/internal/tgff"
+)
+
+// chainGraph builds t0 -> t1 -> t2 with the given comm volumes.
+func chainGraph(t *testing.T, comm float64) (*ctg.Graph, *ctg.Analysis) {
+	t.Helper()
+	b := ctg.NewBuilder()
+	t0 := b.AddTask("", ctg.AndNode)
+	t1 := b.AddTask("", ctg.AndNode)
+	t2 := b.AddTask("", ctg.AndNode)
+	b.AddEdge(t0, t1, comm)
+	b.AddEdge(t1, t2, comm)
+	g, err := b.Build(1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := ctg.Analyze(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g, a
+}
+
+func uniformPlatform(t *testing.T, tasks, pes int, wcet, energy float64) *platform.Platform {
+	t.Helper()
+	b := platform.NewBuilder(tasks, pes)
+	for i := 0; i < tasks; i++ {
+		b.SetUniformTask(i, wcet, energy)
+	}
+	b.SetAllLinks(1, 0.1)
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestDLSChainStaysLocal(t *testing.T) {
+	// With heavy communication, a chain must stay on one PE.
+	g, a := chainGraph(t, 100)
+	p := uniformPlatform(t, 3, 2, 10, 5)
+	s, err := DLS(a, p, Modified())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.PE[0] != s.PE[1] || s.PE[1] != s.PE[2] {
+		t.Fatalf("chain split across PEs: %v", s.PE)
+	}
+	if s.Makespan != 30 {
+		t.Fatalf("Makespan = %v, want 30", s.Makespan)
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	_ = g
+}
+
+func TestDLSParallelSpreads(t *testing.T) {
+	// Two independent tasks with zero comm must land on different PEs.
+	b := ctg.NewBuilder()
+	src := b.AddTask("", ctg.AndNode)
+	x := b.AddTask("", ctg.AndNode)
+	y := b.AddTask("", ctg.AndNode)
+	b.AddEdge(src, x, 0)
+	b.AddEdge(src, y, 0)
+	g, err := b.Build(1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := ctg.Analyze(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := uniformPlatform(t, 3, 2, 10, 5)
+	s, err := DLS(a, p, Modified())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.PE[x] == s.PE[y] {
+		t.Fatalf("parallel tasks share PE %d", s.PE[x])
+	}
+	if s.Makespan != 20 {
+		t.Fatalf("Makespan = %v, want 20", s.Makespan)
+	}
+}
+
+func TestDLSPrefersFasterPE(t *testing.T) {
+	// A heterogeneous single task must go to its fastest PE.
+	b := ctg.NewBuilder()
+	b.AddTask("", ctg.AndNode)
+	g, err := b.Build(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := ctg.Analyze(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pb := platform.NewBuilder(1, 3)
+	pb.SetTask(0, []float64{30, 10, 20}, []float64{1, 1, 1})
+	pb.SetAllLinks(1, 0)
+	p, err := pb.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := DLS(a, p, Modified())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.PE[0] != 1 {
+		t.Fatalf("task on PE %d, want 1", s.PE[0])
+	}
+}
+
+func TestDLSMutualExclusionOverlap(t *testing.T) {
+	// Fork with two exclusive arms on a single PE: the arms may overlap in
+	// time, so the makespan must be fork + max(arm) + join, not the sum.
+	b := ctg.NewBuilder()
+	f := b.AddTask("fork", ctg.AndNode)
+	l := b.AddTask("left", ctg.AndNode)
+	r := b.AddTask("right", ctg.AndNode)
+	j := b.AddTask("join", ctg.OrNode)
+	b.AddCondEdge(f, l, 0, 0)
+	b.AddCondEdge(f, r, 0, 1)
+	b.AddEdge(l, j, 0)
+	b.AddEdge(r, j, 0)
+	g, err := b.Build(1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := ctg.Analyze(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := uniformPlatform(t, 4, 1, 10, 5) // single PE forces sharing
+	s, err := DLS(a, p, Modified())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Start[l] != 10 || s.Start[r] != 10 {
+		t.Fatalf("exclusive arms did not overlap: start l=%v r=%v", s.Start[l], s.Start[r])
+	}
+	if s.Makespan != 30 {
+		t.Fatalf("Makespan = %v, want 30", s.Makespan)
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The plain scheduler serializes the same arms.
+	s2, err := DLS(a, p, Plain())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.Makespan != 40 {
+		t.Fatalf("plain Makespan = %v, want 40 (serialized arms)", s2.Makespan)
+	}
+}
+
+func TestStaticLevelsProbabilistic(t *testing.T) {
+	// fork f with arms of different lengths: probabilistic SL weights them.
+	b := ctg.NewBuilder()
+	f := b.AddTask("", ctg.AndNode)
+	long := b.AddTask("", ctg.AndNode)
+	short := b.AddTask("", ctg.AndNode)
+	tail := b.AddTask("", ctg.AndNode)
+	b.AddCondEdge(f, long, 0, 0)
+	b.AddCondEdge(f, short, 0, 1)
+	b.AddEdge(long, tail, 0)
+	b.SetBranchProbs(f, []float64{0.25, 0.75})
+	g, err := b.Build(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := uniformPlatform(t, 4, 2, 10, 1)
+
+	sl := staticLevels(g, p, true)
+	// SL(tail)=10, SL(long)=20, SL(short)=10,
+	// SL(f)=10 + 0.25·20 + 0.75·10 = 22.5.
+	if math.Abs(sl[f]-22.5) > 1e-9 {
+		t.Fatalf("probabilistic SL(f) = %v, want 22.5", sl[f])
+	}
+	slPlain := staticLevels(g, p, false)
+	// Plain: SL(f) = 10 + max(20,10) = 30.
+	if math.Abs(slPlain[f]-30) > 1e-9 {
+		t.Fatalf("plain SL(f) = %v, want 30", slPlain[f])
+	}
+}
+
+func TestDLSCommunicationDelaysStart(t *testing.T) {
+	// Producer on PE0, consumer pinned to PE1 by heterogeneity: start of
+	// consumer must include the transfer time (volume / bandwidth).
+	b := ctg.NewBuilder()
+	src := b.AddTask("", ctg.AndNode)
+	dst := b.AddTask("", ctg.AndNode)
+	b.AddEdge(src, dst, 10) // 10 KB
+	g, err := b.Build(1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := ctg.Analyze(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pb := platform.NewBuilder(2, 2)
+	pb.SetTask(0, []float64{10, 1000}, []float64{1, 1}) // src pinned to PE0
+	pb.SetTask(1, []float64{1000, 10}, []float64{1, 1}) // dst pinned to PE1
+	pb.SetAllLinks(2, 0.1)                              // 10 KB at 2 KB/tu = 5 tu
+	p, err := pb.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := DLS(a, p, Modified())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.PE[src] != 0 || s.PE[dst] != 1 {
+		t.Fatalf("mapping %v, want [0 1]", s.PE)
+	}
+	if s.Start[dst] != 15 { // 10 exec + 5 comm
+		t.Fatalf("Start[dst] = %v, want 15", s.Start[dst])
+	}
+	if s.CommStart[0] != 10 {
+		t.Fatalf("CommStart = %v, want 10", s.CommStart[0])
+	}
+	if got := s.CommTime(0); got != 5 {
+		t.Fatalf("CommTime = %v, want 5", got)
+	}
+	if got := s.CommEnergy(0); got != 1 {
+		t.Fatalf("CommEnergy = %v, want 1", got)
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDLSOnRandomCTGsIsValid(t *testing.T) {
+	for seed := int64(0); seed < 30; seed++ {
+		cat := tgff.ForkJoin
+		if seed%2 == 1 {
+			cat = tgff.Flat
+		}
+		g, p, err := tgff.Generate(tgff.Config{
+			Seed: seed, Nodes: 15 + int(seed%10), PEs: 2 + int(seed%3),
+			Branches: int(seed % 4), Category: cat,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		a, err := ctg.Analyze(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, opts := range []Options{Modified(), Plain(), {Probabilistic: true}} {
+			s, err := DLS(a, p, opts)
+			if err != nil {
+				t.Fatalf("seed %d: %v", seed, err)
+			}
+			if err := s.Validate(); err != nil {
+				t.Fatalf("seed %d opts %+v: %v", seed, opts, err)
+			}
+			// Order must be precedence-compatible.
+			pos := make([]int, g.NumTasks())
+			for i, tid := range s.Order {
+				pos[tid] = i
+			}
+			for _, e := range g.Edges() {
+				if pos[e.From] >= pos[e.To] {
+					t.Fatalf("seed %d: order violates edge %d->%d", seed, e.From, e.To)
+				}
+			}
+			// Makespan covers every task end.
+			for task := 0; task < g.NumTasks(); task++ {
+				end := s.Start[task] + p.WCET(task, s.PE[task])
+				if end > s.Makespan+1e-9 {
+					t.Fatalf("seed %d: task %d ends after makespan", seed, task)
+				}
+			}
+		}
+	}
+}
+
+func TestPseudoEdgesSerializeEveryScenario(t *testing.T) {
+	// In every scenario, any two co-active tasks on one PE must be ordered
+	// through real+pseudo edges (transitively).
+	for seed := int64(0); seed < 20; seed++ {
+		g, p, err := tgff.Generate(tgff.Config{
+			Seed: 500 + seed, Nodes: 18, PEs: 2, Branches: 2,
+			Category: tgff.ForkJoin,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		a, err := ctg.Analyze(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := DLS(a, p, Modified())
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		// Build reachability over real + pseudo edges.
+		n := g.NumTasks()
+		reach := make([][]bool, n)
+		adj := make([][]int, n)
+		for _, e := range g.Edges() {
+			adj[e.From] = append(adj[e.From], int(e.To))
+		}
+		for _, e := range s.Pseudo {
+			adj[e.From] = append(adj[e.From], int(e.To))
+		}
+		var dfs func(from, at int)
+		dfs = func(from, at int) {
+			for _, nx := range adj[at] {
+				if !reach[from][nx] {
+					reach[from][nx] = true
+					dfs(from, nx)
+				}
+			}
+		}
+		for i := 0; i < n; i++ {
+			reach[i] = make([]bool, n)
+			dfs(i, i)
+		}
+
+		for si := 0; si < a.NumScenarios(); si++ {
+			sc := a.Scenario(si)
+			for pe := 0; pe < p.NumPEs(); pe++ {
+				var actives []ctg.TaskID
+				for _, tid := range s.PEOrder[pe] {
+					if sc.Active.Get(int(tid)) {
+						actives = append(actives, tid)
+					}
+				}
+				for i := 0; i+1 < len(actives); i++ {
+					u, v := actives[i], actives[i+1]
+					if !reach[u][v] {
+						t.Fatalf("seed %d scenario %d PE %d: %d and %d unordered",
+							seed, si, pe, u, v)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestExpectedEnergyMatchesScenarioSum(t *testing.T) {
+	// ExpectedEnergy must equal Σ_scenarios prob·(Σ active task energy +
+	// Σ active cross-PE comm energy), computed independently here.
+	for seed := int64(0); seed < 10; seed++ {
+		g, p, err := tgff.Generate(tgff.Config{
+			Seed: 900 + seed, Nodes: 16, PEs: 3, Branches: 2,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		a, err := ctg.Analyze(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := DLS(a, p, Modified())
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := 0.0
+		for si := 0; si < a.NumScenarios(); si++ {
+			sc := a.Scenario(si)
+			e := 0.0
+			sc.Active.ForEach(func(ti int) {
+				e += s.TaskEnergy(ctg.TaskID(ti))
+			})
+			for ei, edge := range g.Edges() {
+				if sc.Active.Get(int(edge.From)) && sc.Active.Get(int(edge.To)) {
+					e += s.CommEnergy(ei)
+				}
+			}
+			want += sc.Prob * e
+		}
+		got := s.ExpectedEnergy()
+		if math.Abs(got-want) > 1e-6*math.Max(1, want) {
+			t.Fatalf("seed %d: ExpectedEnergy = %v, want %v", seed, got, want)
+		}
+	}
+}
+
+func TestScheduleClone(t *testing.T) {
+	g, p, err := tgff.Generate(tgff.Config{Seed: 4, Nodes: 12, PEs: 2, Branches: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := ctg.Analyze(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := DLS(a, p, Modified())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp := s.Clone()
+	cp.Speed[0] = 0.5
+	cp.PE[0] = 1
+	if s.Speed[0] != 1 {
+		t.Fatal("clone speed mutation leaked")
+	}
+	if s.PE[0] == cp.PE[0] && s.PE[0] == 1 {
+		t.Fatal("clone PE mutation leaked")
+	}
+}
+
+func TestDLSPlatformMismatch(t *testing.T) {
+	g, _, err := tgff.Generate(tgff.Config{Seed: 4, Nodes: 12, PEs: 2, Branches: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := ctg.Analyze(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := uniformPlatform(t, 5, 2, 1, 1) // wrong task count
+	if _, err := DLS(a, p, Modified()); err == nil {
+		t.Fatal("want error on platform/graph size mismatch")
+	}
+}
+
+func TestEnergyWeightSteersMapping(t *testing.T) {
+	// One task; PE0 is slightly faster, PE1 is far cheaper. The paper's
+	// delay-only DL picks PE0; a large energy weight flips it to PE1.
+	b := ctg.NewBuilder()
+	b.AddTask("", ctg.AndNode)
+	g, err := b.Build(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := ctg.Analyze(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pb := platform.NewBuilder(1, 2)
+	pb.SetTask(0, []float64{10, 11}, []float64{20, 2})
+	pb.SetAllLinks(1, 0)
+	p, err := pb.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := DLS(a, p, Modified())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.PE[0] != 0 {
+		t.Fatalf("delay-only DL chose PE %d, want the faster PE0", plain.PE[0])
+	}
+	opts := Modified()
+	opts.EnergyWeight = 1
+	green, err := DLS(a, p, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if green.PE[0] != 1 {
+		t.Fatalf("energy-weighted DL chose PE %d, want the cheaper PE1", green.PE[0])
+	}
+	if err := green.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEnergyWeightReducesEnergyOnAverage(t *testing.T) {
+	// Across random heterogeneous workloads, a moderate energy weight must
+	// not increase the average expected energy of the nominal mapping.
+	var base, green float64
+	for seed := int64(0); seed < 15; seed++ {
+		g, p, err := tgff.Generate(tgff.Config{
+			Seed: 2200 + seed, Nodes: 18, PEs: 3, Branches: 2,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		a, err := ctg.Analyze(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s1, err := DLS(a, p, Modified())
+		if err != nil {
+			t.Fatal(err)
+		}
+		opts := Modified()
+		opts.EnergyWeight = 0.5
+		s2, err := DLS(a, p, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := s2.Validate(); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		base += s1.ExpectedEnergy()
+		green += s2.ExpectedEnergy()
+	}
+	if green > base {
+		t.Fatalf("energy-weighted mapping averaged %v, delay-only %v", green, base)
+	}
+}

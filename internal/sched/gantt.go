@@ -1,0 +1,90 @@
+package sched
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"ctgdvfs/internal/ctg"
+)
+
+// Gantt renders the nominal (full-speed) schedule as a per-PE text chart:
+// one row per PE, time flowing right, each task drawn over its reserved
+// interval with its ID. Overlapping mutually exclusive tasks get stacked
+// sub-rows. Width is the chart width in characters (0 means 100).
+func (s *Schedule) Gantt(width int) string {
+	if width <= 0 {
+		width = 100
+	}
+	if s.Makespan <= 0 {
+		return "(empty schedule)\n"
+	}
+	scale := float64(width) / s.Makespan
+
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "time 0 .. %.1f (one column ≈ %.2f)\n", s.Makespan, 1/scale)
+	for pe := 0; pe < s.P.NumPEs(); pe++ {
+		rows := s.ganttRows(pe, scale, width)
+		for ri, row := range rows {
+			label := fmt.Sprintf("PE%-2d", pe)
+			if ri > 0 {
+				label = "    " // stacked exclusive alternatives
+			}
+			fmt.Fprintf(&sb, "%s |%s|\n", label, string(row))
+		}
+		if len(rows) == 0 {
+			fmt.Fprintf(&sb, "PE%-2d |%s|\n", pe, strings.Repeat(" ", width))
+		}
+	}
+	return sb.String()
+}
+
+// ganttRows lays the PE's tasks into the fewest rows such that no two tasks
+// in one row overlap in chart columns (mutually exclusive tasks overlap in
+// time, so they stack).
+func (s *Schedule) ganttRows(pe int, scale float64, width int) [][]rune {
+	type span struct {
+		task     ctg.TaskID
+		from, to int // inclusive columns
+	}
+	var spans []span
+	for _, t := range s.PEOrder[pe] {
+		from := int(s.Start[t] * scale)
+		to := int((s.Start[t] + s.P.WCET(int(t), pe)) * scale)
+		if to >= width {
+			to = width - 1
+		}
+		if from > to {
+			from = to
+		}
+		spans = append(spans, span{task: t, from: from, to: to})
+	}
+	sort.Slice(spans, func(i, j int) bool { return spans[i].from < spans[j].from })
+
+	var rows [][]rune
+	rowEnd := []int{}
+	for _, sp := range spans {
+		ri := -1
+		for i, end := range rowEnd {
+			if sp.from > end {
+				ri = i
+				break
+			}
+		}
+		if ri < 0 {
+			rows = append(rows, []rune(strings.Repeat(" ", width)))
+			rowEnd = append(rowEnd, -1)
+			ri = len(rows) - 1
+		}
+		label := fmt.Sprintf("%d", sp.task)
+		for c := sp.from; c <= sp.to; c++ {
+			ch := '='
+			if li := c - sp.from; li < len(label) {
+				ch = rune(label[li])
+			}
+			rows[ri][c] = ch
+		}
+		rowEnd[ri] = sp.to
+	}
+	return rows
+}

@@ -1,0 +1,105 @@
+package sched
+
+import (
+	"strings"
+	"testing"
+
+	"ctgdvfs/internal/ctg"
+	"ctgdvfs/internal/tgff"
+)
+
+func TestGanttRendersEveryTask(t *testing.T) {
+	g, p, err := tgff.Generate(tgff.Config{Seed: 12, Nodes: 14, PEs: 3, Branches: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := ctg.Analyze(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := DLS(a, p, Modified())
+	if err != nil {
+		t.Fatal(err)
+	}
+	chart := s.Gantt(120)
+	for pe := 0; pe < p.NumPEs(); pe++ {
+		if !strings.Contains(chart, "PE") {
+			t.Fatal("chart missing PE rows")
+		}
+	}
+	lines := strings.Split(strings.TrimRight(chart, "\n"), "\n")
+	if len(lines) < p.NumPEs()+1 {
+		t.Fatalf("chart has %d lines, want at least %d", len(lines), p.NumPEs()+1)
+	}
+	// Every line with content stays inside the bars.
+	for _, ln := range lines[1:] {
+		if !strings.Contains(ln, "|") {
+			t.Fatalf("row without frame: %q", ln)
+		}
+	}
+}
+
+func TestGanttStacksExclusiveTasks(t *testing.T) {
+	// Fork with two exclusive arms on one PE: the overlapping arms need a
+	// stacked row.
+	b := ctg.NewBuilder()
+	f := b.AddTask("f", ctg.AndNode)
+	l := b.AddTask("l", ctg.AndNode)
+	r := b.AddTask("r", ctg.AndNode)
+	b.AddCondEdge(f, l, 0, 0)
+	b.AddCondEdge(f, r, 0, 1)
+	g, err := b.Build(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := ctg.Analyze(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := uniformPlatform(t, 3, 1, 10, 1)
+	s, err := DLS(a, p, Modified())
+	if err != nil {
+		t.Fatal(err)
+	}
+	chart := s.Gantt(60)
+	lines := strings.Split(strings.TrimRight(chart, "\n"), "\n")
+	// The exclusive arms overlap in time, so they must land on different
+	// rows (header + ≥2 PE0 rows).
+	if len(lines) < 3 {
+		t.Fatalf("chart:\n%s\nwant stacked rows, got %d lines", chart, len(lines))
+	}
+	row1, row2 := -1, -1
+	for i, ln := range lines {
+		if strings.Contains(ln, "1=") {
+			row1 = i
+		}
+		if strings.Contains(ln, "2=") {
+			row2 = i
+		}
+	}
+	if row1 < 0 || row2 < 0 || row1 == row2 {
+		t.Fatalf("chart:\n%s\nexclusive arms not stacked (rows %d, %d)", chart, row1, row2)
+	}
+}
+
+func TestGanttEmptyAndDefaults(t *testing.T) {
+	g, p, err := tgff.Generate(tgff.Config{Seed: 12, Nodes: 8, PEs: 2, Branches: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := ctg.Analyze(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := DLS(a, p, Modified())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out := s.Gantt(0); !strings.Contains(out, "time 0") {
+		t.Fatal("default width render failed")
+	}
+	s.Makespan = 0
+	if out := s.Gantt(10); !strings.Contains(out, "empty") {
+		t.Fatal("empty schedule render failed")
+	}
+}

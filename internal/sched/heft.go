@@ -1,0 +1,176 @@
+package sched
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"ctgdvfs/internal/ctg"
+	"ctgdvfs/internal/platform"
+)
+
+// HEFT maps and orders the tasks with the Heterogeneous Earliest Finish
+// Time heuristic (Topcuoglu et al., 2002) adapted to conditional task
+// graphs: tasks are prioritized by their upward rank (mean execution plus
+// mean communication along the heaviest successor chain) and greedily
+// placed on the PE that finishes them earliest, sharing PE time between
+// mutually exclusive tasks exactly like the modified DLS does.
+//
+// HEFT is not part of the paper — it is the de-facto list-scheduling
+// baseline of the wider literature, included so downstream users can
+// compare the paper's DLS variant against a familiar reference on the same
+// platform model. The returned schedule feeds the stretchers and the
+// simulator like any other.
+func HEFT(a *ctg.Analysis, p *platform.Platform) (*Schedule, error) {
+	g := a.Graph()
+	n := g.NumTasks()
+	if p.NumTasks() != n {
+		return nil, fmt.Errorf("sched: platform sized for %d tasks, graph has %d", p.NumTasks(), n)
+	}
+
+	// Mean communication cost per edge over distinct PE pairs.
+	meanComm := func(kb float64) float64 {
+		if kb == 0 || p.NumPEs() == 1 {
+			return 0
+		}
+		sum := 0.0
+		pairs := 0
+		for i := 0; i < p.NumPEs(); i++ {
+			for j := 0; j < p.NumPEs(); j++ {
+				if i != j {
+					sum += p.CommTime(kb, i, j)
+					pairs++
+				}
+			}
+		}
+		// Off-diagonal mean scaled by the chance the endpoints differ.
+		frac := float64(p.NumPEs()-1) / float64(p.NumPEs())
+		return sum / float64(pairs) * frac
+	}
+
+	// Upward ranks over reverse topological order.
+	rank := make([]float64, n)
+	topo := g.Topo()
+	for i := n - 1; i >= 0; i-- {
+		t := topo[i]
+		best := 0.0
+		for _, ei := range g.Succ(t) {
+			e := g.Edge(ei)
+			if v := meanComm(e.CommKB) + rank[e.To]; v > best {
+				best = v
+			}
+		}
+		rank[t] = p.AvgWCET(int(t)) + best
+	}
+
+	// Priority order: rank descending (stable by ID); precedence holds
+	// because a predecessor's rank strictly exceeds its successors'.
+	order := make([]ctg.TaskID, n)
+	for i := range order {
+		order[i] = ctg.TaskID(i)
+	}
+	sort.SliceStable(order, func(i, j int) bool {
+		if rank[order[i]] != rank[order[j]] {
+			return rank[order[i]] > rank[order[j]]
+		}
+		return order[i] < order[j]
+	})
+
+	s := &Schedule{
+		G:         g,
+		A:         a,
+		P:         p,
+		PE:        make([]int, n),
+		Start:     make([]float64, n),
+		Speed:     make([]float64, n),
+		CommStart: make([]float64, g.NumEdges()),
+		LinkOrder: map[[2]int][]int{},
+	}
+	for t := range s.Speed {
+		s.Speed[t] = 1
+		s.PE[t] = -1
+	}
+	for ei := range s.CommStart {
+		s.CommStart[ei] = LocalComm
+	}
+
+	peTL := make([]timeline, p.NumPEs())
+	linkTL := map[[2]int]*timeline{}
+	tlFor := func(i, j int) *timeline {
+		key := [2]int{i, j}
+		tl, ok := linkTL[key]
+		if !ok {
+			tl = &timeline{}
+			linkTL[key] = tl
+		}
+		return tl
+	}
+
+	for _, t := range order {
+		type plan struct {
+			edge  int
+			link  [2]int
+			start float64
+			dur   float64
+			scen  ctg.Bitset
+		}
+		bestEFT := math.Inf(1)
+		bestStart := 0.0
+		bestPE := -1
+		var bestPlans []plan
+		for pe := 0; pe < p.NumPEs(); pe++ {
+			dataReady := 0.0
+			var plans []plan
+			feasible := true
+			for _, ei := range g.Pred(t) {
+				e := g.Edge(ei)
+				if s.PE[e.From] < 0 {
+					feasible = false // predecessor not placed (cannot happen: ranks respect precedence)
+					break
+				}
+				finish := s.Start[e.From] + p.WCET(int(e.From), s.PE[e.From])
+				ct := p.CommTime(e.CommKB, s.PE[e.From], pe)
+				if ct == 0 {
+					if finish > dataReady {
+						dataReady = finish
+					}
+					continue
+				}
+				scen := a.ActivationSet(e.From).Clone()
+				scen.IntersectWith(a.ActivationSet(t))
+				link := [2]int{s.PE[e.From], pe}
+				cs := tlFor(link[0], link[1]).earliestFit(finish, ct, scen)
+				plans = append(plans, plan{edge: ei, link: link, start: cs, dur: ct, scen: scen})
+				if arr := cs + ct; arr > dataReady {
+					dataReady = arr
+				}
+			}
+			if !feasible {
+				continue
+			}
+			start := peTL[pe].earliestFit(dataReady, p.WCET(int(t), pe), a.ActivationSet(t))
+			if eft := start + p.WCET(int(t), pe); eft < bestEFT {
+				bestEFT, bestStart, bestPE, bestPlans = eft, start, pe, plans
+			}
+		}
+		if bestPE < 0 {
+			return nil, fmt.Errorf("sched: HEFT could not place task %d", t)
+		}
+		s.PE[t] = bestPE
+		s.Start[t] = bestStart
+		peTL[bestPE].add(bestStart, p.WCET(int(t), bestPE), a.ActivationSet(t))
+		for _, pl := range bestPlans {
+			s.CommStart[pl.edge] = pl.start
+			s.LinkOrder[pl.link] = append(s.LinkOrder[pl.link], pl.edge)
+			tlFor(pl.link[0], pl.link[1]).add(pl.start, pl.dur, pl.scen)
+		}
+		s.Order = append(s.Order, t)
+		if end := bestEFT; end > s.Makespan {
+			s.Makespan = end
+		}
+	}
+	s.sortPEOrder()
+	s.sortLinkOrder()
+	s.InjectPseudoEdges()
+	return s, nil
+}

@@ -1,0 +1,127 @@
+package sched
+
+import (
+	"testing"
+
+	"ctgdvfs/internal/ctg"
+	"ctgdvfs/internal/tgff"
+)
+
+func TestHEFTOnRandomCTGsIsValid(t *testing.T) {
+	for seed := int64(0); seed < 25; seed++ {
+		cat := tgff.ForkJoin
+		if seed%2 == 1 {
+			cat = tgff.Flat
+		}
+		g, p, err := tgff.Generate(tgff.Config{
+			Seed: 3100 + seed, Nodes: 14 + int(seed%10), PEs: 2 + int(seed%3),
+			Branches: int(seed % 4), Category: cat,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		a, err := ctg.Analyze(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := HEFT(a, p)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if err := s.Validate(); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		// Order respects precedence.
+		pos := make([]int, g.NumTasks())
+		for i, tid := range s.Order {
+			pos[tid] = i
+		}
+		for _, e := range g.Edges() {
+			if pos[e.From] >= pos[e.To] {
+				t.Fatalf("seed %d: HEFT order violates edge %d->%d", seed, e.From, e.To)
+			}
+		}
+	}
+}
+
+func TestHEFTComparableToDLS(t *testing.T) {
+	// Neither heuristic dominates in general, but on average over random
+	// workloads their makespans should be in the same ballpark (within
+	// 30% of each other) — a sanity check that the HEFT port is not
+	// broken.
+	var dlsSum, heftSum float64
+	for seed := int64(0); seed < 20; seed++ {
+		g, p, err := tgff.Generate(tgff.Config{
+			Seed: 3300 + seed, Nodes: 20, PEs: 3, Branches: 2,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		a, err := ctg.Analyze(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sd, err := DLS(a, p, Modified())
+		if err != nil {
+			t.Fatal(err)
+		}
+		sh, err := HEFT(a, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dlsSum += sd.Makespan
+		heftSum += sh.Makespan
+	}
+	ratio := heftSum / dlsSum
+	if ratio < 0.7 || ratio > 1.3 {
+		t.Fatalf("HEFT/DLS makespan ratio %v out of sanity band", ratio)
+	}
+}
+
+func TestHEFTExploitsMutualExclusion(t *testing.T) {
+	// Same single-PE fork workload as the DLS test: exclusive arms must
+	// overlap under HEFT as well.
+	b := ctg.NewBuilder()
+	f := b.AddTask("fork", ctg.AndNode)
+	l := b.AddTask("left", ctg.AndNode)
+	r := b.AddTask("right", ctg.AndNode)
+	j := b.AddTask("join", ctg.OrNode)
+	b.AddCondEdge(f, l, 0, 0)
+	b.AddCondEdge(f, r, 0, 1)
+	b.AddEdge(l, j, 0)
+	b.AddEdge(r, j, 0)
+	g, err := b.Build(1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := ctg.Analyze(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := uniformPlatform(t, 4, 1, 10, 5)
+	s, err := HEFT(a, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Makespan != 30 {
+		t.Fatalf("HEFT makespan %v, want 30 (overlapped exclusive arms)", s.Makespan)
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHEFTPlatformMismatch(t *testing.T) {
+	g, _, err := tgff.Generate(tgff.Config{Seed: 4, Nodes: 12, PEs: 2, Branches: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := ctg.Analyze(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := uniformPlatform(t, 5, 2, 1, 1)
+	if _, err := HEFT(a, p); err == nil {
+		t.Fatal("want error on platform size mismatch")
+	}
+}

@@ -1,0 +1,84 @@
+package sched
+
+import (
+	"sort"
+
+	"ctgdvfs/internal/ctg"
+)
+
+// interval is a reserved busy period on a resource (PE or link), tagged with
+// the set of scenarios in which the occupying activity actually happens. Two
+// intervals may overlap in time iff their scenario sets are disjoint — that
+// is the paper's "mutually exclusive tasks may start on the same processor
+// during the same time".
+type interval struct {
+	start, end float64
+	scen       ctg.Bitset
+}
+
+// timeline tracks the reservations of one resource, kept sorted by start
+// time. Sizes here are tiny (tens of tasks), so linear scans are both simple
+// and fast.
+type timeline struct {
+	ivals []interval
+}
+
+// conflictsAt reports whether placing an activity over [t, t+dur) with the
+// given scenario set would overlap a reservation active in a shared
+// scenario.
+func (tl *timeline) conflictsAt(t, dur float64, scen ctg.Bitset) bool {
+	end := t + dur
+	for _, iv := range tl.ivals {
+		if iv.start >= end {
+			break // sorted: nothing later can overlap
+		}
+		if iv.end > t && iv.scen.Intersects(scen) {
+			return true
+		}
+	}
+	return false
+}
+
+// earliestFit returns the earliest start ≥ ready at which an activity of the
+// given duration and scenario set fits. Candidate starts are the ready time
+// and the end of each conflicting reservation.
+func (tl *timeline) earliestFit(ready, dur float64, scen ctg.Bitset) float64 {
+	if !tl.conflictsAt(ready, dur, scen) {
+		return ready
+	}
+	best := -1.0
+	for _, iv := range tl.ivals {
+		t := iv.end
+		if t < ready {
+			continue
+		}
+		if !tl.conflictsAt(t, dur, scen) && (best < 0 || t < best) {
+			best = t
+		}
+	}
+	if best < 0 {
+		// Unreachable for finite timelines (the end of the last interval
+		// always fits), but keep a safe fallback.
+		last := 0.0
+		for _, iv := range tl.ivals {
+			if iv.end > last {
+				last = iv.end
+			}
+		}
+		if last < ready {
+			last = ready
+		}
+		return last
+	}
+	return best
+}
+
+// add reserves [start, start+dur) for an activity with the given scenario
+// set. Zero-duration activities reserve nothing.
+func (tl *timeline) add(start, dur float64, scen ctg.Bitset) {
+	if dur <= 0 {
+		return
+	}
+	tl.ivals = append(tl.ivals, interval{start: start, end: start + dur, scen: scen})
+	sort.Slice(tl.ivals, func(i, j int) bool { return tl.ivals[i].start < tl.ivals[j].start })
+}

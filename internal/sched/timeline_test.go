@@ -1,0 +1,79 @@
+package sched
+
+import (
+	"testing"
+
+	"ctgdvfs/internal/ctg"
+)
+
+func bs(n int, bits ...int) ctg.Bitset {
+	b := ctg.NewBitset(n)
+	for _, i := range bits {
+		b.Set(i)
+	}
+	return b
+}
+
+func TestTimelineEarliestFitEmpty(t *testing.T) {
+	var tl timeline
+	if got := tl.earliestFit(3, 5, bs(4, 0)); got != 3 {
+		t.Fatalf("earliestFit on empty timeline = %v, want 3", got)
+	}
+}
+
+func TestTimelineSerializesConflicts(t *testing.T) {
+	var tl timeline
+	all := bs(4, 0, 1, 2, 3)
+	tl.add(0, 10, all)
+	if got := tl.earliestFit(0, 5, all); got != 10 {
+		t.Fatalf("earliestFit = %v, want 10", got)
+	}
+	// Fits into the gap after the first interval, before a later one.
+	tl.add(20, 10, all)
+	if got := tl.earliestFit(0, 5, all); got != 10 {
+		t.Fatalf("earliestFit with gap = %v, want 10", got)
+	}
+	if got := tl.earliestFit(0, 15, all); got != 30 {
+		t.Fatalf("earliestFit too big for gap = %v, want 30", got)
+	}
+	if got := tl.earliestFit(12, 5, all); got != 12 {
+		t.Fatalf("earliestFit inside gap = %v, want 12", got)
+	}
+}
+
+func TestTimelineAllowsMutuallyExclusiveOverlap(t *testing.T) {
+	var tl timeline
+	s0 := bs(4, 0)
+	s1 := bs(4, 1)
+	s01 := bs(4, 0, 1)
+	tl.add(0, 10, s0)
+	// Disjoint scenario sets may overlap in time.
+	if got := tl.earliestFit(0, 5, s1); got != 0 {
+		t.Fatalf("ME overlap rejected: earliestFit = %v, want 0", got)
+	}
+	// Intersecting sets must serialize.
+	if got := tl.earliestFit(0, 5, s01); got != 10 {
+		t.Fatalf("intersecting sets overlapped: earliestFit = %v, want 10", got)
+	}
+}
+
+func TestTimelineZeroDurationAddIsNoop(t *testing.T) {
+	var tl timeline
+	tl.add(5, 0, bs(1, 0))
+	if len(tl.ivals) != 0 {
+		t.Fatal("zero-duration interval was stored")
+	}
+}
+
+func TestTimelineConflictsAtBoundary(t *testing.T) {
+	var tl timeline
+	all := bs(1, 0)
+	tl.add(0, 10, all)
+	// Half-open intervals: starting exactly at the end is fine.
+	if tl.conflictsAt(10, 5, all) {
+		t.Fatal("back-to-back intervals must not conflict")
+	}
+	if !tl.conflictsAt(9.999, 5, all) {
+		t.Fatal("overlapping intervals must conflict")
+	}
+}

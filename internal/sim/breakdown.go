@@ -1,0 +1,81 @@
+package sim
+
+import (
+	"fmt"
+	"strings"
+
+	"ctgdvfs/internal/ctg"
+	"ctgdvfs/internal/sched"
+)
+
+// PEStats aggregates one processing element's expected load.
+type PEStats struct {
+	// CompEnergy is the expected computation energy of the tasks mapped
+	// to this PE (activation-probability weighted, at assigned speeds).
+	CompEnergy float64
+	// BusyTime is the expected busy time: Σ prob(τ)·execTime(τ).
+	BusyTime float64
+	// Tasks counts the tasks mapped to this PE.
+	Tasks int
+	// Utilization is BusyTime / deadline.
+	Utilization float64
+}
+
+// Breakdown attributes a schedule's expected energy and load to its
+// processing elements and the interconnect — the view an energy architect
+// wants before deciding where to spend further optimization effort.
+type Breakdown struct {
+	PEs []PEStats
+	// CommEnergy is the expected transmission energy over all cross-PE
+	// edges.
+	CommEnergy float64
+	// CommTime is the expected busy time summed over all links.
+	CommTime float64
+	// Total is the expected energy (computation + communication); it
+	// equals Schedule.ExpectedEnergy up to rounding.
+	Total float64
+}
+
+// Analyze computes the breakdown of a (typically stretched) schedule.
+func AnalyzeBreakdown(s *sched.Schedule) Breakdown {
+	b := Breakdown{PEs: make([]PEStats, s.P.NumPEs())}
+	deadline := s.G.Deadline()
+	for task := 0; task < s.G.NumTasks(); task++ {
+		id := ctg.TaskID(task)
+		pe := s.PE[task]
+		prob := s.A.ActivationProb(id)
+		b.PEs[pe].CompEnergy += prob * s.TaskEnergy(id)
+		b.PEs[pe].BusyTime += prob * s.ExecTime(id)
+		b.PEs[pe].Tasks++
+	}
+	for pe := range b.PEs {
+		b.PEs[pe].Utilization = b.PEs[pe].BusyTime / deadline
+		b.Total += b.PEs[pe].CompEnergy
+	}
+	for ei, e := range s.G.Edges() {
+		ce := s.CommEnergy(ei)
+		if ce == 0 {
+			continue
+		}
+		both := s.A.ActivationSet(e.From).Clone()
+		both.IntersectWith(s.A.ActivationSet(e.To))
+		p := s.A.ProbOfSet(both)
+		b.CommEnergy += p * ce
+		b.CommTime += p * s.CommTime(ei)
+	}
+	b.Total += b.CommEnergy
+	return b
+}
+
+// String renders the breakdown as a small table.
+func (b Breakdown) String() string {
+	var sb strings.Builder
+	sb.WriteString("PE   tasks  E[busy]   util   E[energy]\n")
+	for pe, st := range b.PEs {
+		fmt.Fprintf(&sb, "%-4d %5d  %7.1f  %5.1f%%  %9.2f\n",
+			pe, st.Tasks, st.BusyTime, 100*st.Utilization, st.CompEnergy)
+	}
+	fmt.Fprintf(&sb, "interconnect: E[busy] %.1f, E[energy] %.2f\n", b.CommTime, b.CommEnergy)
+	fmt.Fprintf(&sb, "total expected energy: %.2f\n", b.Total)
+	return sb.String()
+}

@@ -1,0 +1,79 @@
+package sim
+
+import (
+	"ctgdvfs/internal/ctg"
+	"ctgdvfs/internal/sched"
+)
+
+// Config selects optional runtime-fidelity features of the replay
+// simulator. The zero value reproduces the paper's model exactly (no DVFS
+// switching overhead, or-nodes wait only for their active predecessors).
+type Config struct {
+	// StrictOrDeps enforces the paper's §II "implied dependency"
+	// explicitly: an or-node cannot start before every *active branch
+	// fork that is an ancestor of one of its inactive predecessors* has
+	// finished — the runtime cannot know a conditional predecessor will
+	// never arrive until the deciding fork has executed. (In the paper's
+	// Example 1, τ8 must wait for τ3 even when a1 is false.) Without this
+	// flag the or-node waits only for its active predecessors, which can
+	// only start it earlier; both modes meet the deadline whenever the
+	// stretched schedule does, since the fork→or chain is covered by the
+	// path model.
+	StrictOrDeps bool
+
+	// SwitchTime and SwitchEnergy charge a DVFS transition cost whenever
+	// consecutive tasks on one PE run at different speeds — an overhead
+	// the paper explicitly ignores ("we do not consider switching
+	// overhead for DVFS") but that real voltage regulators impose. Time
+	// is added between the two tasks; energy is added per switch.
+	SwitchTime   float64
+	SwitchEnergy float64
+
+	// ScenarioSpeeds, when non-nil, overrides the schedule's single
+	// per-task speeds with a scenario-conditioned table
+	// (ScenarioSpeeds[scenario][task]) as produced by
+	// stretch.PerScenario.
+	ScenarioSpeeds [][]float64
+}
+
+// orGuards precomputes, per or-node, the set of branch forks that are
+// ancestors of each of its predecessors (needed by StrictOrDeps). The
+// result maps each or-node task to, per incoming edge, the list of ancestor
+// forks of that edge's source.
+type orGuards map[ctg.TaskID][][]ctg.TaskID
+
+// buildOrGuards walks the graph once, computing fork-ancestor sets.
+func buildOrGuards(s *sched.Schedule) orGuards {
+	g := s.G
+	n := g.NumTasks()
+	// ancestors[t] = bitset over fork indices of forks on some path to t
+	// (the fork itself included when t is a fork's successor).
+	anc := make([]ctg.Bitset, n)
+	for _, t := range g.Topo() {
+		anc[t] = ctg.NewBitset(g.NumForks())
+		for _, ei := range g.Pred(t) {
+			e := g.Edge(ei)
+			anc[t].UnionWith(anc[e.From])
+			if fi := g.ForkIndex(e.From); fi >= 0 {
+				anc[t].Set(fi)
+			}
+		}
+	}
+	guards := orGuards{}
+	for _, task := range g.Tasks() {
+		if task.Kind != ctg.OrNode {
+			continue
+		}
+		per := make([][]ctg.TaskID, 0, len(g.Pred(task.ID)))
+		for _, ei := range g.Pred(task.ID) {
+			from := g.Edge(ei).From
+			var forks []ctg.TaskID
+			anc[from].ForEach(func(fi int) {
+				forks = append(forks, g.Forks()[fi])
+			})
+			per = append(per, forks)
+		}
+		guards[task.ID] = per
+	}
+	return guards
+}

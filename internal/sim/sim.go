@@ -1,0 +1,235 @@
+// Package sim replays a scheduled-and-stretched CTG under concrete branch
+// decisions: only the tasks active in the realized scenario execute, each PE
+// dispatches its active tasks in schedule order, link transfers serialize in
+// schedule order, and execution times reflect the per-task DVFS speeds. The
+// simulator is the ground truth the experiments measure: per-instance energy
+// and makespan, deadline misses, and expected values over the scenario
+// distribution.
+//
+// Runtime semantics (documented simplifications, see DESIGN.md):
+//
+//   - An or-node waits for the data of all its *active* predecessors. The
+//     paper's "implied dependency" on the branch fork (an or-node cannot
+//     start before knowing whether a conditional predecessor will run) is
+//     subsumed: the fork is an ancestor of every active conditional
+//     predecessor, and the static schedule ordered the or-node after all its
+//     predecessors anyway, so replay can only finish earlier than the
+//     worst-case path bound.
+//   - The dispatcher is work-conserving: an active task starts as soon as
+//     its data is available and every earlier-ordered active task on its PE
+//     has finished; it may start before its nominal start time when earlier
+//     (mutually exclusive or inactive) tasks vacated the PE.
+package sim
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"ctgdvfs/internal/ctg"
+	"ctgdvfs/internal/sched"
+)
+
+// Instance is the outcome of replaying one CTG iteration.
+type Instance struct {
+	// Scenario is the index of the realized leaf minterm.
+	Scenario int
+	// Energy is the consumed energy: Σ active E(τ)·s² plus the
+	// transmission energy of every active cross-PE edge.
+	Energy float64
+	// Makespan is the completion time of the last active task.
+	Makespan float64
+	// DeadlineMet reports Makespan ≤ deadline (with a small tolerance).
+	DeadlineMet bool
+	// Executed counts the active (executed) tasks.
+	Executed int
+}
+
+// Replay executes the schedule under the given leaf scenario with the
+// paper's default runtime model (see Config).
+func Replay(s *sched.Schedule, scenario int) (Instance, error) {
+	return ReplayCfg(s, scenario, Config{})
+}
+
+// ReplayCfg executes the schedule under the given leaf scenario with
+// optional runtime-fidelity features enabled.
+func ReplayCfg(s *sched.Schedule, scenario int, cfg Config) (Instance, error) {
+	if scenario < 0 || scenario >= s.A.NumScenarios() {
+		return Instance{}, fmt.Errorf("sim: scenario %d out of range", scenario)
+	}
+	var guards orGuards
+	if cfg.StrictOrDeps {
+		guards = buildOrGuards(s)
+	}
+	active := s.A.Scenario(scenario).Active
+
+	type activity struct {
+		nominal float64
+		isComm  bool
+		id      int // task ID or edge index
+	}
+	var acts []activity
+	for t := 0; t < s.G.NumTasks(); t++ {
+		if active.Get(t) {
+			acts = append(acts, activity{nominal: s.Start[t], id: t})
+		}
+	}
+	for ei, e := range s.G.Edges() {
+		if s.CommStart[ei] == sched.LocalComm {
+			continue
+		}
+		if active.Get(int(e.From)) && active.Get(int(e.To)) {
+			acts = append(acts, activity{nominal: s.CommStart[ei], isComm: true, id: ei})
+		}
+	}
+	sort.Slice(acts, func(i, j int) bool {
+		if acts[i].nominal != acts[j].nominal {
+			return acts[i].nominal < acts[j].nominal
+		}
+		if acts[i].isComm != acts[j].isComm {
+			return acts[i].isComm // transfers first on ties
+		}
+		return acts[i].id < acts[j].id
+	})
+
+	finish := make([]float64, s.G.NumTasks())
+	commFinish := make([]float64, s.G.NumEdges())
+	peAvail := make([]float64, s.P.NumPEs())
+	peSpeed := make([]float64, s.P.NumPEs()) // last dispatched speed; 0 = none
+	linkAvail := map[[2]int]float64{}
+
+	inst := Instance{Scenario: scenario}
+	for _, act := range acts {
+		if act.isComm {
+			ei := act.id
+			e := s.G.Edge(ei)
+			link := [2]int{s.PE[e.From], s.PE[e.To]}
+			start := math.Max(linkAvail[link], finish[e.From])
+			commFinish[ei] = start + s.CommTime(ei)
+			linkAvail[link] = commFinish[ei]
+			inst.Energy += s.CommEnergy(ei)
+			continue
+		}
+		t := ctg.TaskID(act.id)
+		pe := s.PE[t]
+		speed := s.Speed[t]
+		if cfg.ScenarioSpeeds != nil {
+			speed = cfg.ScenarioSpeeds[scenario][t]
+		}
+		avail := peAvail[pe]
+		if peSpeed[pe] != 0 && peSpeed[pe] != speed {
+			// DVFS transition between consecutive tasks on this PE.
+			avail += cfg.SwitchTime
+			inst.Energy += cfg.SwitchEnergy
+		}
+		start := avail
+		for _, ei := range s.G.Pred(t) {
+			e := s.G.Edge(ei)
+			if !active.Get(int(e.From)) {
+				continue
+			}
+			var ready float64
+			if s.CommStart[ei] == sched.LocalComm || s.PE[e.From] == s.PE[e.To] {
+				ready = finish[e.From]
+			} else {
+				ready = commFinish[ei]
+			}
+			if ready > start {
+				start = ready
+			}
+		}
+		if cfg.StrictOrDeps && s.G.Task(t).Kind == ctg.OrNode {
+			// Implied dependency: wait for the active forks that decide
+			// the fate of every inactive predecessor.
+			for k, ei := range s.G.Pred(t) {
+				from := s.G.Edge(ei).From
+				if active.Get(int(from)) {
+					continue
+				}
+				for _, f := range guards[t][k] {
+					if active.Get(int(f)) && finish[f] > start {
+						start = finish[f]
+					}
+				}
+			}
+		}
+		finish[t] = start + s.WCET(t)/speed
+		peAvail[pe] = finish[t]
+		peSpeed[pe] = speed
+		inst.Energy += s.NominalEnergy(t) * speed * speed
+		inst.Executed++
+		if finish[t] > inst.Makespan {
+			inst.Makespan = finish[t]
+		}
+	}
+	inst.DeadlineMet = inst.Makespan <= s.G.Deadline()+1e-9
+	return inst, nil
+}
+
+// ReplayDecisions resolves a full branch decision vector (one outcome per
+// fork, in Forks() order) and replays the matching scenario.
+func ReplayDecisions(s *sched.Schedule, decisions []int) (Instance, error) {
+	si, err := s.A.ScenarioForDecisions(decisions)
+	if err != nil {
+		return Instance{}, err
+	}
+	return Replay(s, si)
+}
+
+// Summary aggregates replays over all scenarios of a schedule.
+type Summary struct {
+	// ExpectedEnergy is Σ prob(scenario)·energy(scenario).
+	ExpectedEnergy float64
+	// ExpectedMakespan is Σ prob(scenario)·makespan(scenario).
+	ExpectedMakespan float64
+	// WorstMakespan is the maximum makespan over all scenarios.
+	WorstMakespan float64
+	// Misses counts scenarios that violate the deadline.
+	Misses int
+}
+
+// Exhaustive replays every leaf scenario and aggregates by probability.
+func Exhaustive(s *sched.Schedule) (Summary, error) {
+	return ExhaustiveCfg(s, Config{})
+}
+
+// ExhaustiveCfg is Exhaustive with runtime-fidelity options.
+func ExhaustiveCfg(s *sched.Schedule, cfg Config) (Summary, error) {
+	var sum Summary
+	for si := 0; si < s.A.NumScenarios(); si++ {
+		inst, err := ReplayCfg(s, si, cfg)
+		if err != nil {
+			return Summary{}, err
+		}
+		p := s.A.Scenario(si).Prob
+		sum.ExpectedEnergy += p * inst.Energy
+		sum.ExpectedMakespan += p * inst.Makespan
+		if inst.Makespan > sum.WorstMakespan {
+			sum.WorstMakespan = inst.Makespan
+		}
+		if !inst.DeadlineMet {
+			sum.Misses++
+		}
+	}
+	return sum, nil
+}
+
+// ExpectedEnergyUnder evaluates a stretched schedule's expected energy
+// against an independent ("true") probability model. This is how the paper
+// scores the non-adaptive algorithm when its profiled probabilities are
+// wrong (Tables 4 and 5): the schedule was built for one distribution but
+// the workload follows another.
+func ExpectedEnergyUnder(s *sched.Schedule, truth *ctg.Analysis) float64 {
+	sum := 0.0
+	for task := 0; task < s.G.NumTasks(); task++ {
+		sum += truth.ActivationProb(ctg.TaskID(task)) * s.TaskEnergy(ctg.TaskID(task))
+	}
+	for ei, e := range s.G.Edges() {
+		if ce := s.CommEnergy(ei); ce > 0 {
+			both := truth.ActivationSet(e.From).Clone()
+			both.IntersectWith(truth.ActivationSet(e.To))
+			sum += truth.ProbOfSet(both) * ce
+		}
+	}
+	return sum
+}

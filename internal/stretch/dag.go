@@ -1,0 +1,327 @@
+// Package stretch implements the DVFS (voltage/frequency selection) stage
+// that runs after task mapping and ordering:
+//
+//   - Heuristic: the paper's online task-stretching heuristic (Figure 2), a
+//     low-complexity slack-distribution pass that weights per-minterm
+//     critical-path slack by branch and activation probabilities. This is
+//     what makes runtime re-scheduling affordable.
+//   - WorstCase: the probability-blind critical-path slack distribution used
+//     to model reference algorithm 1 (Shin & Kim [10] / Wu et al. [9]
+//     style).
+//   - NLP: a convex-programming stretcher modeling reference algorithm 2
+//     (Malani et al. [17]): minimize expected energy subject to deadline
+//     constraints, solved by a penalty-method gradient descent.
+//
+// All three reason about the paths of the scheduled CTG — every maximal
+// source→sink chain through real and schedule-induced pseudo edges, with the
+// (unscalable) cross-PE communication delay folded into the path delay. The
+// paper enumerates these paths explicitly ("calculate all possible paths
+// using BFS"); since the critical path of a class is always the one with the
+// largest delay (the lowest slack ratio for a common deadline), this
+// implementation computes the same quantities with longest-path dynamic
+// programming instead, which stays polynomial on graphs whose explicit path
+// count explodes (fork-join ladders).
+package stretch
+
+import (
+	"math"
+	"strconv"
+	"strings"
+
+	"ctgdvfs/internal/ctg"
+	"ctgdvfs/internal/sched"
+)
+
+// dagModel is the scheduled graph the stretchers reason about: real +
+// pseudo edges with mapping-resolved communication delays, and the current
+// (speed-dependent) execution time of every task.
+type dagModel struct {
+	s     *sched.Schedule
+	edges []ctg.Edge
+	comm  []float64 // per combined-edge index
+	outE  [][]int   // per task: combined-edge indices
+	inE   [][]int
+	order []ctg.TaskID // topological order of the combined graph
+	exec  []float64    // current execution times
+}
+
+func newDAG(s *sched.Schedule) *dagModel {
+	g := s.G
+	n := g.NumTasks()
+	d := &dagModel{
+		s:     s,
+		edges: make([]ctg.Edge, 0, g.NumEdges()+len(s.Pseudo)),
+		outE:  make([][]int, n),
+		inE:   make([][]int, n),
+		exec:  make([]float64, n),
+	}
+	d.edges = append(d.edges, g.Edges()...)
+	d.edges = append(d.edges, s.Pseudo...)
+	d.comm = make([]float64, len(d.edges))
+	for ei, e := range d.edges {
+		d.comm[ei] = s.P.CommTime(e.CommKB, s.PE[e.From], s.PE[e.To])
+		d.outE[e.From] = append(d.outE[e.From], ei)
+		d.inE[e.To] = append(d.inE[e.To], ei)
+	}
+	// The combined graph is acyclic: both real and pseudo edges point from
+	// earlier to strictly later nominal start times, except between
+	// mutually exclusive tasks, which carry no edges at all. Sorting by
+	// (start, id) therefore yields a topological order.
+	d.order = make([]ctg.TaskID, n)
+	for i := range d.order {
+		d.order[i] = ctg.TaskID(i)
+	}
+	for i := 1; i < n; i++ {
+		for j := i; j > 0; j-- {
+			a, b := d.order[j-1], d.order[j]
+			if s.Start[a] > s.Start[b] || (s.Start[a] == s.Start[b] && a > b) {
+				d.order[j-1], d.order[j] = b, a
+			} else {
+				break
+			}
+		}
+	}
+	for t := 0; t < n; t++ {
+		d.exec[t] = s.ExecTime(ctg.TaskID(t))
+	}
+	return d
+}
+
+// refreshExec re-reads the execution time of one task after its speed
+// changed.
+func (d *dagModel) refreshExec(t ctg.TaskID) { d.exec[t] = d.s.ExecTime(t) }
+
+// negInf marks a path class that does not exist below a node.
+var negInf = math.Inf(-1)
+
+// dpResult holds, per task, the longest-path decomposition of the scheduled
+// graph (optionally restricted to the edges consistent with one scenario):
+//
+//	up[v]    — the largest delay of any chain ending just before v
+//	downU[v] — the largest remaining delay after v over suffixes containing
+//	           NO conditional edge (prob(p, v) = 1 class), or -Inf
+//	downC[v] — the same over suffixes containing at least one conditional
+//	           edge (prob(p, v) ≠ 1 class), or -Inf
+//	probC[v] — the joint branch probability of the argmax downC suffix,
+//	           i.e. prob(p_worst, v) of the paper
+//
+// Backpointers permit reconstructing the argmax chains so that a critical
+// path shared by several minterms can be recognized and counted once.
+type dpResult struct {
+	up, downU, downC, probC []float64
+	ubp                     []int  // argmax incoming edge, -1 at chain start
+	dbpU, dbpC              []int  // argmax outgoing edge per class, -1 at end
+	classA                  []byte // which class wins downAny: 'U' or 'C'
+}
+
+// downAny returns max(downU, downC) for v.
+func (r *dpResult) downAny(v ctg.TaskID) float64 {
+	if r.downU[v] >= r.downC[v] {
+		return r.downU[v]
+	}
+	return r.downC[v]
+}
+
+// run computes the decomposition. assign restricts edges to those whose
+// condition the scenario assignment satisfies; nil means the full graph.
+//
+// Note on truncated suffixes: in a scenario-restricted graph, a fork the
+// scenario never assigns has no consistent conditional out-edges, so chains
+// "end" there even though the unrestricted graph continues. Such truncated
+// suffixes can only shorten candidate delays; since criticality always takes
+// the *largest* delay, they never displace a real critical path.
+func (d *dagModel) run(assign []int) *dpResult {
+	n := len(d.exec)
+	r := &dpResult{
+		up:     make([]float64, n),
+		downU:  make([]float64, n),
+		downC:  make([]float64, n),
+		probC:  make([]float64, n),
+		ubp:    make([]int, n),
+		dbpU:   make([]int, n),
+		dbpC:   make([]int, n),
+		classA: make([]byte, n),
+	}
+	g := d.s.G
+	ok := func(ei int) bool {
+		if assign == nil {
+			return true
+		}
+		c := d.edges[ei].Cond
+		if !c.IsConditional() {
+			return true
+		}
+		return assign[g.ForkIndex(c.Branch())] == c.Outcome()
+	}
+
+	// Upward pass in topological order.
+	for _, v := range d.order {
+		r.up[v], r.ubp[v] = 0, -1
+		for _, ei := range d.inE[v] {
+			if !ok(ei) {
+				continue
+			}
+			u := d.edges[ei].From
+			if cand := r.up[u] + d.exec[u] + d.comm[ei]; cand > r.up[v] {
+				r.up[v], r.ubp[v] = cand, ei
+			}
+		}
+	}
+
+	// Downward pass in reverse topological order.
+	for i := n - 1; i >= 0; i-- {
+		v := d.order[i]
+		hasOut := false
+		for _, ei := range d.outE[v] {
+			if ok(ei) {
+				hasOut = true
+				break
+			}
+		}
+		if !hasOut {
+			r.downU[v], r.dbpU[v] = 0, -1
+			r.downC[v], r.dbpC[v] = negInf, -1
+			r.classA[v] = 'U'
+			continue
+		}
+		r.downU[v], r.dbpU[v] = negInf, -1
+		r.downC[v], r.dbpC[v] = negInf, -1
+		r.probC[v] = 0
+		for _, ei := range d.outE[v] {
+			if !ok(ei) {
+				continue
+			}
+			e := d.edges[ei]
+			w := e.To
+			step := d.comm[ei] + d.exec[w]
+			// U class: unconditional edge, continuation also U.
+			if !e.Cond.IsConditional() && r.downU[w] > negInf {
+				if cand := step + r.downU[w]; cand > r.downU[v] {
+					r.downU[v], r.dbpU[v] = cand, ei
+				}
+			}
+			// C class.
+			if e.Cond.IsConditional() {
+				// The conditional edge itself satisfies the class; the
+				// continuation may be anything.
+				cont := r.downAny(w)
+				if cont > negInf {
+					if cand := step + cont; cand > r.downC[v] {
+						contProb := 1.0
+						if r.classA[w] == 'C' {
+							contProb = r.probC[w]
+						}
+						r.downC[v], r.dbpC[v] = cand, ei
+						r.probC[v] = g.CondProb(e.Cond) * contProb
+					}
+				}
+			} else if r.downC[w] > negInf {
+				if cand := step + r.downC[w]; cand > r.downC[v] {
+					r.downC[v], r.dbpC[v] = cand, ei
+					r.probC[v] = r.probC[w]
+				}
+			}
+		}
+		if r.downU[v] >= r.downC[v] {
+			r.classA[v] = 'U'
+		} else {
+			r.classA[v] = 'C'
+		}
+	}
+	return r
+}
+
+// throughAny returns the largest delay of any chain through v (the paper's
+// critical spanning path of step 9): up + exec + max(downU, downC).
+func (d *dagModel) throughAny(r *dpResult, v ctg.TaskID) float64 {
+	down := r.downAny(v)
+	if down == negInf {
+		down = 0
+	}
+	return r.up[v] + d.exec[v] + down
+}
+
+// longest returns the longest chain delay in the decomposition (the worst
+// path delay of the whole schedule).
+func (d *dagModel) longest(r *dpResult) float64 {
+	best := 0.0
+	for t := range d.exec {
+		if l := d.throughAny(r, ctg.TaskID(t)); l > best {
+			best = l
+		}
+	}
+	return best
+}
+
+// walkCritical traverses the argmax chain through v whose suffix has the
+// given class ('U' or 'C'), invoking node for every task on the chain and
+// edge for every edge.
+func (r *dpResult) walkCritical(d *dagModel, v ctg.TaskID, class byte,
+	node func(ctg.TaskID), edge func(ei int)) {
+	// Upward walk (prefix, visited from v back to the chain start).
+	for u := v; ; {
+		node(u)
+		ei := r.ubp[u]
+		if ei < 0 {
+			break
+		}
+		edge(ei)
+		u = d.edges[ei].From
+	}
+	// Downward walk in the requested class.
+	for u := v; ; {
+		var ei int
+		switch class {
+		case 'U':
+			ei = r.dbpU[u]
+		case 'C':
+			ei = r.dbpC[u]
+		case 'A':
+			class = r.classA[u]
+			continue
+		}
+		if ei < 0 {
+			break
+		}
+		e := d.edges[ei]
+		if class == 'C' && e.Cond.IsConditional() {
+			class = 'A'
+		}
+		edge(ei)
+		u = e.To
+		node(u)
+	}
+}
+
+// criticalSignature reconstructs the argmax chain through v (class 'U' or
+// 'C') and renders it as a node-id string, so that the same critical path
+// found for several minterms is counted once by the heuristic.
+func (r *dpResult) criticalSignature(d *dagModel, v ctg.TaskID, class byte) string {
+	var sb strings.Builder
+	first := true
+	r.walkCritical(d, v, class, func(u ctg.TaskID) {
+		if !first {
+			sb.WriteByte('.')
+		}
+		first = false
+		sb.WriteString(strconv.Itoa(int(u)))
+	}, func(int) {})
+	return sb.String()
+}
+
+// criticalDenominator returns the distributable delay of the argmax chain
+// through v with the given suffix class: the execution time of the not yet
+// locked tasks plus the (unscalable) communication delay. Locked tasks are
+// "released from consideration" (paper §III.A), so the remaining slack is
+// shared among the tasks that can still absorb it.
+func (r *dpResult) criticalDenominator(d *dagModel, v ctg.TaskID, class byte, locked []bool) float64 {
+	denom := 0.0
+	r.walkCritical(d, v, class, func(u ctg.TaskID) {
+		if !locked[u] {
+			denom += d.exec[u]
+		}
+	}, func(ei int) {
+		denom += d.comm[ei]
+	})
+	return denom
+}

@@ -1,0 +1,170 @@
+package stretch
+
+import (
+	"math"
+
+	"ctgdvfs/internal/ctg"
+	"ctgdvfs/internal/platform"
+	"ctgdvfs/internal/sched"
+)
+
+// Result summarizes a stretching pass.
+type Result struct {
+	// Stretched counts tasks whose speed dropped below 1.
+	Stretched int
+	// ExpectedEnergy is the schedule's expected energy after stretching.
+	ExpectedEnergy float64
+	// WorstDelay is the largest chain delay after stretching; it never
+	// exceeds the deadline when the nominal schedule was feasible.
+	WorstDelay float64
+}
+
+// Heuristic runs the paper's online task-stretching heuristic (Figure 2) on
+// the schedule, assigning one DVFS speed per task in the DLS task order. The
+// schedule's Speed vector is updated in place.
+//
+// For each task τ (processed in scheduling order and then locked):
+//
+//	slk1 — for every leaf minterm m ∈ Γ(τ), find among the chains of m
+//	       through τ whose suffix still carries branch uncertainty
+//	       (prob(p, τ) ≠ 1) the critical one — the largest delay, i.e. the
+//	       lowest distributable slack ratio slk(p)/delay(p) — and accumulate
+//	       prob(p_worst, τ)·wcet(τ)·ratio·prob(τ). A chain that is critical
+//	       for several minterms is counted once (the weights prob(p, τ)
+//	       then approximate a distribution over the downstream branch
+//	       combinations).
+//	slk2 — among the chains through τ with no remaining downstream
+//	       uncertainty (prob(p, τ) = 1), take the critical ratio:
+//	       wcet(τ)·ratio·prob(τ).
+//	slk(τ) = min of the two (each only when applicable), clamped so that no
+//	       chain through τ would exceed the deadline (step 9).
+//
+// The task is stretched by its slack, its speed locked, and the delays every
+// later decision sees reflect it (the paper's "update the delay and slack of
+// all paths spanning τi").
+//
+// Interpretation note: the paper's Figure 2 step 5 reads "paths of m where
+// prob(m) = 1"; we read it as prob(p, τ) = 1 so that the two buckets
+// partition the spanning paths. Under the literal reading, a task living
+// only on conditional arms (e.g. τ4 of the paper's own Figure 1) would never
+// receive slack, contradicting the stated goal of giving more slack to
+// likely tasks; under this reading the worked examples of §III.A hold.
+func Heuristic(s *sched.Schedule, d platform.DVFS, maxPaths int) (*Result, error) {
+	return HeuristicVariant(s, d, maxPaths, false)
+}
+
+// HeuristicVariant exposes the ablation knob between the two readings of
+// Figure 2's ratio denominator: released-tasks (literalRatio=false, the
+// default — locked tasks leave the distributable delay, reaching uniform
+// scaling on chains) and the literal slk(p)/delay(p) (literalRatio=true —
+// shares shrink geometrically along a path, leaving slack unused). See the
+// ablation benchmarks for the measured difference.
+func HeuristicVariant(s *sched.Schedule, d platform.DVFS, maxPaths int, literalRatio bool) (*Result, error) {
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	_ = maxPaths // retained for API stability; the DP model needs no cap
+	dag := newDAG(s)
+	locked := make([]bool, s.G.NumTasks())
+	res := &Result{}
+	for _, t := range s.Order {
+		slk := calculateSlack(dag, t, locked, literalRatio)
+		if slk > 0 {
+			wcet := s.WCET(t)
+			speed := d.SpeedForTime(wcet, wcet+slk)
+			if speed < 1 {
+				s.Speed[t] = speed
+				dag.refreshExec(t)
+				res.Stretched++
+			}
+		}
+		// "Stretch τi, lock its schedule and speed": processed tasks leave
+		// the distributable portion of every path they span.
+		locked[t] = true
+	}
+	res.ExpectedEnergy = s.ExpectedEnergy()
+	res.WorstDelay = dag.longest(dag.run(nil))
+	return res, nil
+}
+
+// calculateSlack implements the CalculateSlack(τ) routine of Figure 2 on the
+// current delays. The distributable slack ratio of a critical chain is its
+// slack over the execution time of its *unlocked* tasks (plus communication)
+// — already-stretched tasks are "released from consideration" (§III.A), so
+// on a simple chain with a loose deadline the heuristic converges to the
+// energy-optimal uniform scaling instead of geometrically shrinking shares.
+func calculateSlack(dag *dagModel, t ctg.TaskID, locked []bool, literalRatio bool) float64 {
+	s := dag.s
+	a := s.A
+	deadline := s.G.Deadline()
+	wcet := s.WCET(t)
+	probT := a.ActivationProb(t)
+
+	// Full-graph decomposition: slk2 and the step-9 clamp.
+	full := dag.run(nil)
+
+	// slk1: probability-weighted sum of per-minterm critical chain shares.
+	slk1 := 0.0
+	slk1Valid := false
+	var seenCritical map[string]bool
+	gamma := a.ActivationSet(t)
+	gamma.ForEach(func(si int) {
+		sc := a.Scenario(si)
+		r := dag.run(sc.Assign)
+		if r.downC[t] == negInf {
+			return // no chain with downstream uncertainty in this minterm
+		}
+		slk1Valid = true
+		if seenCritical == nil {
+			seenCritical = make(map[string]bool)
+		}
+		sig := r.criticalSignature(dag, t, 'C')
+		if seenCritical[sig] {
+			return // shared critical path: count once
+		}
+		seenCritical[sig] = true
+		delay := r.up[t] + dag.exec[t] + r.downC[t]
+		denom := delay
+		if !literalRatio {
+			denom = r.criticalDenominator(dag, t, 'C', locked)
+		}
+		if ratio := (deadline - delay) / denom; ratio > 0 {
+			slk1 += r.probC[t] * wcet * ratio * probT
+		}
+	})
+
+	// slk2: critical (largest-delay) chain with prob(p, τ) = 1.
+	slk2 := math.Inf(1)
+	slk2Valid := false
+	if full.downU[t] > negInf {
+		slk2Valid = true
+		delay := full.up[t] + dag.exec[t] + full.downU[t]
+		denom := delay
+		if !literalRatio {
+			denom = full.criticalDenominator(dag, t, 'U', locked)
+		}
+		slk2 = wcet * (deadline - delay) / denom * probT
+	}
+
+	var slk float64
+	switch {
+	case slk1Valid && slk2Valid:
+		slk = math.Min(slk1, slk2)
+	case slk1Valid:
+		slk = slk1
+	case slk2Valid:
+		slk = slk2
+	default:
+		return 0
+	}
+
+	// Step 9: never exceed the slack of the worst chain through τ, so the
+	// deadline holds on every chain.
+	if m := deadline - dag.throughAny(full, t); slk > m {
+		slk = m
+	}
+	if slk < 0 || math.IsInf(slk, 1) {
+		return 0
+	}
+	return slk
+}

@@ -1,0 +1,220 @@
+package stretch
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"ctgdvfs/internal/ctg"
+	"ctgdvfs/internal/platform"
+	"ctgdvfs/internal/sched"
+)
+
+// ScenarioSpeeds is a per-scenario DVFS assignment: Speeds[si][t] is the
+// speed of task t when leaf scenario si is realized. It is produced by
+// PerScenario and consumed by the simulator (sim.Config.ScenarioSpeeds).
+type ScenarioSpeeds struct {
+	Speeds [][]float64
+}
+
+// PerScenario computes a scenario-conditioned speed assignment — an
+// extension beyond the paper, whose heuristic fixes a single speed per task
+// across all minterms.
+//
+// The dispatcher may only use information that is causally available: when
+// task τ starts, every branch fork that precedes it (through real edges or
+// the schedule's serialization) has already resolved, while other forks may
+// not have. The speed of τ is therefore conditioned on the outcomes of τ's
+// *ancestor* forks only: scenarios that agree on those outcomes must assign
+// τ the same speed. Construction:
+//
+//  1. For every leaf scenario, stretch the scenario's own subgraph — only
+//     its active tasks share the slack, inactive tasks and unrealized
+//     transfers cost nothing — yielding an ideal per-scenario speed vector.
+//  2. Fold causality in: for each task, over every group of scenarios that
+//     agree on its ancestor-fork outcomes, take the fastest assigned speed
+//     (running faster than a scenario's ideal is always deadline-safe).
+//
+// The input schedule must be unstretched (all speeds 1); the schedule is
+// not modified. Expected energy strictly improves over the single-speed
+// heuristic whenever minterm workloads differ, at the cost of a speed
+// table of size scenarios × tasks.
+func PerScenario(s *sched.Schedule, d platform.DVFS) (*ScenarioSpeeds, error) {
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	for t := range s.Speed {
+		if s.Speed[t] != 1 {
+			return nil, fmt.Errorf("stretch: PerScenario needs an unstretched schedule (task %d at %v)", t, s.Speed[t])
+		}
+	}
+	a := s.A
+	n := s.G.NumTasks()
+	base := newDAG(s)
+
+	// Step 1: ideal speeds per scenario.
+	ideal := make([][]float64, a.NumScenarios())
+	for si := 0; si < a.NumScenarios(); si++ {
+		ideal[si] = scenarioStretch(base, s, d, si)
+	}
+
+	// Step 2: causality folding by ancestor-fork signature.
+	anc := ancestorForkSets(s)
+	out := &ScenarioSpeeds{Speeds: make([][]float64, a.NumScenarios())}
+	for si := range out.Speeds {
+		out.Speeds[si] = append([]float64(nil), ideal[si]...)
+	}
+	for t := 0; t < n; t++ {
+		groups := map[string][]int{}
+		for si := 0; si < a.NumScenarios(); si++ {
+			key := ancestorKey(a.Scenario(si).Assign, anc[t])
+			groups[key] = append(groups[key], si)
+		}
+		for _, sis := range groups {
+			fastest := 0.0
+			for _, si := range sis {
+				if ideal[si][t] > fastest {
+					fastest = ideal[si][t]
+				}
+			}
+			for _, si := range sis {
+				out.Speeds[si][t] = fastest
+			}
+		}
+	}
+	return out, nil
+}
+
+// scenarioStretch stretches one scenario's subgraph: only active tasks carry
+// execution time, only transfers between active endpoints cost, and the
+// whole slack is distributed among the active tasks (activation within the
+// scenario is certain, so no probability weighting applies).
+func scenarioStretch(base *dagModel, s *sched.Schedule, d platform.DVFS, si int) []float64 {
+	sc := s.A.Scenario(si)
+	dag := base.scenarioView(sc.Active)
+	deadline := s.G.Deadline()
+	n := len(dag.exec)
+	speeds := make([]float64, n)
+	for t := range speeds {
+		speeds[t] = 1
+	}
+	locked := make([]bool, n)
+	for _, t := range s.Order {
+		if sc.Active.Get(int(t)) {
+			r := dag.run(sc.Assign)
+			delay := dag.throughAny(r, t)
+			if slack := deadline - delay; slack > 0 {
+				denom := r.criticalDenominator(dag, t, 'A', locked)
+				wcet := s.WCET(t)
+				slk := wcet * slack / denom
+				if slk > slack {
+					slk = slack
+				}
+				if slk > 0 {
+					speed := d.SpeedForTime(wcet, wcet+slk)
+					if speed < 1 {
+						speeds[t] = speed
+						dag.exec[t] = wcet / speed
+					}
+				}
+			}
+		}
+		locked[t] = true
+	}
+	return speeds
+}
+
+// scenarioView clones the cost vectors with inactive tasks and unrealized
+// transfers zeroed, sharing the immutable topology.
+func (d *dagModel) scenarioView(active ctg.Bitset) *dagModel {
+	cp := *d
+	cp.exec = append([]float64(nil), d.exec...)
+	cp.comm = append([]float64(nil), d.comm...)
+	for t := range cp.exec {
+		if !active.Get(t) {
+			cp.exec[t] = 0
+		}
+	}
+	for ei, e := range d.edges {
+		if !active.Get(int(e.From)) || !active.Get(int(e.To)) {
+			cp.comm[ei] = 0
+		}
+	}
+	return &cp
+}
+
+// ancestorForkSets computes, per task, the set of fork indices that precede
+// it through real or schedule-induced pseudo edges — the forks whose
+// outcomes are known when the task dispatches.
+func ancestorForkSets(s *sched.Schedule) []ctg.Bitset {
+	g := s.G
+	n := g.NumTasks()
+	pred := make([][]ctg.TaskID, n)
+	for _, e := range g.Edges() {
+		pred[e.To] = append(pred[e.To], e.From)
+	}
+	for _, e := range s.Pseudo {
+		pred[e.To] = append(pred[e.To], e.From)
+	}
+	// Topological order by nominal start (the same argument as newDAG).
+	order := make([]ctg.TaskID, n)
+	for i := range order {
+		order[i] = ctg.TaskID(i)
+	}
+	for i := 1; i < n; i++ {
+		for j := i; j > 0; j-- {
+			a, b := order[j-1], order[j]
+			if s.Start[a] > s.Start[b] || (s.Start[a] == s.Start[b] && a > b) {
+				order[j-1], order[j] = b, a
+			} else {
+				break
+			}
+		}
+	}
+	anc := make([]ctg.Bitset, n)
+	for _, t := range order {
+		anc[t] = ctg.NewBitset(g.NumForks())
+		for _, u := range pred[t] {
+			anc[t].UnionWith(anc[u])
+			if fi := g.ForkIndex(u); fi >= 0 {
+				anc[t].Set(fi)
+			}
+		}
+	}
+	return anc
+}
+
+// ancestorKey renders a scenario assignment restricted to the given fork
+// set.
+func ancestorKey(assign []int, forks ctg.Bitset) string {
+	var sb strings.Builder
+	forks.ForEach(func(fi int) {
+		sb.WriteString(strconv.Itoa(fi))
+		sb.WriteByte('=')
+		sb.WriteString(strconv.Itoa(assign[fi]))
+		sb.WriteByte(';')
+	})
+	return sb.String()
+}
+
+// ExpectedEnergyWithScenarioSpeeds evaluates the expected energy of a
+// schedule under a per-scenario speed table.
+func ExpectedEnergyWithScenarioSpeeds(s *sched.Schedule, sp *ScenarioSpeeds) float64 {
+	a := s.A
+	total := 0.0
+	for si := 0; si < a.NumScenarios(); si++ {
+		sc := a.Scenario(si)
+		e := 0.0
+		sc.Active.ForEach(func(t int) {
+			v := sp.Speeds[si][t]
+			e += s.NominalEnergy(ctg.TaskID(t)) * v * v
+		})
+		for ei, edge := range s.G.Edges() {
+			if sc.Active.Get(int(edge.From)) && sc.Active.Get(int(edge.To)) {
+				e += s.CommEnergy(ei)
+			}
+		}
+		total += sc.Prob * e
+	}
+	return total
+}

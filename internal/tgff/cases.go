@@ -1,0 +1,77 @@
+package tgff
+
+import "fmt"
+
+// Case names one generated benchmark with the paper's a/b/c triplet
+// notation: a tasks, b PEs, c branch fork nodes.
+type Case struct {
+	Name   string
+	Config Config
+}
+
+// Table1Cases returns the five random CTGs of the paper's Table 1:
+// 25/3/3, 16/3/1, 15/4/2, 15/4/2, 25/4/3 (all Category 1; the paper does
+// not state the category for Table 1, and its graphs 1–5 elsewhere are the
+// fork-join family).
+func Table1Cases() []Case {
+	triplets := []struct {
+		nodes, pes, branches int
+	}{
+		{25, 3, 3}, {16, 3, 1}, {15, 4, 2}, {15, 4, 2}, {25, 4, 3},
+	}
+	out := make([]Case, len(triplets))
+	for i, tr := range triplets {
+		out[i] = Case{
+			Name: caseName(i+1, tr.nodes, tr.pes, tr.branches),
+			Config: Config{
+				Seed:     int64(1000 + i),
+				Nodes:    tr.nodes,
+				PEs:      tr.pes,
+				Branches: tr.branches,
+				Category: ForkJoin,
+			},
+		}
+	}
+	return out
+}
+
+// Table4Cases returns the ten random CTGs of Tables 4, 5 and Figure 6:
+// graphs 1–5 are Category 1 (fork-join, nested conditionals) and graphs
+// 6–10 are Category 2 (flat), with the triplets the paper lists.
+func Table4Cases() []Case {
+	triplets := []struct {
+		nodes, pes, branches int
+	}{
+		{25, 3, 3}, {16, 3, 1}, {15, 4, 2}, {15, 4, 1}, {25, 4, 3},
+	}
+	out := make([]Case, 0, 10)
+	for i, tr := range triplets {
+		out = append(out, Case{
+			Name: caseName(i+1, tr.nodes, tr.pes, tr.branches),
+			Config: Config{
+				Seed:     int64(2000 + i),
+				Nodes:    tr.nodes,
+				PEs:      tr.pes,
+				Branches: tr.branches,
+				Category: ForkJoin,
+			},
+		})
+	}
+	for i, tr := range triplets {
+		out = append(out, Case{
+			Name: caseName(i+6, tr.nodes, tr.pes, tr.branches),
+			Config: Config{
+				Seed:     int64(3000 + i),
+				Nodes:    tr.nodes,
+				PEs:      tr.pes,
+				Branches: tr.branches,
+				Category: Flat,
+			},
+		})
+	}
+	return out
+}
+
+func caseName(idx, nodes, pes, branches int) string {
+	return fmt.Sprintf("%d (%d/%d/%d)", idx, nodes, pes, branches)
+}

@@ -1,0 +1,381 @@
+// Package tgff generates random conditional task graphs and matching MPSoC
+// platforms, standing in for the "Task Graphs For Free" tool (Dick, Rhodes,
+// Wolf, 1998) that the paper uses to produce its random benchmarks. The
+// generator is seeded and fully deterministic.
+//
+// Two graph families match the paper's §IV taxonomy:
+//
+//   - Category 1: fork-join graphs with (possibly nested) conditional
+//     branches — the family the MPEG and cruise-control CTGs belong to.
+//   - Category 2: flat layered graphs whose conditional arms neither nest
+//     nor re-join into fork-join diamonds.
+//
+// Node, PE and branch-fork counts are exact, so the paper's (a/b/c) triplets
+// — e.g. 25/3/3 — can be reproduced verbatim.
+package tgff
+
+import (
+	"fmt"
+	"math/rand"
+
+	"ctgdvfs/internal/ctg"
+	"ctgdvfs/internal/platform"
+)
+
+// Category selects the structural family of the generated CTG.
+type Category int
+
+const (
+	// ForkJoin is the paper's Category 1: nested conditional fork-join.
+	ForkJoin Category = 1
+	// Flat is the paper's Category 2: no fork-join, no nesting.
+	Flat Category = 2
+)
+
+// Config parameterizes one generated benchmark. Zero-valued knobs take the
+// documented defaults.
+type Config struct {
+	Seed     int64
+	Nodes    int // exact task count (a of the paper's a/b/c triplet)
+	PEs      int // PE count (b)
+	Branches int // exact branch-fork count (c)
+	Category Category
+
+	// WCETMin/WCETMax bound the per-task mean WCET (defaults 5 and 40).
+	WCETMin, WCETMax float64
+	// Hetero is the relative per-PE WCET variation (default 0.3, i.e.
+	// each PE runs a task within ±30% of its mean).
+	Hetero float64
+	// CommMin/CommMax bound edge communication volumes in KB (defaults 2
+	// and 16).
+	CommMin, CommMax float64
+	// BandMin/BandMax bound link bandwidths in KB per time unit (defaults
+	// 4 and 12).
+	BandMin, BandMax float64
+	// TxEnergyPerKB is the link transmission energy (default 0.02).
+	TxEnergyPerKB float64
+	// EnergyPerTime scales nominal task energy relative to WCET (default
+	// 1.0, with ±20% jitter per task/PE).
+	EnergyPerTime float64
+	// ArmContrast makes the two arms of each conditional construct differ
+	// in weight: one arm's tasks get their WCET multiplied by
+	// ArmContrast, the other's divided by it (which arm is heavy is
+	// random). This gives the leaf minterms the strongly different
+	// energies the paper's Tables 4/5 rely on ("the profiled average
+	// branch probability favors the minterm with the lowest/highest
+	// energy"). Default 2.5; set negative for symmetric arms.
+	ArmContrast float64
+	// Deadline is the provisional CTG deadline; callers usually schedule
+	// once and rebuild with a factor of the resulting makespan. Default:
+	// Nodes × WCETMax (very loose).
+	Deadline float64
+}
+
+func (c *Config) applyDefaults() {
+	if c.Category == 0 {
+		c.Category = ForkJoin
+	}
+	if c.WCETMin == 0 {
+		c.WCETMin = 5
+	}
+	if c.WCETMax == 0 {
+		c.WCETMax = 40
+	}
+	if c.Hetero == 0 {
+		c.Hetero = 0.3
+	}
+	if c.CommMin == 0 {
+		c.CommMin = 2
+	}
+	if c.CommMax == 0 {
+		c.CommMax = 16
+	}
+	if c.BandMin == 0 {
+		c.BandMin = 4
+	}
+	if c.BandMax == 0 {
+		c.BandMax = 12
+	}
+	if c.TxEnergyPerKB == 0 {
+		c.TxEnergyPerKB = 0.02
+	}
+	if c.EnergyPerTime == 0 {
+		c.EnergyPerTime = 1
+	}
+	if c.ArmContrast == 0 {
+		c.ArmContrast = 2.5
+	}
+	if c.Deadline == 0 {
+		c.Deadline = float64(c.Nodes) * c.WCETMax
+	}
+}
+
+func (c *Config) validate() error {
+	if c.Nodes < 2 {
+		return fmt.Errorf("tgff: need at least 2 nodes, got %d", c.Nodes)
+	}
+	if c.PEs < 1 {
+		return fmt.Errorf("tgff: need at least 1 PE, got %d", c.PEs)
+	}
+	if c.Branches < 0 {
+		return fmt.Errorf("tgff: negative branch count %d", c.Branches)
+	}
+	// Each conditional construct needs two one-task arms plus a join
+	// (Category 1), or two arms plus a distinct base node to fork from
+	// (Category 2), beyond the entry chain.
+	minNodes := 2 + 3*c.Branches
+	if c.Nodes < minNodes {
+		return fmt.Errorf("tgff: %d nodes cannot host %d branches (need ≥ %d)", c.Nodes, c.Branches, minNodes)
+	}
+	if c.Category != ForkJoin && c.Category != Flat {
+		return fmt.Errorf("tgff: unknown category %d", c.Category)
+	}
+	return nil
+}
+
+// Generate builds the CTG and a matching platform for the configuration.
+func Generate(cfg Config) (*ctg.Graph, *platform.Platform, error) {
+	cfg.applyDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, nil, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	var g *ctg.Graph
+	var scale []float64
+	var err error
+	switch cfg.Category {
+	case ForkJoin:
+		g, scale, err = genForkJoin(&cfg, rng)
+	case Flat:
+		g, scale, err = genFlat(&cfg, rng)
+	}
+	if err != nil {
+		return nil, nil, err
+	}
+	p, err := genPlatform(&cfg, rng, scale)
+	if err != nil {
+		return nil, nil, err
+	}
+	return g, p, nil
+}
+
+func (c *Config) comm(rng *rand.Rand) float64 {
+	return c.CommMin + rng.Float64()*(c.CommMax-c.CommMin)
+}
+
+// armScale returns the WCET multiplier for a conditional arm.
+func (c *Config) armScale(heavy bool) float64 {
+	contrast := c.ArmContrast
+	if contrast < 1 {
+		return 1
+	}
+	if heavy {
+		return contrast
+	}
+	return 1 / contrast
+}
+
+func randProb(rng *rand.Rand) []float64 {
+	p := 0.2 + 0.6*rng.Float64()
+	return []float64{p, 1 - p}
+}
+
+// genForkJoin builds a Category 1 graph: a spine of segments where each
+// segment is a chain task, an unconditional parallel fork-join, or a
+// conditional fork-join whose arms may recursively embed further
+// conditionals (nesting).
+func genForkJoin(cfg *Config, rng *rand.Rand) (*ctg.Graph, []float64, error) {
+	b := ctg.NewBuilder()
+	nodesLeft := cfg.Nodes
+	branchesLeft := cfg.Branches
+
+	var scale []float64
+	newTask := func(kind ctg.Kind, sc float64) ctg.TaskID {
+		nodesLeft--
+		scale = append(scale, sc)
+		return b.AddTask("", kind)
+	}
+
+	tail := newTask(ctg.AndNode, 1) // single source
+
+	// buildCond turns `entry` into a fork: two conditional arms that re-join
+	// at an or-node. Arms are chains that may nest another conditional.
+	// Returns the join task.
+	//
+	// Budget contract: on entry nodesLeft ≥ 3·branchesLeft + extra (three
+	// nodes per outstanding branch — two arm tasks and a join — plus the
+	// caller's own reservation); the same inequality holds on exit with the
+	// then-current branchesLeft. This keeps every outstanding conditional
+	// and the enclosing arms affordable regardless of nesting depth.
+	var buildCond func(entry ctg.TaskID, extra int) ctg.TaskID
+	buildCond = func(entry ctg.TaskID, extra int) ctg.TaskID {
+		branchesLeft--
+		join := newTask(ctg.OrNode, 1)
+		b.SetBranchProbs(entry, randProb(rng))
+		heavy := rng.Intn(2) // which arm carries the heavy workload
+		for outcome := 0; outcome < 2; outcome++ {
+			armScale := cfg.armScale(outcome == heavy)
+			reserve := 3*branchesLeft + extra
+			if outcome == 0 {
+				reserve++ // the other arm still needs its mandatory task
+			}
+			armMax := nodesLeft - reserve
+			armLen := 1
+			if armMax > 1 {
+				armLen += rng.Intn(min(armMax-1, 3) + 1)
+			}
+			last := entry
+			for i := 0; i < armLen; i++ {
+				t := newTask(ctg.AndNode, armScale)
+				if i == 0 {
+					b.AddCondEdge(entry, t, cfg.comm(rng), outcome)
+				} else {
+					b.AddEdge(last, t, cfg.comm(rng))
+				}
+				last = t
+			}
+			// Nest another conditional inside this arm?
+			nestReserve := extra
+			if outcome == 0 {
+				nestReserve++
+			}
+			if branchesLeft > 0 && nodesLeft >= 3*branchesLeft+nestReserve && rng.Float64() < 0.6 {
+				last = buildCond(last, nestReserve)
+			}
+			b.AddEdge(last, join, cfg.comm(rng))
+		}
+		return join
+	}
+
+	for nodesLeft > 0 {
+		switch {
+		case branchesLeft > 0 && nodesLeft >= 3*branchesLeft:
+			tail = buildCond(tail, 0)
+		case nodesLeft >= 3 && branchesLeft == 0 && rng.Float64() < 0.45:
+			// Unconditional parallel fork-join.
+			k := 2
+			if nodesLeft >= 4 && rng.Float64() < 0.5 {
+				k = 3
+			}
+			join := newTask(ctg.AndNode, 1)
+			for i := 0; i < k-1; i++ {
+				t := newTask(ctg.AndNode, 1)
+				b.AddEdge(tail, t, cfg.comm(rng))
+				b.AddEdge(t, join, cfg.comm(rng))
+			}
+			// One direct edge keeps the join connected even when k-1
+			// parallel tasks exhaust the budget.
+			b.AddEdge(tail, join, cfg.comm(rng))
+			tail = join
+		default:
+			t := newTask(ctg.AndNode, 1)
+			b.AddEdge(tail, t, cfg.comm(rng))
+			tail = t
+		}
+	}
+	g, err := b.Build(cfg.Deadline)
+	return g, scale, err
+}
+
+// genFlat builds a Category 2 graph: a layered unconditional DAG with
+// `Branches` forks whose two conditional arms are short chains running to
+// sinks — no re-joining or-nodes and no nesting.
+func genFlat(cfg *Config, rng *rand.Rand) (*ctg.Graph, []float64, error) {
+	b := ctg.NewBuilder()
+	nodesLeft := cfg.Nodes
+
+	// Decide arm lengths first so the base DAG gets the remaining nodes.
+	type armPlan struct{ len0, len1 int }
+	plans := make([]armPlan, cfg.Branches)
+	armTotal := 0
+	for i := range plans {
+		plans[i] = armPlan{1, 1}
+		armTotal += 2
+	}
+	// Spend leftover nodes extending arms, up to 2 tasks per arm.
+	for i := range plans {
+		if nodesLeft-armTotal-2-cfg.Branches > 0 && rng.Float64() < 0.5 {
+			plans[i].len0++
+			armTotal++
+		}
+		if nodesLeft-armTotal-2-cfg.Branches > 0 && rng.Float64() < 0.5 {
+			plans[i].len1++
+			armTotal++
+		}
+	}
+	baseN := nodesLeft - armTotal
+	scale := make([]float64, 0, cfg.Nodes)
+	base := make([]ctg.TaskID, baseN)
+	for i := range base {
+		base[i] = b.AddTask("", ctg.AndNode)
+		scale = append(scale, 1)
+		if i > 0 {
+			// Every base node depends on 1–2 earlier base nodes.
+			p := rng.Intn(i)
+			b.AddEdge(base[p], base[i], cfg.comm(rng))
+			if i > 1 && rng.Float64() < 0.35 {
+				q := rng.Intn(i)
+				if q != p {
+					b.AddEdge(base[q], base[i], cfg.comm(rng))
+				}
+			}
+		}
+	}
+
+	// Choose distinct fork positions among the base nodes (not the last,
+	// so arms always have room after their fork in topological terms).
+	perm := rng.Perm(baseN)
+	forks := perm[:cfg.Branches]
+	for bi, fi := range forks {
+		fork := base[fi]
+		b.SetBranchProbs(fork, randProb(rng))
+		heavy := rng.Intn(2)
+		for outcome := 0; outcome < 2; outcome++ {
+			armScale := cfg.armScale(outcome == heavy)
+			armLen := plans[bi].len0
+			if outcome == 1 {
+				armLen = plans[bi].len1
+			}
+			last := fork
+			for i := 0; i < armLen; i++ {
+				t := b.AddTask("", ctg.AndNode)
+				scale = append(scale, armScale)
+				if i == 0 {
+					b.AddCondEdge(fork, t, cfg.comm(rng), outcome)
+				} else {
+					b.AddEdge(last, t, cfg.comm(rng))
+				}
+				last = t
+			}
+		}
+	}
+	g, err := b.Build(cfg.Deadline)
+	return g, scale, err
+}
+
+// genPlatform builds a heterogeneous platform consistent with the paper's
+// model: per-task per-PE WCET and energy at nominal VDD, and point-to-point
+// links with per-direction bandwidth.
+func genPlatform(cfg *Config, rng *rand.Rand, scale []float64) (*platform.Platform, error) {
+	tasks := len(scale)
+	pb := platform.NewBuilder(tasks, cfg.PEs)
+	for t := 0; t < tasks; t++ {
+		mean := (cfg.WCETMin + rng.Float64()*(cfg.WCETMax-cfg.WCETMin)) * scale[t]
+		w := make([]float64, cfg.PEs)
+		e := make([]float64, cfg.PEs)
+		for pe := 0; pe < cfg.PEs; pe++ {
+			w[pe] = mean * (1 - cfg.Hetero + 2*cfg.Hetero*rng.Float64())
+			e[pe] = w[pe] * cfg.EnergyPerTime * (0.8 + 0.4*rng.Float64())
+		}
+		pb.SetTask(t, w, e)
+	}
+	for i := 0; i < cfg.PEs; i++ {
+		for j := 0; j < cfg.PEs; j++ {
+			if i != j {
+				bw := cfg.BandMin + rng.Float64()*(cfg.BandMax-cfg.BandMin)
+				pb.SetLink(i, j, bw, cfg.TxEnergyPerKB)
+			}
+		}
+	}
+	return pb.Build()
+}

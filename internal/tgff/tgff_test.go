@@ -1,0 +1,254 @@
+package tgff
+
+import (
+	"testing"
+
+	"ctgdvfs/internal/ctg"
+)
+
+func TestGenerateExactCounts(t *testing.T) {
+	for _, cat := range []Category{ForkJoin, Flat} {
+		for seed := int64(0); seed < 20; seed++ {
+			cfg := Config{
+				Seed:     seed,
+				Nodes:    12 + int(seed)%20,
+				PEs:      3,
+				Branches: int(seed) % 3,
+				Category: cat,
+			}
+			if cfg.Nodes < 2+3*cfg.Branches {
+				continue
+			}
+			g, p, err := Generate(cfg)
+			if err != nil {
+				t.Fatalf("cat %d seed %d: %v", cat, seed, err)
+			}
+			if g.NumTasks() != cfg.Nodes {
+				t.Fatalf("cat %d seed %d: got %d tasks, want %d", cat, seed, g.NumTasks(), cfg.Nodes)
+			}
+			if g.NumForks() != cfg.Branches {
+				t.Fatalf("cat %d seed %d: got %d forks, want %d", cat, seed, g.NumForks(), cfg.Branches)
+			}
+			if p.NumTasks() != cfg.Nodes || p.NumPEs() != cfg.PEs {
+				t.Fatalf("cat %d seed %d: platform %d×%d", cat, seed, p.NumTasks(), p.NumPEs())
+			}
+			if _, err := ctg.Analyze(g); err != nil {
+				t.Fatalf("cat %d seed %d: analyze: %v", cat, seed, err)
+			}
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	cfg := Config{Seed: 42, Nodes: 25, PEs: 3, Branches: 3}
+	g1, p1, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, p2, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g1.NumEdges() != g2.NumEdges() {
+		t.Fatal("edge counts differ between identical seeds")
+	}
+	for i := range g1.Edges() {
+		if g1.Edge(i) != g2.Edge(i) {
+			t.Fatalf("edge %d differs: %+v vs %+v", i, g1.Edge(i), g2.Edge(i))
+		}
+	}
+	for task := 0; task < g1.NumTasks(); task++ {
+		for pe := 0; pe < cfg.PEs; pe++ {
+			if p1.WCET(task, pe) != p2.WCET(task, pe) {
+				t.Fatal("platform WCETs differ between identical seeds")
+			}
+		}
+	}
+}
+
+func TestGenerateDifferentSeedsDiffer(t *testing.T) {
+	g1, _, err := Generate(Config{Seed: 1, Nodes: 25, PEs: 3, Branches: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, _, err := Generate(Config{Seed: 2, Nodes: 25, PEs: 3, Branches: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := g1.NumEdges() == g2.NumEdges()
+	if same {
+		for i := range g1.Edges() {
+			if g1.Edge(i) != g2.Edge(i) {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical graphs")
+	}
+}
+
+func TestForkJoinNesting(t *testing.T) {
+	// With several branches and generous nodes, at least one seed must
+	// produce nesting: a fork that is only active in some scenarios (i.e.
+	// activation probability < 1).
+	nested := false
+	for seed := int64(0); seed < 30 && !nested; seed++ {
+		g, _, err := Generate(Config{Seed: seed, Nodes: 25, PEs: 3, Branches: 3, Category: ForkJoin})
+		if err != nil {
+			t.Fatal(err)
+		}
+		a, err := ctg.Analyze(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, f := range g.Forks() {
+			if a.ActivationProb(f) < 1 {
+				nested = true
+			}
+		}
+	}
+	if !nested {
+		t.Fatal("Category 1 generator never produced a nested conditional in 30 seeds")
+	}
+}
+
+func TestFlatHasNoNesting(t *testing.T) {
+	// Category 2 forks must all be unconditionally active (no nesting),
+	// and no or-nodes exist (no re-join).
+	for seed := int64(0); seed < 20; seed++ {
+		g, _, err := Generate(Config{Seed: seed, Nodes: 20, PEs: 4, Branches: 3, Category: Flat})
+		if err != nil {
+			t.Fatal(err)
+		}
+		a, err := ctg.Analyze(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, f := range g.Forks() {
+			if a.ActivationProb(f) != 1 {
+				t.Fatalf("seed %d: flat fork %d has activation prob %v", seed, f, a.ActivationProb(f))
+			}
+		}
+		for _, task := range g.Tasks() {
+			if task.Kind == ctg.OrNode {
+				t.Fatalf("seed %d: flat graph contains or-node %d", seed, task.ID)
+			}
+		}
+		// Exactly 2^branches scenarios (independent two-way forks).
+		if want := 1 << 3; a.NumScenarios() != want {
+			t.Fatalf("seed %d: %d scenarios, want %d", seed, a.NumScenarios(), want)
+		}
+	}
+}
+
+func TestGenerateValidation(t *testing.T) {
+	cases := []Config{
+		{Seed: 1, Nodes: 1, PEs: 1},                             // too few nodes
+		{Seed: 1, Nodes: 10, PEs: 0},                            // no PEs
+		{Seed: 1, Nodes: 10, PEs: 2, Branches: -1},              // negative branches
+		{Seed: 1, Nodes: 7, PEs: 2, Branches: 2},                // nodes can't host branches
+		{Seed: 1, Nodes: 10, PEs: 2, Branches: 1, Category: 77}, // bad category
+	}
+	for i, cfg := range cases {
+		if _, _, err := Generate(cfg); err == nil {
+			t.Fatalf("case %d: want error", i)
+		}
+	}
+}
+
+func TestPaperCases(t *testing.T) {
+	t1 := Table1Cases()
+	if len(t1) != 5 {
+		t.Fatalf("Table1Cases: %d cases", len(t1))
+	}
+	if t1[0].Name != "1 (25/3/3)" {
+		t.Fatalf("case name %q", t1[0].Name)
+	}
+	for _, c := range t1 {
+		g, p, err := Generate(c.Config)
+		if err != nil {
+			t.Fatalf("%s: %v", c.Name, err)
+		}
+		if g.NumTasks() != c.Config.Nodes || g.NumForks() != c.Config.Branches || p.NumPEs() != c.Config.PEs {
+			t.Fatalf("%s: triplet mismatch", c.Name)
+		}
+	}
+	t4 := Table4Cases()
+	if len(t4) != 10 {
+		t.Fatalf("Table4Cases: %d cases", len(t4))
+	}
+	for i, c := range t4 {
+		wantCat := ForkJoin
+		if i >= 5 {
+			wantCat = Flat
+		}
+		if c.Config.Category != wantCat {
+			t.Fatalf("case %d: category %d, want %d", i, c.Config.Category, wantCat)
+		}
+		if _, _, err := Generate(c.Config); err != nil {
+			t.Fatalf("%s: %v", c.Name, err)
+		}
+	}
+}
+
+func TestPlatformRangesRespected(t *testing.T) {
+	cfg := Config{Seed: 9, Nodes: 20, PEs: 4, Branches: 2,
+		WCETMin: 10, WCETMax: 20, Hetero: 0.1, BandMin: 5, BandMax: 6,
+		ArmContrast: -1} // symmetric arms so the range check is exact
+	_, p, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for task := 0; task < p.NumTasks(); task++ {
+		for pe := 0; pe < p.NumPEs(); pe++ {
+			w := p.WCET(task, pe)
+			if w < 10*0.9 || w > 20*1.1 {
+				t.Fatalf("WCET %v outside configured range", w)
+			}
+			if p.Energy(task, pe) <= 0 {
+				t.Fatalf("non-positive energy")
+			}
+		}
+	}
+	for i := 0; i < p.NumPEs(); i++ {
+		for j := 0; j < p.NumPEs(); j++ {
+			if i == j {
+				continue
+			}
+			if bw := p.Bandwidth(i, j); bw < 5 || bw > 6 {
+				t.Fatalf("bandwidth %v outside configured range", bw)
+			}
+		}
+	}
+}
+
+func TestArmContrastSeparatesMintermEnergies(t *testing.T) {
+	// With the default arm contrast, the lightest and heaviest leaf
+	// minterms must differ substantially in total average energy — the
+	// property the biased-profile experiments (Tables 4/5) rely on.
+	for seed := int64(0); seed < 10; seed++ {
+		g, p, err := Generate(Config{Seed: seed, Nodes: 22, PEs: 3, Branches: 3, Category: ForkJoin})
+		if err != nil {
+			t.Fatal(err)
+		}
+		a, err := ctg.Analyze(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		avgEnergy := func(task ctg.TaskID) float64 {
+			sum := 0.0
+			for pe := 0; pe < p.NumPEs(); pe++ {
+				sum += p.Energy(int(task), pe)
+			}
+			return sum / float64(p.NumPEs())
+		}
+		minIdx, maxIdx := a.MinMaxWeightScenarios(avgEnergy)
+		emin := a.ScenarioWeight(minIdx, avgEnergy)
+		emax := a.ScenarioWeight(maxIdx, avgEnergy)
+		if emax < 1.4*emin {
+			t.Fatalf("seed %d: minterm energies too close: %v vs %v", seed, emin, emax)
+		}
+	}
+}

@@ -1,0 +1,353 @@
+// Package trace synthesizes branch-decision workloads for CTGs: sequences
+// of decision vectors (one outcome per branch fork node per CTG instance)
+// with the temporal statistics the paper observed on real inputs — slowly
+// varying windowed probability, local fluctuation, and occasional scene
+// changes.
+//
+// The paper instruments a software MPEG decoder on eight real movie clips
+// and a vehicle cruise controller on recorded road conditions; neither
+// artifact is available, so this package generates statistically equivalent
+// streams (see DESIGN.md's substitution notes). The adaptive framework only
+// ever observes the 0/1 decision stream, so an equivalent stream exercises
+// the same code paths.
+package trace
+
+import (
+	"math/rand"
+
+	"ctgdvfs/internal/ctg"
+)
+
+// Vectors is a sequence of branch decision vectors: Vectors[i][fi] is the
+// outcome of the fork with dense index fi during instance i. Every fork gets
+// a decision in every instance; the decisions of forks that end up inactive
+// are simply never observed.
+type Vectors [][]int
+
+// scenes draws piecewise-constant per-scene probabilities for one fork and
+// samples decisions from them. Scene lengths are uniform in
+// [sceneLen/2, 3·sceneLen/2]; each scene's distribution is drawn by the
+// provided function.
+func scenes(rng *rand.Rand, n, sceneLen int, outcomes int, draw func() []float64) []int {
+	out := make([]int, n)
+	i := 0
+	for i < n {
+		l := sceneLen/2 + rng.Intn(sceneLen+1)
+		if l < 1 {
+			l = 1
+		}
+		probs := draw()
+		for j := 0; j < l && i < n; j++ {
+			out[i] = sample(rng, probs)
+			i++
+		}
+	}
+	return out
+}
+
+func sample(rng *rand.Rand, probs []float64) int {
+	r := rng.Float64()
+	acc := 0.0
+	for k, p := range probs {
+		acc += p
+		if r < acc {
+			return k
+		}
+	}
+	return len(probs) - 1
+}
+
+// Movie is one synthetic "movie clip": a frame-structured decision source
+// for the MPEG macroblock CTG. The dominant dynamic of a real MPEG stream is
+// the frame type — the macroblocks of an I frame nearly all take the
+// intra/IDCT branches, while B/P frames are mostly skipped or
+// motion-compensated — overlaid with the scene's activity level (how much of
+// the picture changes), which drifts and jumps at scene cuts. The paper
+// points out that its 1000-vector sequences span only ~3 SIF frames
+// (Shuttle: ~10 QCIF frames), so frame-type changes are exactly the
+// threshold-crossing events its adaptive algorithm reacts to.
+type Movie struct {
+	Name string
+	Seed int64
+	// FrameLen is the number of macroblocks per frame (SIF ≈ 330,
+	// QCIF ≈ 99).
+	FrameLen int
+	// GOP is the repeating frame-type pattern, e.g. "IBBPBB".
+	GOP string
+	// Activity is the clip's baseline action level in [0,1]; ActivityWalk
+	// is the per-frame drift amplitude; CutProb is the per-frame chance of
+	// a scene cut (activity jumps to a fresh level).
+	Activity, ActivityWalk, CutProb float64
+}
+
+// MovieClips returns the paper's eight clips. All are SIF-resolution except
+// Shuttle, a QCIF clip whose shorter frames mean far more frame-type
+// transitions per 1000 macroblocks — which is why Table 2 reports it with by
+// far the most re-scheduling calls.
+func MovieClips() []Movie {
+	return []Movie{
+		{Name: "Airwolf", Seed: 11, FrameLen: 330, GOP: "IBBPBB", Activity: 0.55, ActivityWalk: 0.05, CutProb: 0.35},
+		{Name: "Bike", Seed: 12, FrameLen: 330, GOP: "IBBPBB", Activity: 0.70, ActivityWalk: 0.05, CutProb: 0.50},
+		{Name: "Bus", Seed: 13, FrameLen: 330, GOP: "IPBPBP", Activity: 0.60, ActivityWalk: 0.05, CutProb: 0.40},
+		{Name: "Coaster", Seed: 14, FrameLen: 330, GOP: "IBBPBB", Activity: 0.80, ActivityWalk: 0.06, CutProb: 0.50},
+		{Name: "Flower", Seed: 15, FrameLen: 330, GOP: "IBBPBB", Activity: 0.40, ActivityWalk: 0.04, CutProb: 0.25},
+		{Name: "Shuttle", Seed: 16, FrameLen: 99, GOP: "IBBPBB", Activity: 0.30, ActivityWalk: 0.05, CutProb: 0.15},
+		{Name: "Tennis", Seed: 17, FrameLen: 330, GOP: "IPPPPP", Activity: 0.55, ActivityWalk: 0.05, CutProb: 0.35},
+		{Name: "Train", Seed: 18, FrameLen: 330, GOP: "IBBPBB", Activity: 0.45, ActivityWalk: 0.04, CutProb: 0.30},
+	}
+}
+
+// forkRole assigns decision semantics by dense fork index, matching the
+// MPEG CTG's fork order: 0 = skipped check, 1 = macroblock type,
+// 2 = motion-compensation mode, 3+ = per-block IDCT pattern. Graphs with
+// other fork counts reuse the per-block role for the remainder, so the
+// generator also works as a generic frame-structured source.
+func forkProb(role int, ftype byte, activity float64) float64 {
+	switch role {
+	case 0: // outcome 0 = NOT skipped
+		switch ftype {
+		case 'I':
+			return 0.98
+		case 'P':
+			return 0.50 + 0.40*activity
+		default: // B
+			return 0.35 + 0.45*activity
+		}
+	case 1: // outcome 0 = intra (type I) macroblock
+		if ftype == 'I' {
+			return 0.97
+		}
+		return 0.02 + 0.10*activity
+	case 2: // outcome 0 = full-pel motion compensation
+		return 0.75 - 0.50*activity
+	default: // outcome 0 = block needs IDCT
+		if ftype == 'I' {
+			return 0.92
+		}
+		return 0.10 + 0.75*activity
+	}
+}
+
+// Generate produces n decision vectors for the forks of g.
+func (m Movie) Generate(g *ctg.Graph, n int) Vectors {
+	rng := rand.New(rand.NewSource(m.Seed))
+	nf := g.NumForks()
+	out := make(Vectors, n)
+	// Start in a random regime, biased by the clip's baseline activity.
+	activity := 0.05 + 0.2*rng.Float64()
+	if rng.Float64() < m.Activity {
+		activity = 0.75 + 0.2*rng.Float64()
+	}
+	ftype := byte('I')
+	gopPos := 0
+	for i := 0; i < n; i++ {
+		if i%m.FrameLen == 0 {
+			ftype = m.GOP[gopPos%len(m.GOP)]
+			gopPos++
+			if rng.Float64() < m.CutProb {
+				// Scene cut: jump to a fresh activity regime — calm or
+				// busy, biased by the clip's baseline.
+				if rng.Float64() < m.Activity {
+					activity = 0.75 + 0.2*rng.Float64()
+				} else {
+					activity = 0.05 + 0.2*rng.Float64()
+				}
+			} else {
+				// Within a scene the activity only drifts slightly.
+				activity += (2*rng.Float64() - 1) * m.ActivityWalk
+				if activity < 0 {
+					activity = -activity
+				}
+				if activity > 1 {
+					activity = 2 - activity
+				}
+			}
+		}
+		row := make([]int, nf)
+		for fi, fork := range g.Forks() {
+			k := g.Outcomes(fork)
+			role := fi
+			if role > 3 {
+				role = 3
+			}
+			p0 := forkProb(role, ftype, activity)
+			d := make([]float64, k)
+			d[0] = p0
+			for x := 1; x < k; x++ {
+				d[x] = (1 - p0) / float64(k-1)
+			}
+			row[fi] = sample(rng, d)
+		}
+		out[i] = row
+	}
+	return out
+}
+
+func transpose(cols [][]int, n, nf int) Vectors {
+	out := make(Vectors, n)
+	for i := 0; i < n; i++ {
+		row := make([]int, nf)
+		for fi := 0; fi < nf; fi++ {
+			row[fi] = cols[fi][i]
+		}
+		out[i] = row
+	}
+	return out
+}
+
+// RoadKind labels a stretch of road for the cruise-controller workload.
+type RoadKind int
+
+// Road conditions; each biases the controller's two decision branches
+// (accelerate-vs-decelerate, smooth-vs-corrective) differently.
+const (
+	Straight RoadKind = iota
+	Uphill
+	Downhill
+	Bumpy
+)
+
+// roadProbs returns, per fork, the outcome-0 probability under a road kind.
+func roadProbs(kind RoadKind) [2]float64 {
+	switch kind {
+	case Uphill:
+		return [2]float64{0.92, 0.5} // mostly accelerate
+	case Downhill:
+		return [2]float64{0.08, 0.5} // mostly decelerate
+	case Bumpy:
+		return [2]float64{0.5, 0.05} // constant corrective action
+	default: // Straight
+		return [2]float64{0.5, 0.95} // balanced, smooth
+	}
+}
+
+// RoadSequence generates n decision vectors for a cruise-controller CTG
+// (two two-way forks) from a random sequence of road segments. seed selects
+// the route.
+func RoadSequence(g *ctg.Graph, seed int64, n int) Vectors {
+	rng := rand.New(rand.NewSource(seed))
+	nf := g.NumForks()
+	out := make(Vectors, 0, n)
+	kinds := []RoadKind{Straight, Uphill, Downhill, Bumpy}
+	for len(out) < n {
+		kind := kinds[rng.Intn(len(kinds))]
+		segLen := 30 + rng.Intn(80)
+		probs := roadProbs(kind)
+		for j := 0; j < segLen && len(out) < n; j++ {
+			row := make([]int, nf)
+			for fi, fork := range g.Forks() {
+				k := g.Outcomes(fork)
+				p0 := 0.5
+				if fi < 2 {
+					p0 = probs[fi]
+				}
+				d := make([]float64, k)
+				d[0] = p0
+				for x := 1; x < k; x++ {
+					d[x] = (1 - p0) / float64(k-1)
+				}
+				row[fi] = sample(rng, d)
+			}
+			out = append(out, row)
+		}
+	}
+	return out
+}
+
+// Fluctuating generates the random-CTG test vectors of the paper's Tables 4
+// and 5: the long-run average probability of every outcome of every fork is
+// equal (0.5 for two-way forks), but scene-by-scene probabilities fluctuate
+// with the given amplitude (the paper observed 0.4–0.5 on MPEG).
+func Fluctuating(g *ctg.Graph, seed int64, n int, amplitude float64) Vectors {
+	rng := rand.New(rand.NewSource(seed))
+	nf := g.NumForks()
+	cols := make([][]int, nf)
+	for fi, fork := range g.Forks() {
+		k := g.Outcomes(fork)
+		high := true
+		cols[fi] = scenes(rng, n, 160, k, func() []float64 {
+			// Alternate above/below the mean so the long-run average
+			// stays balanced despite the large amplitude.
+			p0 := 0.5
+			if high {
+				p0 += amplitude * (0.6 + 0.4*rng.Float64())
+			} else {
+				p0 -= amplitude * (0.6 + 0.4*rng.Float64())
+			}
+			high = !high
+			if p0 < 0.02 {
+				p0 = 0.02
+			}
+			if p0 > 0.98 {
+				p0 = 0.98
+			}
+			d := make([]float64, k)
+			d[0] = p0
+			for x := 1; x < k; x++ {
+				d[x] = (1 - p0) / float64(k-1)
+			}
+			return d
+		})
+	}
+	return transpose(cols, n, nf)
+}
+
+// AverageProbs measures the empirical per-fork outcome frequencies of a
+// vector sequence — the "ideal profiling" information of Figure 6.
+func AverageProbs(g *ctg.Graph, v Vectors) [][]float64 {
+	nf := g.NumForks()
+	out := make([][]float64, nf)
+	for fi, fork := range g.Forks() {
+		out[fi] = make([]float64, g.Outcomes(fork))
+	}
+	if len(v) == 0 {
+		return out
+	}
+	for _, row := range v {
+		for fi := range out {
+			out[fi][row[fi]]++
+		}
+	}
+	for fi := range out {
+		for k := range out[fi] {
+			out[fi][k] /= float64(len(v))
+		}
+	}
+	return out
+}
+
+// BiasedProfile builds the misprofiled probability vectors of Tables 4/5:
+// for every fork that the target scenario assigns, put `strength` of the
+// mass on the assigned outcome; unassigned forks keep a uniform profile.
+// strength must be in (1/k, 1).
+func BiasedProfile(a *ctg.Analysis, scenario int, strength float64) [][]float64 {
+	g := a.Graph()
+	sc := a.Scenario(scenario)
+	out := make([][]float64, g.NumForks())
+	for fi, fork := range g.Forks() {
+		k := g.Outcomes(fork)
+		probs := make([]float64, k)
+		if o := sc.Assign[fi]; o != ctg.OutcomeUnassigned {
+			for x := range probs {
+				probs[x] = (1 - strength) / float64(k-1)
+			}
+			probs[o] = strength
+		} else {
+			for x := range probs {
+				probs[x] = 1 / float64(k)
+			}
+		}
+		out[fi] = probs
+	}
+	return out
+}
+
+// ApplyProfile writes a per-fork probability profile into the graph.
+func ApplyProfile(g *ctg.Graph, profile [][]float64) error {
+	for fi, fork := range g.Forks() {
+		if err := g.SetBranchProbs(fork, profile[fi]); err != nil {
+			return err
+		}
+	}
+	return nil
+}

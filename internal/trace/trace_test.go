@@ -1,0 +1,279 @@
+package trace
+
+import (
+	"math"
+	"testing"
+
+	"ctgdvfs/internal/ctg"
+	"ctgdvfs/internal/tgff"
+)
+
+func testGraph(t *testing.T) *ctg.Graph {
+	t.Helper()
+	g, _, err := tgff.Generate(tgff.Config{Seed: 5, Nodes: 20, PEs: 3, Branches: 3, Category: tgff.Flat})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestMovieVectorsShape(t *testing.T) {
+	g := testGraph(t)
+	clips := MovieClips()
+	if len(clips) != 8 {
+		t.Fatalf("got %d clips, want 8", len(clips))
+	}
+	names := map[string]bool{}
+	for _, m := range clips {
+		names[m.Name] = true
+		v := m.Generate(g, 500)
+		if len(v) != 500 {
+			t.Fatalf("%s: %d vectors", m.Name, len(v))
+		}
+		for _, row := range v {
+			if len(row) != g.NumForks() {
+				t.Fatalf("%s: row width %d", m.Name, len(row))
+			}
+			for fi, o := range row {
+				if o < 0 || o >= g.Outcomes(g.Forks()[fi]) {
+					t.Fatalf("%s: outcome %d out of range", m.Name, o)
+				}
+			}
+		}
+		// Long-run frequencies must not be fully degenerate, and at least
+		// one fork must swing substantially across the clip (frame-type
+		// regime changes).
+		avg := AverageProbs(g, v)
+		for fi := range avg {
+			if avg[fi][0] < 0.01 || avg[fi][0] > 0.99 {
+				t.Fatalf("%s fork %d: degenerate average %v", m.Name, fi, avg[fi][0])
+			}
+		}
+		const window = 50
+		swing := 0.0
+		for fi := range avg {
+			lo, hi := 1.0, 0.0
+			count := 0
+			for i, row := range v {
+				if row[fi] == 0 {
+					count++
+				}
+				if i >= window {
+					if v[i-window][fi] == 0 {
+						count--
+					}
+					freq := float64(count) / window
+					if freq < lo {
+						lo = freq
+					}
+					if freq > hi {
+						hi = freq
+					}
+				}
+			}
+			if hi-lo > swing {
+				swing = hi - lo
+			}
+		}
+		if swing < 0.3 {
+			t.Fatalf("%s: max windowed swing %v, want regime changes", m.Name, swing)
+		}
+	}
+	for _, want := range []string{"Airwolf", "Bike", "Bus", "Coaster", "Flower", "Shuttle", "Tennis", "Train"} {
+		if !names[want] {
+			t.Fatalf("missing clip %s", want)
+		}
+	}
+}
+
+func TestMovieDeterministic(t *testing.T) {
+	g := testGraph(t)
+	m := MovieClips()[0]
+	v1 := m.Generate(g, 100)
+	v2 := m.Generate(g, 100)
+	for i := range v1 {
+		for fi := range v1[i] {
+			if v1[i][fi] != v2[i][fi] {
+				t.Fatal("movie generation is not deterministic")
+			}
+		}
+	}
+}
+
+func TestShuttleHasShortestFrames(t *testing.T) {
+	// Shuttle is the QCIF clip: its frames are the shortest, so it sees
+	// the most frame-type transitions per 1000 macroblocks — the Table 2
+	// outlier.
+	clips := MovieClips()
+	var shuttle, minOther int
+	minOther = 1 << 30
+	for _, m := range clips {
+		if m.Name == "Shuttle" {
+			shuttle = m.FrameLen
+		} else if m.FrameLen < minOther {
+			minOther = m.FrameLen
+		}
+	}
+	if shuttle >= minOther {
+		t.Fatalf("Shuttle frame length %d not below others' min %d", shuttle, minOther)
+	}
+}
+
+func TestFluctuatingBalancedAverage(t *testing.T) {
+	g := testGraph(t)
+	v := Fluctuating(g, 7, 4000, 0.45)
+	avg := AverageProbs(g, v)
+	for fi := range avg {
+		if math.Abs(avg[fi][0]-0.5) > 0.08 {
+			t.Fatalf("fork %d long-run average %v, want ≈0.5", fi, avg[fi][0])
+		}
+	}
+	// And the windowed probability must actually swing (amplitude ≈0.45).
+	window := 50
+	swingHi, swingLo := false, false
+	count := 0
+	for i, row := range v {
+		count += 1 - row[0] // outcome 0 count? track outcome-0 freq
+		if i >= window {
+			count -= 1 - v[i-window][0]
+			freq := 1 - float64(count)/float64(window)
+			if freq > 0.75 {
+				swingHi = true
+			}
+			if freq < 0.25 {
+				swingLo = true
+			}
+		}
+	}
+	if !swingHi || !swingLo {
+		t.Fatalf("fluctuating trace never swings (hi=%v lo=%v)", swingHi, swingLo)
+	}
+}
+
+func TestRoadSequence(t *testing.T) {
+	g := testGraph(t)
+	v := RoadSequence(g, 3, 1000)
+	if len(v) != 1000 {
+		t.Fatalf("got %d vectors", len(v))
+	}
+	for _, row := range v {
+		if len(row) != g.NumForks() {
+			t.Fatalf("row width %d", len(row))
+		}
+	}
+	// Different seeds produce different routes.
+	v2 := RoadSequence(g, 4, 1000)
+	same := true
+	for i := range v {
+		for fi := range v[i] {
+			if v[i][fi] != v2[i][fi] {
+				same = false
+			}
+		}
+	}
+	if same {
+		t.Fatal("different road seeds identical")
+	}
+}
+
+func TestAverageProbsHandExample(t *testing.T) {
+	b := ctg.NewBuilder()
+	f := b.AddTask("", ctg.AndNode)
+	x := b.AddTask("", ctg.AndNode)
+	y := b.AddTask("", ctg.AndNode)
+	b.AddCondEdge(f, x, 0, 0)
+	b.AddCondEdge(f, y, 0, 1)
+	g, err := b.Build(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := Vectors{{0}, {1}, {1}, {1}}
+	avg := AverageProbs(g, v)
+	if avg[0][0] != 0.25 || avg[0][1] != 0.75 {
+		t.Fatalf("AverageProbs = %v", avg)
+	}
+	empty := AverageProbs(g, nil)
+	if empty[0][0] != 0 {
+		t.Fatal("empty average should be zero")
+	}
+}
+
+func TestBiasedProfileAndApply(t *testing.T) {
+	g, _, err := tgff.Generate(tgff.Config{Seed: 6, Nodes: 22, PEs: 3, Branches: 3, Category: tgff.ForkJoin})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := ctg.Analyze(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	minIdx, maxIdx := a.MinMaxWeightScenarios(func(ctg.TaskID) float64 { return 1 })
+	_ = maxIdx
+	prof := BiasedProfile(a, minIdx, 0.9)
+	if len(prof) != g.NumForks() {
+		t.Fatalf("profile width %d", len(prof))
+	}
+	sc := a.Scenario(minIdx)
+	for fi := range prof {
+		sum := 0.0
+		for _, p := range prof[fi] {
+			sum += p
+		}
+		if math.Abs(sum-1) > 1e-12 {
+			t.Fatalf("fork %d profile sums to %v", fi, sum)
+		}
+		if o := sc.Assign[fi]; o != ctg.OutcomeUnassigned {
+			if prof[fi][o] != 0.9 {
+				t.Fatalf("fork %d: assigned outcome prob %v, want 0.9", fi, prof[fi][o])
+			}
+		}
+	}
+	if err := ApplyProfile(g, prof); err != nil {
+		t.Fatal(err)
+	}
+	for fi, fork := range g.Forks() {
+		got := g.BranchProbs(fork)
+		for k := range got {
+			if math.Abs(got[k]-prof[fi][k]) > 1e-12 {
+				t.Fatalf("ApplyProfile mismatch on fork %d", fi)
+			}
+		}
+	}
+}
+
+func TestMovieGOPStructure(t *testing.T) {
+	// During the first (I) frame of a clip, the type branch (fork role 1)
+	// must be overwhelmingly intra; during the following B frames it must
+	// be overwhelmingly predicted.
+	g, _, err := tgff.Generate(tgff.Config{Seed: 5, Nodes: 20, PEs: 3, Branches: 3, Category: tgff.Flat})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := MovieClips()[0] // GOP "IBBPBB", FrameLen 330
+	v := m.Generate(g, 3*m.FrameLen)
+	intraRate := func(from, to int) float64 {
+		n := 0
+		for i := from; i < to; i++ {
+			if v[i][1] == 0 { // fork role 1, outcome 0 = intra
+				n++
+			}
+		}
+		return float64(n) / float64(to-from)
+	}
+	if r := intraRate(0, m.FrameLen); r < 0.9 {
+		t.Fatalf("I-frame intra rate %v, want ≥ 0.9", r)
+	}
+	if r := intraRate(m.FrameLen, 3*m.FrameLen); r > 0.3 {
+		t.Fatalf("B-frame intra rate %v, want ≤ 0.3", r)
+	}
+	// The skip branch (role 0) is almost never taken inside an I frame.
+	skips := 0
+	for i := 0; i < m.FrameLen; i++ {
+		if v[i][0] == 1 {
+			skips++
+		}
+	}
+	if float64(skips)/float64(m.FrameLen) > 0.1 {
+		t.Fatalf("I-frame skip rate %v, want tiny", float64(skips)/float64(m.FrameLen))
+	}
+}
