@@ -1,0 +1,24 @@
+# Standard entry points; `make verify` is the gate a change must pass.
+
+.PHONY: build test race bench bench-parallel verify
+
+build:
+	go build ./...
+
+test:
+	go test ./...
+
+race:
+	go test -race ./...
+
+# Full benchmark sweep (regenerates every table/figure as a side effect).
+bench:
+	go test -run '^$$' -bench . -benchmem .
+
+# Serial-vs-parallel scenario-engine comparison; see BENCH_parallel.json
+# for a recorded baseline.
+bench-parallel:
+	go test -run '^$$' -bench 'PerScenario(Serial|Parallel)|Exhaustive(Serial|Parallel)' -benchmem .
+
+verify:
+	sh scripts/verify.sh

@@ -10,6 +10,7 @@ import (
 	"ctgdvfs/internal/core"
 	"ctgdvfs/internal/ctg"
 	"ctgdvfs/internal/ctgio"
+	"ctgdvfs/internal/par"
 	"ctgdvfs/internal/platform"
 	"ctgdvfs/internal/sched"
 	"ctgdvfs/internal/sim"
@@ -328,3 +329,14 @@ func WriteWorkload(w io.Writer, g *Graph, p *Platform) error { return ctgio.Writ
 
 // ReadWorkload parses a workload from an io.Reader.
 func ReadWorkload(r io.Reader) (*Graph, *Platform, error) { return ctgio.Read(r) }
+
+// Parallelism returns the worker bound of the scenario engine (package
+// internal/par): the maximum number of goroutines any one parallel stage —
+// per-scenario stretching, exhaustive replay, experiment fan-out — uses.
+func Parallelism() int { return par.Limit() }
+
+// SetParallelism bounds the scenario engine's workers and returns the
+// previous bound. n = 1 forces fully serial execution (useful for
+// deterministic profiling baselines); n <= 0 restores the default
+// (GOMAXPROCS). Results are bit-for-bit identical at every setting.
+func SetParallelism(n int) int { return par.SetLimit(n) }

@@ -451,3 +451,75 @@ func BenchmarkAblationDLSvsHEFT(b *testing.B) {
 	b.ReportMetric(dls, "energy-DLS")
 	b.ReportMetric(heft, "energy-HEFT")
 }
+
+// --- Parallel scenario engine: serial vs parallel baselines ---
+//
+// These four benchmarks measure the same two hot stages with the worker
+// pool forced serial (SetParallelism(1)) and at the default bound; their
+// ratio is the speedup recorded in BENCH_parallel.json. Results are
+// bit-for-bit identical at every setting, so the comparison is pure
+// engine overhead/speedup.
+
+func benchMPEGSchedule(b *testing.B) *ctgdvfs.PlanResult {
+	b.Helper()
+	g, p, err := ctgdvfs.BuildMPEG()
+	if err != nil {
+		b.Fatal(err)
+	}
+	g, err = ctgdvfs.TightenDeadline(g, p, 1.6)
+	if err != nil {
+		b.Fatal(err)
+	}
+	a, err := ctgdvfs.Analyze(g)
+	if err != nil {
+		b.Fatal(err)
+	}
+	s, err := ctgdvfs.Schedule(a, p, ctgdvfs.ModifiedDLS())
+	if err != nil {
+		b.Fatal(err)
+	}
+	return s
+}
+
+func benchPerScenario(b *testing.B, workers int) {
+	s := benchMPEGSchedule(b)
+	prev := ctgdvfs.SetParallelism(workers)
+	defer ctgdvfs.SetParallelism(prev)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ctgdvfs.StretchPerScenario(s, ctgdvfs.ContinuousDVFS()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPerScenarioSerial measures scenario-conditioned stretching of the
+// MPEG decoder (one DP stretch per leaf minterm) on a single worker.
+func BenchmarkPerScenarioSerial(b *testing.B) { benchPerScenario(b, 1) }
+
+// BenchmarkPerScenarioParallel is the same workload on the default worker
+// bound (GOMAXPROCS).
+func BenchmarkPerScenarioParallel(b *testing.B) { benchPerScenario(b, 0) }
+
+func benchExhaustive(b *testing.B, workers int) {
+	s := benchMPEGSchedule(b)
+	if _, err := ctgdvfs.Stretch(s, ctgdvfs.ContinuousDVFS()); err != nil {
+		b.Fatal(err)
+	}
+	prev := ctgdvfs.SetParallelism(workers)
+	defer ctgdvfs.SetParallelism(prev)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ctgdvfs.Exhaustive(s); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkExhaustiveSerial measures all-scenario replay of the stretched
+// MPEG schedule on a single worker.
+func BenchmarkExhaustiveSerial(b *testing.B) { benchExhaustive(b, 1) }
+
+// BenchmarkExhaustiveParallel is the same workload on the default worker
+// bound.
+func BenchmarkExhaustiveParallel(b *testing.B) { benchExhaustive(b, 0) }

@@ -1,20 +1,46 @@
 // Command experiments regenerates every table and figure of the paper's
 // evaluation section. With no flags it runs all of them in order; -exp
 // selects one (table1, figure4, figure5, table2, table3, table4, table5,
-// figure6).
+// figure6). -cpuprofile and -memprofile write pprof profiles of the run
+// (the usual way to inspect where the scenario engine spends its time).
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"time"
+
+	"ctgdvfs/internal/par"
 )
 
 func main() {
 	exp := flag.String("exp", "all",
 		"experiment to run: all, table1, figure4, figure5, table2, table3, table4, table5, figure6")
+	workers := flag.Int("workers", 0,
+		"parallel worker bound for the scenario engine (0 = GOMAXPROCS, 1 = serial)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
+
+	if *workers > 0 {
+		par.SetLimit(*workers)
+	}
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
 
 	runners := orderedRunners()
 	ran := 0
@@ -35,5 +61,19 @@ func main() {
 	if ran == 0 {
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
 		os.Exit(2)
+	}
+
+	if *memprofile != "" {
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		runtime.GC() // settle live objects before the heap snapshot
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+			os.Exit(1)
+		}
 	}
 }

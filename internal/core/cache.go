@@ -1,0 +1,108 @@
+package core
+
+import (
+	"container/list"
+	"math"
+
+	"ctgdvfs/internal/sched"
+	"ctgdvfs/internal/stretch"
+)
+
+// DefaultCacheSize is the default bound of the memoized schedule cache.
+const DefaultCacheSize = 64
+
+// CacheStats reports the schedule cache's counters. Hits + Misses equals the
+// number of rescheduling invocations that consulted the cache (the initial
+// schedule included).
+type CacheStats struct {
+	Hits, Misses, Evictions int
+	// Size is the current number of cached schedules (≤ the configured
+	// bound).
+	Size int
+}
+
+// scheduleCache memoizes the output of the online algorithm (DLS mapping +
+// ordering + stretched speeds) keyed by the exact branch-probability vector
+// it was computed for. Probabilities adopted by the adaptive manager are
+// window estimates — exact rationals (count+1)/(window+outcomes) of integer
+// window counts — so a recurring probability regime (a GOP cycle in an MPEG
+// trace, a repeating road segment in cruise) reproduces the key bit for bit
+// and reuses the schedule instead of re-running DLS + stretching. Keys store
+// the IEEE-754 bit patterns of the probabilities, which makes equality exact
+// (never approximate): a hit returns precisely what recomputation would.
+//
+// The cache is bounded LRU: the least recently used entry is evicted when
+// the bound is exceeded.
+type scheduleCache struct {
+	cap   int
+	ll    *list.List // front = most recently used
+	byKey map[string]*list.Element
+	stats CacheStats
+}
+
+type cacheEntry struct {
+	key      string
+	schedule *sched.Schedule
+	speeds   *stretch.ScenarioSpeeds // nil unless PerScenario mode
+}
+
+func newScheduleCache(capacity int) *scheduleCache {
+	return &scheduleCache{
+		cap:   capacity,
+		ll:    list.New(),
+		byKey: make(map[string]*list.Element, capacity),
+	}
+}
+
+// get looks up a key, counting a hit or miss and refreshing recency.
+func (c *scheduleCache) get(key string) (*cacheEntry, bool) {
+	if el, ok := c.byKey[key]; ok {
+		c.stats.Hits++
+		c.ll.MoveToFront(el)
+		return el.Value.(*cacheEntry), true
+	}
+	c.stats.Misses++
+	return nil, false
+}
+
+// put inserts a freshly computed schedule, evicting the LRU entry past the
+// bound.
+func (c *scheduleCache) put(key string, s *sched.Schedule, sp *stretch.ScenarioSpeeds) {
+	if el, ok := c.byKey[key]; ok {
+		// get is always called first, so this only happens if a caller
+		// recomputed despite a hit; refresh the entry.
+		el.Value = &cacheEntry{key: key, schedule: s, speeds: sp}
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.byKey[key] = c.ll.PushFront(&cacheEntry{key: key, schedule: s, speeds: sp})
+	for c.ll.Len() > c.cap {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.byKey, oldest.Value.(*cacheEntry).key)
+		c.stats.Evictions++
+	}
+}
+
+// snapshot returns the counters with the current size filled in.
+func (c *scheduleCache) snapshot() CacheStats {
+	st := c.stats
+	st.Size = c.ll.Len()
+	return st
+}
+
+// probKey renders the manager's current branch-probability state as an exact
+// cache key: the big-endian IEEE-754 bits of every outcome probability of
+// every fork, in dense fork order.
+func (m *Manager) probKey() string {
+	buf := make([]byte, 0, 8*2*m.g.NumForks())
+	for _, fork := range m.g.Forks() {
+		for _, p := range m.g.BranchProbs(fork) {
+			bits := math.Float64bits(p)
+			for shift := 56; shift >= 0; shift -= 8 {
+				buf = append(buf, byte(bits>>shift))
+			}
+		}
+	}
+	return string(buf)
+}

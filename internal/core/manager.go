@@ -12,9 +12,14 @@ import (
 
 // Options configures the adaptive framework.
 type Options struct {
-	// Window is the sliding-window length L (default DefaultWindow).
+	// Window is the sliding-window length L. The zero value selects
+	// DefaultWindow; to pass a literal value — including an invalid zero,
+	// which New rejects explicitly — use SetWindow.
 	Window int
-	// Threshold is the drift threshold T (default DefaultThreshold).
+	// Threshold is the drift threshold T. The zero value selects
+	// DefaultThreshold; a genuine T = 0 (any observed drift triggers
+	// re-scheduling, i.e. re-schedule on every instance) is therefore not
+	// expressible by assignment — use SetThreshold(0).
 	Threshold float64
 	// DVFS is the speed-scaling model (default continuous).
 	DVFS platform.DVFS
@@ -31,17 +36,47 @@ type Options struct {
 	// class. Strictly more energy-efficient at the cost of a
 	// scenarios × tasks table per schedule.
 	PerScenario bool
+	// CacheSize bounds the memoized schedule cache (in schedules). The
+	// zero value selects DefaultCacheSize; negative disables caching.
+	// Cached schedules are exact: a hit returns bit-for-bit what
+	// re-running DLS + stretching would produce, so caching never changes
+	// energies or call counts — only the per-decision overhead.
+	CacheSize int
+
+	// thresholdSet / windowSet record explicit SetThreshold / SetWindow
+	// calls, so literal zeros are distinguishable from unset fields.
+	thresholdSet bool
+	windowSet    bool
+}
+
+// SetThreshold sets the drift threshold to a literal value, including a
+// genuine T = 0 — the "always re-schedule" configuration the zero-as-default
+// convention cannot express.
+func (o *Options) SetThreshold(t float64) {
+	o.Threshold = t
+	o.thresholdSet = true
+}
+
+// SetWindow sets the sliding-window length to a literal value. Unlike plain
+// assignment, an explicit 0 is passed through to validation (and rejected)
+// instead of being silently replaced by the default.
+func (o *Options) SetWindow(w int) {
+	o.Window = w
+	o.windowSet = true
 }
 
 func (o *Options) applyDefaults() {
-	if o.Window == 0 {
+	if o.Window == 0 && !o.windowSet {
 		o.Window = DefaultWindow
 	}
-	if o.Threshold == 0 {
+	if o.Threshold == 0 && !o.thresholdSet {
 		o.Threshold = DefaultThreshold
 	}
 	if o.Sched == (sched.Options{}) {
 		o.Sched = sched.Modified()
+	}
+	if o.CacheSize == 0 {
+		o.CacheSize = DefaultCacheSize
 	}
 }
 
@@ -61,6 +96,9 @@ type Manager struct {
 	// speeds is the scenario-conditioned table when opts.PerScenario is
 	// set; nil otherwise.
 	speeds *stretch.ScenarioSpeeds
+	// cache memoizes (mapping, order, speeds) by exact probability state;
+	// nil when disabled.
+	cache *scheduleCache
 
 	calls int // re-scheduling invocations (the paper's "# of calls")
 }
@@ -84,6 +122,10 @@ type RunStats struct {
 	Misses      int
 	// Calls counts online re-scheduling invocations (adaptive runs only).
 	Calls int
+	// CacheHits/CacheMisses report how many of those invocations (plus the
+	// initial schedule) were served from the memoized schedule cache
+	// versus computed fresh. Zero when caching is disabled.
+	CacheHits, CacheMisses int
 }
 
 // New builds an adaptive manager. The graph's current branch probabilities
@@ -91,10 +133,13 @@ type RunStats struct {
 // graph is cloned, so the caller's instance is never mutated.
 func New(g *ctg.Graph, p *platform.Platform, opts Options) (*Manager, error) {
 	opts.applyDefaults()
-	if opts.Threshold <= 0 || opts.Threshold > 1 {
-		return nil, fmt.Errorf("core: threshold must be in (0,1], got %v", opts.Threshold)
+	if opts.Threshold < 0 || opts.Threshold > 1 {
+		return nil, fmt.Errorf("core: threshold must be in [0,1], got %v", opts.Threshold)
 	}
 	m := &Manager{opts: opts, g: g.Clone(), p: p}
+	if opts.CacheSize > 0 {
+		m.cache = newScheduleCache(opts.CacheSize)
+	}
 	a, err := ctg.Analyze(m.g)
 	if err != nil {
 		return nil, err
@@ -112,8 +157,21 @@ func New(g *ctg.Graph, p *platform.Platform, opts Options) (*Manager, error) {
 }
 
 // reschedule runs the online algorithm (DLS + stretching) with the graph's
-// current probability estimates.
+// current probability estimates, consulting the schedule cache first: if the
+// exact probability state was scheduled for before, the memoized (mapping,
+// order, speeds) is reused. Hits and misses both count as a call — the cache
+// changes the cost of an invocation, never the invocation count or its
+// result.
 func (m *Manager) reschedule() error {
+	var key string
+	if m.cache != nil {
+		key = m.probKey()
+		if e, ok := m.cache.get(key); ok {
+			m.schedule, m.speeds = e.schedule, e.speeds
+			m.calls++
+			return nil
+		}
+	}
 	s, err := sched.DLS(m.a, m.p, m.opts.Sched)
 	if err != nil {
 		return err
@@ -131,6 +189,9 @@ func (m *Manager) reschedule() error {
 		m.speeds = nil
 	}
 	m.schedule = s
+	if m.cache != nil {
+		m.cache.put(key, s, m.speeds)
+	}
 	m.calls++
 	return nil
 }
@@ -140,6 +201,15 @@ func (m *Manager) Schedule() *sched.Schedule { return m.schedule }
 
 // Calls returns the number of adaptive re-scheduling invocations so far.
 func (m *Manager) Calls() int { return m.calls }
+
+// CacheStats returns the schedule cache counters (zero-valued when caching
+// is disabled). The initial schedule counts as the first miss.
+func (m *Manager) CacheStats() CacheStats {
+	if m.cache == nil {
+		return CacheStats{}
+	}
+	return m.cache.snapshot()
+}
 
 // Probs returns the current probability estimate for the fork with the
 // given dense index.
@@ -227,6 +297,8 @@ func (m *Manager) Run(vectors [][]int) (RunStats, error) {
 		}
 	}
 	st.Calls = m.calls
+	cs := m.CacheStats()
+	st.CacheHits, st.CacheMisses = cs.Hits, cs.Misses
 	if st.Instances > 0 {
 		st.AvgEnergy = st.TotalEnergy / float64(st.Instances)
 		st.AvgMakespan /= float64(st.Instances)

@@ -5,6 +5,7 @@ import (
 
 	"ctgdvfs/internal/apps/cruise"
 	"ctgdvfs/internal/core"
+	"ctgdvfs/internal/par"
 	"ctgdvfs/internal/trace"
 )
 
@@ -61,28 +62,38 @@ func Cruise() (*CruiseResult, error) {
 		return nil, err
 	}
 
-	res := &CruiseResult{}
-	for i, vec := range seqs {
+	// The three sequences share the profiled graph and static schedule but
+	// are otherwise independent runs (each adaptive manager clones the
+	// graph), so they fan out; the savings average walks rows in sequence
+	// order, matching the serial run exactly.
+	rows, err := par.MapErr(len(seqs), func(i int) (CruiseRow, error) {
+		vec := seqs[i]
 		stStatic, err := core.RunStatic(static, vec)
 		if err != nil {
-			return nil, err
+			return CruiseRow{}, err
 		}
 		m, err := core.New(gProf, p, core.Options{Window: 20, Threshold: thresholds[i]})
 		if err != nil {
-			return nil, err
+			return CruiseRow{}, err
 		}
 		stAdaptive, err := m.Run(vec)
 		if err != nil {
-			return nil, err
+			return CruiseRow{}, err
 		}
-		res.Rows = append(res.Rows, CruiseRow{
+		return CruiseRow{
 			Sequence:    i + 1,
 			Threshold:   thresholds[i],
 			NonAdaptive: stStatic.AvgEnergy,
 			Adaptive:    stAdaptive.AvgEnergy,
 			Calls:       stAdaptive.Calls,
-		})
-		res.AvgSaving += (stStatic.AvgEnergy - stAdaptive.AvgEnergy) / stStatic.AvgEnergy
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	res := &CruiseResult{Rows: rows}
+	for _, row := range res.Rows {
+		res.AvgSaving += (row.NonAdaptive - row.Adaptive) / row.NonAdaptive
 	}
 	res.AvgSaving /= float64(len(res.Rows))
 	return res, nil

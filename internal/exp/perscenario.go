@@ -7,6 +7,7 @@ import (
 	"ctgdvfs/internal/apps/wlan"
 	"ctgdvfs/internal/core"
 	"ctgdvfs/internal/ctg"
+	"ctgdvfs/internal/par"
 	"ctgdvfs/internal/platform"
 	"ctgdvfs/internal/sched"
 	"ctgdvfs/internal/stretch"
@@ -36,64 +37,78 @@ type PerScenarioResult struct {
 // branch-heavy applications. Both assignments run on the identical mapping
 // and meet the deadline in every scenario.
 func PerScenarioDVFS() (*PerScenarioResult, error) {
-	res := &PerScenarioResult{}
-	add := func(name string, g *ctg.Graph, p *platform.Platform) error {
+	runOne := func(name string, g *ctg.Graph, p *platform.Platform) (PerScenarioRow, error) {
 		g, err := core.TightenDeadline(g, p, DeadlineFactor)
 		if err != nil {
-			return err
+			return PerScenarioRow{}, err
 		}
 		a, err := ctg.Analyze(g)
 		if err != nil {
-			return err
+			return PerScenarioRow{}, err
 		}
 		sSingle, err := sched.DLS(a, p, sched.Modified())
 		if err != nil {
-			return err
+			return PerScenarioRow{}, err
 		}
 		rH, err := stretch.Heuristic(sSingle, platform.Continuous(), 0)
 		if err != nil {
-			return err
+			return PerScenarioRow{}, err
 		}
 		sMulti, err := sched.DLS(a, p, sched.Modified())
 		if err != nil {
-			return err
+			return PerScenarioRow{}, err
 		}
 		sp, err := stretch.PerScenario(sMulti, platform.Continuous())
 		if err != nil {
-			return err
+			return PerScenarioRow{}, err
 		}
 		multi := stretch.ExpectedEnergyWithScenarioSpeeds(sMulti, sp)
-		row := PerScenarioRow{
+		return PerScenarioRow{
 			Name:        name,
 			SingleSpeed: rH.ExpectedEnergy,
 			PerScenario: multi,
 			Saving:      (rH.ExpectedEnergy - multi) / rH.ExpectedEnergy,
 			Scenarios:   a.NumScenarios(),
-		}
-		res.Rows = append(res.Rows, row)
-		res.AvgSaving += row.Saving
-		return nil
+		}, nil
 	}
 
+	// Assemble the work list first (five Table 1 graphs plus the two
+	// applications), then fan the independent comparisons out over the
+	// worker pool; rows come back in work-list order.
+	type workload struct {
+		name string
+		g    *ctg.Graph
+		p    *platform.Platform
+	}
+	var work []workload
 	for i, c := range tgff.Table1Cases() {
 		g, p, err := tgff.Generate(c.Config)
 		if err != nil {
 			return nil, err
 		}
-		if err := add(fmt.Sprintf("random %d (%s)", i+1,
-			fmt.Sprintf("%d/%d/%d", c.Config.Nodes, c.Config.PEs, c.Config.Branches)), g, p); err != nil {
-			return nil, err
-		}
+		work = append(work, workload{fmt.Sprintf("random %d (%d/%d/%d)", i+1,
+			c.Config.Nodes, c.Config.PEs, c.Config.Branches), g, p})
 	}
 	if g, p, err := mpeg.Build(); err != nil {
 		return nil, err
-	} else if err := add("MPEG decoder", g, p); err != nil {
-		return nil, err
+	} else {
+		work = append(work, workload{"MPEG decoder", g, p})
 	}
 	if g, p, err := wlan.Build(); err != nil {
 		return nil, err
-	} else if err := add("802.11b receiver", g, p); err != nil {
+	} else {
+		work = append(work, workload{"802.11b receiver", g, p})
+	}
+
+	rows, err := par.MapErr(len(work), func(i int) (PerScenarioRow, error) {
+		return runOne(work[i].name, work[i].g, work[i].p)
+	})
+	if err != nil {
 		return nil, err
+	}
+	res := &PerScenarioResult{Rows: rows}
+	for _, row := range res.Rows {
+		res.AvgSaving += row.Saving
 	}
 	res.AvgSaving /= float64(len(res.Rows))
 	return res, nil

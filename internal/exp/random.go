@@ -5,6 +5,7 @@ import (
 
 	"ctgdvfs/internal/core"
 	"ctgdvfs/internal/ctg"
+	"ctgdvfs/internal/par"
 	"ctgdvfs/internal/tgff"
 	"ctgdvfs/internal/trace"
 )
@@ -71,16 +72,19 @@ type RandomResult struct {
 // online algorithm profiled per the bias, and the adaptive algorithm
 // starting from the same profile with thresholds 0.5 and 0.1.
 func RandomCTGs(bias Bias) (*RandomResult, error) {
-	res := &RandomResult{Bias: bias}
-	var cat1T05, cat1T01, cat2T05, cat2T01 []float64
-	for i, c := range tgff.Table4Cases() {
+	// The ten CTGs are independent (per-case generator seeds, per-case trace
+	// seeds), so each runs on the worker pool; the savings aggregation walks
+	// rows in case order afterwards, reproducing the serial tables exactly.
+	cases := tgff.Table4Cases()
+	rows, err := par.MapErr(len(cases), func(i int) (RandomRow, error) {
+		c := cases[i]
 		g0, p, err := tgff.Generate(c.Config)
 		if err != nil {
-			return nil, fmt.Errorf("random case %d: %w", i+1, err)
+			return RandomRow{}, fmt.Errorf("random case %d: %w", i+1, err)
 		}
 		g, err := core.TightenDeadline(g0, p, DeadlineFactor)
 		if err != nil {
-			return nil, err
+			return RandomRow{}, err
 		}
 		vec := trace.Fluctuating(g, int64(4000+i), 1000, 0.45)
 
@@ -91,7 +95,7 @@ func RandomCTGs(bias Bias) (*RandomResult, error) {
 		default:
 			a, err := ctg.Analyze(g)
 			if err != nil {
-				return nil, err
+				return RandomRow{}, err
 			}
 			avgEnergy := func(t ctg.TaskID) float64 {
 				sum := 0.0
@@ -110,15 +114,15 @@ func RandomCTGs(bias Bias) (*RandomResult, error) {
 
 		gProf := g.Clone()
 		if err := trace.ApplyProfile(gProf, profile); err != nil {
-			return nil, err
+			return RandomRow{}, err
 		}
 		static, err := buildOnline(gProf, p)
 		if err != nil {
-			return nil, err
+			return RandomRow{}, err
 		}
 		stOnline, err := core.RunStatic(static, vec)
 		if err != nil {
-			return nil, err
+			return RandomRow{}, err
 		}
 
 		row := RandomRow{
@@ -130,11 +134,11 @@ func RandomCTGs(bias Bias) (*RandomResult, error) {
 		for _, th := range []float64{0.5, 0.1} {
 			m, err := core.New(gProf, p, core.Options{Window: 20, Threshold: th})
 			if err != nil {
-				return nil, err
+				return RandomRow{}, err
 			}
 			st, err := m.Run(vec)
 			if err != nil {
-				return nil, err
+				return RandomRow{}, err
 			}
 			if th == 0.5 {
 				row.T05Energy, row.T05Calls = st.AvgEnergy, st.Calls
@@ -142,8 +146,15 @@ func RandomCTGs(bias Bias) (*RandomResult, error) {
 				row.T01Energy, row.T01Calls = st.AvgEnergy, st.Calls
 			}
 		}
-		res.Rows = append(res.Rows, row)
+		return row, nil
+	})
+	if err != nil {
+		return nil, err
+	}
 
+	res := &RandomResult{Bias: bias, Rows: rows}
+	var cat1T05, cat1T01, cat2T05, cat2T01 []float64
+	for _, row := range res.Rows {
 		s05 := (row.Online - row.T05Energy) / row.Online
 		s01 := (row.Online - row.T01Energy) / row.Online
 		res.AvgSavingT05 += s05

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"ctgdvfs/internal/core"
+	"ctgdvfs/internal/par"
 	"ctgdvfs/internal/stretch"
 	"ctgdvfs/internal/tgff"
 )
@@ -34,63 +35,79 @@ type Table1Result struct {
 
 // Table1 compares the online algorithm against reference algorithms 1 [10]
 // and 2 [17] on the paper's five random CTGs, with accurate branch
-// probabilities and no adaptation (exactly the paper's setup).
+// probabilities and no adaptation (exactly the paper's setup). The five CTGs
+// are independent, so they run on the worker pool; rows aggregate in case
+// order, reproducing the serial table exactly (the timing columns are
+// wall-clock and vary run to run either way).
 func Table1() (*Table1Result, error) {
-	res := &Table1Result{}
-	var onlineTotal, nlpTotal time.Duration
-	for i, c := range tgff.Table1Cases() {
+	type caseResult struct {
+		row           Table1Row
+		tOnline, tNLP time.Duration
+	}
+	cases := tgff.Table1Cases()
+	results, err := par.MapErr(len(cases), func(i int) (caseResult, error) {
+		c := cases[i]
 		g0, p, err := tgff.Generate(c.Config)
 		if err != nil {
-			return nil, fmt.Errorf("table1 case %d: %w", i+1, err)
+			return caseResult{}, fmt.Errorf("table1 case %d: %w", i+1, err)
 		}
 		g, err := core.TightenDeadline(g0, p, DeadlineFactor)
 		if err != nil {
-			return nil, err
+			return caseResult{}, err
 		}
 
 		sOnline, err := buildOnline(g, p)
 		if err != nil {
-			return nil, err
+			return caseResult{}, err
 		}
 		sRef1, err := buildRef1(g, p)
 		if err != nil {
-			return nil, err
+			return caseResult{}, err
 		}
 		sRef2, err := buildRef2(g, p, stretch.NLPOptions{})
 		if err != nil {
-			return nil, err
+			return caseResult{}, err
 		}
 
 		eOnline := sOnline.ExpectedEnergy()
-		row := Table1Row{
+		out := caseResult{row: Table1Row{
 			CTG:     i + 1,
 			Triplet: fmt.Sprintf("%d/%d/%d", c.Config.Nodes, c.Config.PEs, c.Config.Branches),
 			Ref1:    100 * sRef1.ExpectedEnergy() / eOnline,
 			Ref2:    100 * sRef2.ExpectedEnergy() / eOnline,
 			Online:  100,
-		}
-		res.Rows = append(res.Rows, row)
-		res.AvgRef1 += row.Ref1
-		res.AvgRef2 += row.Ref2
+		}}
 
 		// Runtime of the two stretching pipelines (scheduling included,
 		// as in the paper's end-to-end comparison).
-		tOnline, err := timeIt(20, func() error {
+		out.tOnline, err = timeIt(20, func() error {
 			_, err := buildOnline(g, p)
 			return err
 		})
 		if err != nil {
-			return nil, err
+			return caseResult{}, err
 		}
-		tNLP, err := timeIt(1, func() error {
+		out.tNLP, err = timeIt(1, func() error {
 			_, err := buildRef2(g, p, stretch.NLPOptions{})
 			return err
 		})
 		if err != nil {
-			return nil, err
+			return caseResult{}, err
 		}
-		onlineTotal += tOnline
-		nlpTotal += tNLP
+		return out, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	res := &Table1Result{}
+	var onlineTotal, nlpTotal time.Duration
+	for _, cr := range results {
+		res.Rows = append(res.Rows, cr.row)
+		res.AvgRef1 += cr.row.Ref1
+		res.AvgRef2 += cr.row.Ref2
+		onlineTotal += cr.tOnline
+		nlpTotal += cr.tNLP
 	}
 	n := float64(len(res.Rows))
 	res.AvgRef1 /= n

@@ -1,0 +1,136 @@
+package par
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+)
+
+func TestMapOrdersResultsByIndex(t *testing.T) {
+	for _, n := range []int{0, 1, 7, 100, 1000} {
+		out := Map(n, func(i int) int { return i * i })
+		if len(out) != n {
+			t.Fatalf("n=%d: got %d results", n, len(out))
+		}
+		for i, v := range out {
+			if v != i*i {
+				t.Fatalf("n=%d: out[%d] = %d", n, i, v)
+			}
+		}
+	}
+}
+
+func TestForEachCoversEveryIndexOnce(t *testing.T) {
+	const n = 500
+	var counts [n]atomic.Int64
+	ForEach(n, func(i int) { counts[i].Add(1) })
+	for i := range counts {
+		if c := counts[i].Load(); c != 1 {
+			t.Fatalf("index %d ran %d times", i, c)
+		}
+	}
+}
+
+func TestMapErrReturnsLowestIndexError(t *testing.T) {
+	errAt := func(bad ...int) error {
+		isBad := map[int]bool{}
+		for _, b := range bad {
+			isBad[b] = true
+		}
+		_, err := MapErr(64, func(i int) (int, error) {
+			if isBad[i] {
+				return 0, fmt.Errorf("fail@%d", i)
+			}
+			return i, nil
+		})
+		return err
+	}
+	if err := errAt(); err != nil {
+		t.Fatalf("unexpected error: %v", err)
+	}
+	for trial := 0; trial < 10; trial++ {
+		err := errAt(41, 7, 23)
+		if err == nil || err.Error() != "fail@7" {
+			t.Fatalf("want deterministic lowest-index error fail@7, got %v", err)
+		}
+	}
+}
+
+func TestMapErrStillPopulatesResults(t *testing.T) {
+	out, err := MapErr(8, func(i int) (int, error) {
+		if i == 3 {
+			return -1, errors.New("boom")
+		}
+		return i, nil
+	})
+	if err == nil {
+		t.Fatal("want error")
+	}
+	// No short-circuit: indices after the failure still ran.
+	if out[7] != 7 {
+		t.Fatalf("index 7 did not run: %v", out)
+	}
+}
+
+func TestSetLimitBoundsConcurrency(t *testing.T) {
+	defer SetLimit(SetLimit(3))
+	var cur, peak atomic.Int64
+	ForEach(64, func(int) {
+		c := cur.Add(1)
+		for {
+			p := peak.Load()
+			if c <= p || peak.CompareAndSwap(p, c) {
+				break
+			}
+		}
+		cur.Add(-1)
+	})
+	if p := peak.Load(); p > 3 {
+		t.Fatalf("observed %d concurrent bodies with limit 3", p)
+	}
+}
+
+func TestSerialFallbackRunsInline(t *testing.T) {
+	defer SetLimit(SetLimit(1))
+	order := make([]int, 0, 10)
+	// With limit 1 the loop must run in index order on this goroutine.
+	ForEach(10, func(i int) { order = append(order, i) })
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("serial fallback out of order: %v", order)
+		}
+	}
+}
+
+func TestMapScratchReusesPerWorkerState(t *testing.T) {
+	made := atomic.Int64{}
+	out := MapScratch(200, func() *[]int {
+		made.Add(1)
+		buf := make([]int, 0, 8)
+		return &buf
+	}, func(s *[]int, i int) int {
+		*s = append((*s)[:0], i, i) // scribble to catch sharing across workers
+		return (*s)[0] + (*s)[1]
+	})
+	for i, v := range out {
+		if v != 2*i {
+			t.Fatalf("out[%d] = %d", i, v)
+		}
+	}
+	if m := made.Load(); m > int64(Limit()) {
+		t.Fatalf("made %d scratches with limit %d", m, Limit())
+	}
+}
+
+func TestMapScratchErr(t *testing.T) {
+	_, err := MapScratchErr(16, func() int { return 0 }, func(_ int, i int) (int, error) {
+		if i >= 10 {
+			return 0, fmt.Errorf("fail@%d", i)
+		}
+		return i, nil
+	})
+	if err == nil || err.Error() != "fail@10" {
+		t.Fatalf("want fail@10, got %v", err)
+	}
+}

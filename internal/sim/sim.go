@@ -27,6 +27,7 @@ import (
 	"sort"
 
 	"ctgdvfs/internal/ctg"
+	"ctgdvfs/internal/par"
 	"ctgdvfs/internal/sched"
 )
 
@@ -193,14 +194,19 @@ func Exhaustive(s *sched.Schedule) (Summary, error) {
 	return ExhaustiveCfg(s, Config{})
 }
 
-// ExhaustiveCfg is Exhaustive with runtime-fidelity options.
+// ExhaustiveCfg is Exhaustive with runtime-fidelity options. Scenario
+// replays are independent, so they fan out over the worker pool; the
+// aggregation then runs serially in scenario order, which makes the sums
+// bit-for-bit identical to a serial loop.
 func ExhaustiveCfg(s *sched.Schedule, cfg Config) (Summary, error) {
+	insts, err := par.MapErr(s.A.NumScenarios(), func(si int) (Instance, error) {
+		return ReplayCfg(s, si, cfg)
+	})
+	if err != nil {
+		return Summary{}, err
+	}
 	var sum Summary
-	for si := 0; si < s.A.NumScenarios(); si++ {
-		inst, err := ReplayCfg(s, si, cfg)
-		if err != nil {
-			return Summary{}, err
-		}
+	for si, inst := range insts {
 		p := s.A.Scenario(si).Prob
 		sum.ExpectedEnergy += p * inst.Energy
 		sum.ExpectedMakespan += p * inst.Makespan
@@ -224,12 +230,22 @@ func ExpectedEnergyUnder(s *sched.Schedule, truth *ctg.Analysis) float64 {
 	for task := 0; task < s.G.NumTasks(); task++ {
 		sum += truth.ActivationProb(ctg.TaskID(task)) * s.TaskEnergy(ctg.TaskID(task))
 	}
-	for ei, e := range s.G.Edges() {
-		if ce := s.CommEnergy(ei); ce > 0 {
-			both := truth.ActivationSet(e.From).Clone()
-			both.IntersectWith(truth.ActivationSet(e.To))
-			sum += truth.ProbOfSet(both) * ce
+	// Each edge's joint activation probability scans the scenario set, so
+	// the edge loop fans out; the edge-order reduction below keeps the sum
+	// bit-for-bit identical to the serial loop.
+	edges := s.G.Edges()
+	contrib := par.Map(len(edges), func(ei int) float64 {
+		ce := s.CommEnergy(ei)
+		if ce <= 0 {
+			return 0
 		}
+		e := edges[ei]
+		both := truth.ActivationSet(e.From).Clone()
+		both.IntersectWith(truth.ActivationSet(e.To))
+		return truth.ProbOfSet(both) * ce
+	})
+	for _, c := range contrib {
+		sum += c
 	}
 	return sum
 }

@@ -25,8 +25,6 @@ package stretch
 
 import (
 	"math"
-	"strconv"
-	"strings"
 
 	"ctgdvfs/internal/ctg"
 	"ctgdvfs/internal/sched"
@@ -122,17 +120,9 @@ func (r *dpResult) downAny(v ctg.TaskID) float64 {
 	return r.downC[v]
 }
 
-// run computes the decomposition. assign restricts edges to those whose
-// condition the scenario assignment satisfies; nil means the full graph.
-//
-// Note on truncated suffixes: in a scenario-restricted graph, a fork the
-// scenario never assigns has no consistent conditional out-edges, so chains
-// "end" there even though the unrestricted graph continues. Such truncated
-// suffixes can only shorten candidate delays; since criticality always takes
-// the *largest* delay, they never displace a real critical path.
-func (d *dagModel) run(assign []int) *dpResult {
-	n := len(d.exec)
-	r := &dpResult{
+// newDPResult allocates a decomposition for an n-task graph.
+func newDPResult(n int) *dpResult {
+	return &dpResult{
 		up:     make([]float64, n),
 		downU:  make([]float64, n),
 		downC:  make([]float64, n),
@@ -142,6 +132,25 @@ func (d *dagModel) run(assign []int) *dpResult {
 		dbpC:   make([]int, n),
 		classA: make([]byte, n),
 	}
+}
+
+// run computes the decomposition. assign restricts edges to those whose
+// condition the scenario assignment satisfies; nil means the full graph.
+//
+// Note on truncated suffixes: in a scenario-restricted graph, a fork the
+// scenario never assigns has no consistent conditional out-edges, so chains
+// "end" there even though the unrestricted graph continues. Such truncated
+// suffixes can only shorten candidate delays; since criticality always takes
+// the *largest* delay, they never displace a real critical path.
+func (d *dagModel) run(assign []int) *dpResult {
+	return d.runInto(newDPResult(len(d.exec)), assign)
+}
+
+// runInto is run reusing a previously allocated decomposition — the
+// stretchers call the DP once per (task, minterm) pair, so buffer reuse is
+// what keeps the inner loop allocation-free. Every slot of r is overwritten.
+func (d *dagModel) runInto(r *dpResult, assign []int) *dpResult {
+	n := len(d.exec)
 	g := d.s.G
 	ok := func(ei int) bool {
 		if assign == nil {
@@ -181,6 +190,7 @@ func (d *dagModel) run(assign []int) *dpResult {
 		if !hasOut {
 			r.downU[v], r.dbpU[v] = 0, -1
 			r.downC[v], r.dbpC[v] = negInf, -1
+			r.probC[v] = 0
 			r.classA[v] = 'U'
 			continue
 		}
@@ -293,20 +303,69 @@ func (r *dpResult) walkCritical(d *dagModel, v ctg.TaskID, class byte,
 	}
 }
 
-// criticalSignature reconstructs the argmax chain through v (class 'U' or
-// 'C') and renders it as a node-id string, so that the same critical path
-// found for several minterms is counted once by the heuristic.
-func (r *dpResult) criticalSignature(d *dagModel, v ctg.TaskID, class byte) string {
-	var sb strings.Builder
-	first := true
-	r.walkCritical(d, v, class, func(u ctg.TaskID) {
-		if !first {
-			sb.WriteByte('.')
+// pathSet deduplicates critical-path node sequences so that a chain found
+// critical for several minterms is counted once by the heuristic. It
+// replaces the former string-signature keys: sequences are interned in a
+// reusable int32 arena and looked up by FNV-1a hash with exact sequence
+// verification on hash hits, so dedup semantics are identical to string
+// comparison with zero steady-state allocation.
+type pathSet struct {
+	arena []int32               // all interned sequences, concatenated
+	spans map[uint64][][2]int32 // hash -> [start, end) offsets in arena
+	buf   []int32               // scratch for the sequence being tested
+}
+
+// reset clears the set, retaining capacity.
+func (p *pathSet) reset() {
+	p.arena = p.arena[:0]
+	if p.spans == nil {
+		p.spans = make(map[uint64][][2]int32)
+	} else {
+		clear(p.spans)
+	}
+}
+
+// fnv1a hashes an int32 sequence (FNV-1a over the little-endian bytes).
+func fnv1a(seq []int32) uint64 {
+	const offset, prime = 14695981039346656037, 1099511628211
+	h := uint64(offset)
+	for _, v := range seq {
+		u := uint32(v)
+		for shift := 0; shift < 32; shift += 8 {
+			h ^= uint64(byte(u >> shift))
+			h *= prime
 		}
-		first = false
-		sb.WriteString(strconv.Itoa(int(u)))
+	}
+	return h
+}
+
+// addCritical reconstructs the argmax chain through v with the given suffix
+// class and adds its node sequence to the set, reporting whether it was new.
+func (p *pathSet) addCritical(r *dpResult, d *dagModel, v ctg.TaskID, class byte) bool {
+	p.buf = p.buf[:0]
+	r.walkCritical(d, v, class, func(u ctg.TaskID) {
+		p.buf = append(p.buf, int32(u))
 	}, func(int) {})
-	return sb.String()
+	h := fnv1a(p.buf)
+	for _, span := range p.spans[h] {
+		if int(span[1]-span[0]) != len(p.buf) {
+			continue
+		}
+		match := true
+		for i, u := range p.arena[span[0]:span[1]] {
+			if u != p.buf[i] {
+				match = false
+				break
+			}
+		}
+		if match {
+			return false
+		}
+	}
+	start := int32(len(p.arena))
+	p.arena = append(p.arena, p.buf...)
+	p.spans[h] = append(p.spans[h], [2]int32{start, int32(len(p.arena))})
+	return true
 }
 
 // criticalDenominator returns the distributable delay of the argmax chain

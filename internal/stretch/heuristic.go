@@ -66,9 +66,10 @@ func HeuristicVariant(s *sched.Schedule, d platform.DVFS, maxPaths int, literalR
 	_ = maxPaths // retained for API stability; the DP model needs no cap
 	dag := newDAG(s)
 	locked := make([]bool, s.G.NumTasks())
+	scratch := newSlackScratch(s.G.NumTasks())
 	res := &Result{}
 	for _, t := range s.Order {
-		slk := calculateSlack(dag, t, locked, literalRatio)
+		slk := calculateSlack(dag, t, locked, literalRatio, scratch)
 		if slk > 0 {
 			wcet := s.WCET(t)
 			speed := d.SpeedForTime(wcet, wcet+slk)
@@ -87,13 +88,26 @@ func HeuristicVariant(s *sched.Schedule, d platform.DVFS, maxPaths int, literalR
 	return res, nil
 }
 
+// slackScratch holds the buffers calculateSlack reuses across the O(tasks ×
+// minterms) inner loop: the full-graph and per-minterm DP decompositions and
+// the critical-path dedup set. One per Heuristic call (or per worker when
+// minterm loops run in parallel).
+type slackScratch struct {
+	full, minterm *dpResult
+	seen          pathSet
+}
+
+func newSlackScratch(n int) *slackScratch {
+	return &slackScratch{full: newDPResult(n), minterm: newDPResult(n)}
+}
+
 // calculateSlack implements the CalculateSlack(τ) routine of Figure 2 on the
 // current delays. The distributable slack ratio of a critical chain is its
 // slack over the execution time of its *unlocked* tasks (plus communication)
 // — already-stretched tasks are "released from consideration" (§III.A), so
 // on a simple chain with a loose deadline the heuristic converges to the
 // energy-optimal uniform scaling instead of geometrically shrinking shares.
-func calculateSlack(dag *dagModel, t ctg.TaskID, locked []bool, literalRatio bool) float64 {
+func calculateSlack(dag *dagModel, t ctg.TaskID, locked []bool, literalRatio bool, scratch *slackScratch) float64 {
 	s := dag.s
 	a := s.A
 	deadline := s.G.Deadline()
@@ -101,28 +115,23 @@ func calculateSlack(dag *dagModel, t ctg.TaskID, locked []bool, literalRatio boo
 	probT := a.ActivationProb(t)
 
 	// Full-graph decomposition: slk2 and the step-9 clamp.
-	full := dag.run(nil)
+	full := dag.runInto(scratch.full, nil)
 
 	// slk1: probability-weighted sum of per-minterm critical chain shares.
 	slk1 := 0.0
 	slk1Valid := false
-	var seenCritical map[string]bool
+	scratch.seen.reset()
 	gamma := a.ActivationSet(t)
 	gamma.ForEach(func(si int) {
 		sc := a.Scenario(si)
-		r := dag.run(sc.Assign)
+		r := dag.runInto(scratch.minterm, sc.Assign)
 		if r.downC[t] == negInf {
 			return // no chain with downstream uncertainty in this minterm
 		}
 		slk1Valid = true
-		if seenCritical == nil {
-			seenCritical = make(map[string]bool)
-		}
-		sig := r.criticalSignature(dag, t, 'C')
-		if seenCritical[sig] {
+		if !scratch.seen.addCritical(r, dag, t, 'C') {
 			return // shared critical path: count once
 		}
-		seenCritical[sig] = true
 		delay := r.up[t] + dag.exec[t] + r.downC[t]
 		denom := delay
 		if !literalRatio {

@@ -2,10 +2,12 @@ package stretch
 
 import (
 	"fmt"
+	"math"
 	"strconv"
 	"strings"
 
 	"ctgdvfs/internal/ctg"
+	"ctgdvfs/internal/par"
 	"ctgdvfs/internal/platform"
 	"ctgdvfs/internal/sched"
 )
@@ -52,56 +54,146 @@ func PerScenario(s *sched.Schedule, d platform.DVFS) (*ScenarioSpeeds, error) {
 	n := s.G.NumTasks()
 	base := newDAG(s)
 
-	// Step 1: ideal speeds per scenario.
-	ideal := make([][]float64, a.NumScenarios())
-	for si := 0; si < a.NumScenarios(); si++ {
-		ideal[si] = scenarioStretch(base, s, d, si)
-	}
+	// Step 1: ideal speeds per scenario. Each leaf minterm stretches an
+	// independent subgraph, so the loop fans out over the worker pool with
+	// per-worker scratch (graph view + DP buffers); results land in
+	// scenario-indexed slots, identical to the serial loop.
+	ideal := par.MapScratch(a.NumScenarios(),
+		func() *scenarioScratch { return newScenarioScratch(base) },
+		func(scr *scenarioScratch, si int) []float64 {
+			return scenarioStretch(s, d, si, scr)
+		})
 
-	// Step 2: causality folding by ancestor-fork signature.
+	// Step 2: causality folding by ancestor-fork signature. Tasks are
+	// independent (each writes one speed-table column), so this fans out
+	// per task.
 	anc := ancestorForkSets(s)
 	out := &ScenarioSpeeds{Speeds: make([][]float64, a.NumScenarios())}
 	for si := range out.Speeds {
 		out.Speeds[si] = append([]float64(nil), ideal[si]...)
 	}
-	for t := 0; t < n; t++ {
-		groups := map[string][]int{}
-		for si := 0; si < a.NumScenarios(); si++ {
-			key := ancestorKey(a.Scenario(si).Assign, anc[t])
-			groups[key] = append(groups[key], si)
+	radix := make([]uint64, s.G.NumForks())
+	for fi, fork := range s.G.Forks() {
+		// Outcomes in [0, k) plus OutcomeUnassigned, shifted to [0, k].
+		radix[fi] = uint64(s.G.Outcomes(fork)) + 1
+	}
+	par.ForEach(n, func(t int) {
+		foldTaskSpeeds(a, anc[t], radix, ideal, out.Speeds, t)
+	})
+	return out, nil
+}
+
+// foldTaskSpeeds groups the scenarios by their assignment restricted to the
+// task's ancestor forks and assigns every group member the group's fastest
+// ideal speed. Groups are keyed by an exact mixed-radix integer encoding of
+// the restricted assignment — no string building on the hot path — falling
+// back to the string key only if the radix product overflows uint64 (a graph
+// that degenerate cannot be enumerated anyway).
+func foldTaskSpeeds(a *ctg.Analysis, forks ctg.Bitset, radix []uint64, ideal, speeds [][]float64, t int) {
+	prod := uint64(1)
+	overflow := false
+	forks.ForEach(func(fi int) {
+		if prod > math.MaxUint64/radix[fi] {
+			overflow = true
+			return
 		}
-		for _, sis := range groups {
-			fastest := 0.0
-			for _, si := range sis {
-				if ideal[si][t] > fastest {
-					fastest = ideal[si][t]
-				}
-			}
-			for _, si := range sis {
-				out.Speeds[si][t] = fastest
-			}
+		prod *= radix[fi]
+	})
+	var groups [][]int
+	if overflow {
+		byStr := make(map[string][]int)
+		for si := 0; si < a.NumScenarios(); si++ {
+			key := ancestorKey(a.Scenario(si).Assign, forks)
+			byStr[key] = append(byStr[key], si)
+		}
+		for _, sis := range byStr {
+			groups = append(groups, sis)
+		}
+	} else {
+		byInt := make(map[uint64][]int)
+		for si := 0; si < a.NumScenarios(); si++ {
+			assign := a.Scenario(si).Assign
+			var key uint64
+			forks.ForEach(func(fi int) {
+				key = key*radix[fi] + uint64(assign[fi]+1)
+			})
+			byInt[key] = append(byInt[key], si)
+		}
+		for _, sis := range byInt {
+			groups = append(groups, sis)
 		}
 	}
-	return out, nil
+	for _, sis := range groups {
+		fastest := 0.0
+		for _, si := range sis {
+			if ideal[si][t] > fastest {
+				fastest = ideal[si][t]
+			}
+		}
+		for _, si := range sis {
+			speeds[si][t] = fastest
+		}
+	}
+}
+
+// scenarioScratch is the per-worker reusable state of the PerScenario
+// stretching loop: a mutable view of the base DAG (cost vectors only; the
+// topology is shared read-only), a DP decomposition, and the lock vector.
+type scenarioScratch struct {
+	base   *dagModel
+	view   dagModel
+	dp     *dpResult
+	locked []bool
+}
+
+func newScenarioScratch(base *dagModel) *scenarioScratch {
+	n := len(base.exec)
+	scr := &scenarioScratch{base: base, view: *base, dp: newDPResult(n), locked: make([]bool, n)}
+	scr.view.exec = make([]float64, n)
+	scr.view.comm = make([]float64, len(base.comm))
+	return scr
+}
+
+// load resets the scratch to the scenario's view of the base DAG: only
+// active tasks carry execution time and only transfers between active
+// endpoints cost.
+func (scr *scenarioScratch) load(active ctg.Bitset) {
+	base := scr.base
+	copy(scr.view.exec, base.exec)
+	copy(scr.view.comm, base.comm)
+	for t := range scr.view.exec {
+		if !active.Get(t) {
+			scr.view.exec[t] = 0
+		}
+	}
+	for ei, e := range base.edges {
+		if !active.Get(int(e.From)) || !active.Get(int(e.To)) {
+			scr.view.comm[ei] = 0
+		}
+	}
+	for t := range scr.locked {
+		scr.locked[t] = false
+	}
 }
 
 // scenarioStretch stretches one scenario's subgraph: only active tasks carry
 // execution time, only transfers between active endpoints cost, and the
 // whole slack is distributed among the active tasks (activation within the
 // scenario is certain, so no probability weighting applies).
-func scenarioStretch(base *dagModel, s *sched.Schedule, d platform.DVFS, si int) []float64 {
+func scenarioStretch(s *sched.Schedule, d platform.DVFS, si int, scr *scenarioScratch) []float64 {
 	sc := s.A.Scenario(si)
-	dag := base.scenarioView(sc.Active)
+	scr.load(sc.Active)
+	dag := &scr.view
 	deadline := s.G.Deadline()
 	n := len(dag.exec)
 	speeds := make([]float64, n)
 	for t := range speeds {
 		speeds[t] = 1
 	}
-	locked := make([]bool, n)
+	locked := scr.locked
 	for _, t := range s.Order {
 		if sc.Active.Get(int(t)) {
-			r := dag.run(sc.Assign)
+			r := dag.runInto(scr.dp, sc.Assign)
 			delay := dag.throughAny(r, t)
 			if slack := deadline - delay; slack > 0 {
 				denom := r.criticalDenominator(dag, t, 'A', locked)
@@ -122,25 +214,6 @@ func scenarioStretch(base *dagModel, s *sched.Schedule, d platform.DVFS, si int)
 		locked[t] = true
 	}
 	return speeds
-}
-
-// scenarioView clones the cost vectors with inactive tasks and unrealized
-// transfers zeroed, sharing the immutable topology.
-func (d *dagModel) scenarioView(active ctg.Bitset) *dagModel {
-	cp := *d
-	cp.exec = append([]float64(nil), d.exec...)
-	cp.comm = append([]float64(nil), d.comm...)
-	for t := range cp.exec {
-		if !active.Get(t) {
-			cp.exec[t] = 0
-		}
-	}
-	for ei, e := range d.edges {
-		if !active.Get(int(e.From)) || !active.Get(int(e.To)) {
-			cp.comm[ei] = 0
-		}
-	}
-	return &cp
 }
 
 // ancestorForkSets computes, per task, the set of fork indices that precede

@@ -1,0 +1,23 @@
+#!/bin/sh
+# verify.sh — the repo's full verification pipeline:
+#   vet, build, tests with the race detector, and a one-iteration smoke run
+#   of every benchmark (catches bit-rot in the bench harness without paying
+#   for real measurement).
+# Run from anywhere; operates on the repo root.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== go vet =="
+go vet ./...
+
+echo "== go build =="
+go build ./...
+
+echo "== go test -race =="
+go test -race ./...
+
+echo "== bench smoke (1 iteration each) =="
+go test -run '^$' -bench . -benchtime 1x ./... >/dev/null
+
+echo "verify: OK"
