@@ -1,6 +1,6 @@
 # Standard entry points; `make verify` is the gate a change must pass.
 
-.PHONY: build test race bench bench-parallel verify
+.PHONY: build test race bench bench-parallel fuzz-smoke fault-smoke verify
 
 build:
 	go build ./...
@@ -19,6 +19,15 @@ bench:
 # for a recorded baseline.
 bench-parallel:
 	go test -run '^$$' -bench 'PerScenario(Serial|Parallel)|Exhaustive(Serial|Parallel)' -benchmem .
+
+# Short fuzzing session for the workload parser (the seed corpus alone runs
+# as part of `make test`; this explores beyond it).
+fuzz-smoke:
+	go test -run '^$$' -fuzz FuzzRead -fuzztime 5s ./internal/ctgio
+
+# Fault-injection campaign on the MPEG + cruise workloads.
+fault-smoke:
+	go run ./cmd/experiments -exp faults
 
 verify:
 	sh scripts/verify.sh

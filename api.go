@@ -10,6 +10,7 @@ import (
 	"ctgdvfs/internal/core"
 	"ctgdvfs/internal/ctg"
 	"ctgdvfs/internal/ctgio"
+	"ctgdvfs/internal/faults"
 	"ctgdvfs/internal/par"
 	"ctgdvfs/internal/platform"
 	"ctgdvfs/internal/sched"
@@ -107,6 +108,17 @@ type (
 	SeriesPoint = core.SeriesPoint
 )
 
+// Fault injection (package internal/faults).
+type (
+	// FaultSpec parameterizes a deterministic execution-time fault plan:
+	// multiplicative WCET overruns, bursty hot-task overruns and transient
+	// PE slowdowns, all derived by pure hashing from the seed.
+	FaultSpec = faults.Spec
+	// FaultPlan is a validated, stateless fault plan; pass it via
+	// SimConfig.Faults or AdaptiveOptions.Faults.
+	FaultPlan = faults.Plan
+)
+
 // Workloads (packages internal/tgff, internal/apps/*, internal/trace).
 type (
 	// RandomConfig parameterizes the TGFF-style random CTG generator.
@@ -200,6 +212,19 @@ func StretchPerScenario(s *PlanResult, d DVFS) (*ScenarioSpeeds, error) {
 	return stretch.PerScenario(s, d)
 }
 
+// StretchGuarded is Stretch with a guard band: the fraction guard ∈ [0,1] of
+// every task's slack is reserved as execution-time overrun margin instead of
+// being spent on DVFS. Guard 0 reproduces Stretch bit-for-bit.
+func StretchGuarded(s *PlanResult, d DVFS, guard float64) (*StretchResult, error) {
+	return stretch.HeuristicGuarded(s, d, 0, guard)
+}
+
+// StretchPerScenarioGuarded is StretchPerScenario with a guard band (see
+// StretchGuarded).
+func StretchPerScenarioGuarded(s *PlanResult, d DVFS, guard float64) (*ScenarioSpeeds, error) {
+	return stretch.PerScenarioGuarded(s, d, guard)
+}
+
 // Plan is the one-call online algorithm: modified DLS followed by the
 // stretching heuristic under continuous DVFS.
 func Plan(g *Graph, p *Platform) (*PlanResult, error) {
@@ -258,6 +283,21 @@ func NewAdaptive(g *Graph, p *Platform, opts AdaptiveOptions) (*Adaptive, error)
 // paper's non-adaptive online algorithm).
 func RunStatic(s *PlanResult, vectors Vectors) (RunStats, error) {
 	return core.RunStatic(s, vectors)
+}
+
+// RunStaticCfg is RunStatic with simulator options — in particular a fault
+// plan, whose instance cursor advances once per vector so static and
+// adaptive runtimes face the identical perturbation sequence.
+func RunStaticCfg(s *PlanResult, vectors Vectors, cfg SimConfig) (RunStats, error) {
+	return core.RunStaticCfg(s, vectors, cfg)
+}
+
+// NewFaultPlan validates and builds a deterministic fault plan for a
+// workload of the given size. The plan is stateless: the factor applied to
+// task t of instance i is a pure hash of (seed, i, t), so results never
+// depend on replay order or the worker bound.
+func NewFaultPlan(spec FaultSpec, numTasks, numPEs int) (*FaultPlan, error) {
+	return faults.New(spec, numTasks, numPEs)
 }
 
 // NewProfiler builds a standalone sliding-window branch profiler seeded

@@ -3,6 +3,12 @@
 // selects one (table1, figure4, figure5, table2, table3, table4, table5,
 // figure6). -cpuprofile and -memprofile write pprof profiles of the run
 // (the usual way to inspect where the scenario engine spends its time).
+//
+// The fault campaign (-exp faults) replays both application workloads under
+// a deterministic execution-time overrun plan and prints the
+// miss-rate-vs-energy tradeoff of guard-band stretching plus worst-case
+// fallback recovery. -faults seeds the plan, -overrun sets the per-task
+// overrun probability, -guard sets the base guard band.
 package main
 
 import (
@@ -13,12 +19,22 @@ import (
 	"runtime/pprof"
 	"time"
 
+	"ctgdvfs/internal/exp"
 	"ctgdvfs/internal/par"
+)
+
+// Fault-campaign knobs, shared with the runner table.
+var (
+	faultSeed    = flag.Int64("faults", exp.DefaultCampaignSpec().Seed, "fault-plan seed for the fault campaign")
+	faultOverrun = flag.Float64("overrun", exp.DefaultCampaignSpec().OverrunProb,
+		"per-task execution-time overrun probability for the fault campaign")
+	faultGuard = flag.Float64("guard", exp.DefaultCampaignGuard,
+		"base guard band (fraction of slack reserved) for the fault campaign")
 )
 
 func main() {
 	exp := flag.String("exp", "all",
-		"experiment to run: all, table1, figure4, figure5, table2, table3, table4, table5, figure6")
+		"experiment to run: all, table1, figure4, figure5, table2, table3, table4, table5, figure6, faults, ...")
 	workers := flag.Int("workers", 0,
 		"parallel worker bound for the scenario engine (0 = GOMAXPROCS, 1 = serial)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")

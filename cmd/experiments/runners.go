@@ -108,5 +108,15 @@ func orderedRunners() []runner {
 			}
 			return r.Render(), nil
 		}},
+		{name: "faults", aliases: []string{"faultcampaign"}, run: func() (string, error) {
+			spec := exp.DefaultCampaignSpec()
+			spec.Seed = *faultSeed
+			spec.OverrunProb = *faultOverrun
+			r, err := exp.FaultCampaign(spec, *faultGuard)
+			if err != nil {
+				return "", err
+			}
+			return r.Render(), nil
+		}},
 	}
 }

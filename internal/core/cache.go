@@ -91,6 +91,19 @@ func (c *scheduleCache) snapshot() CacheStats {
 	return st
 }
 
+// guardKey renders a non-zero effective guard band as a key suffix (the
+// big-endian IEEE-754 bits), so schedules stretched at different guard
+// levels never alias. Guard-0 keys carry no suffix, keeping them identical
+// to the pre-recovery cache keys.
+func guardKey(guard float64) string {
+	var buf [8]byte
+	bits := math.Float64bits(guard)
+	for i := 0; i < 8; i++ {
+		buf[i] = byte(bits >> (56 - 8*i))
+	}
+	return string(buf[:])
+}
+
 // probKey renders the manager's current branch-probability state as an exact
 // cache key: the big-endian IEEE-754 bits of every outcome probability of
 // every fork, in dense fork order.

@@ -2,12 +2,25 @@ package core
 
 import (
 	"fmt"
+	"math"
 
 	"ctgdvfs/internal/ctg"
+	"ctgdvfs/internal/faults"
 	"ctgdvfs/internal/platform"
 	"ctgdvfs/internal/sched"
 	"ctgdvfs/internal/sim"
 	"ctgdvfs/internal/stretch"
+)
+
+// Circuit-breaker defaults: the miss-rate window and the windowed miss-rate
+// bound above which the guard band escalates.
+const (
+	DefaultMissWindow    = 50
+	DefaultMissRateBound = 0.1
+	// maxGuardLevel caps the circuit breaker's escalation; at level k the
+	// effective guard is 1 − (1 − base)/2^k, so level 6 already reserves
+	// over 98% of the slack.
+	maxGuardLevel = 6
 )
 
 // Options configures the adaptive framework.
@@ -42,6 +55,30 @@ type Options struct {
 	// re-running DLS + stretching would produce, so caching never changes
 	// energies or call counts — only the per-decision overhead.
 	CacheSize int
+
+	// GuardBand ∈ [0,1] reserves that fraction of every task's slack as
+	// overrun margin during stretching (stretch.HeuristicGuarded /
+	// PerScenarioGuarded). Zero reproduces the paper's stretching exactly.
+	GuardBand float64
+	// Faults, when non-nil, perturbs the replay of every Step with the
+	// plan's execution-time factors; the fault-instance cursor advances
+	// once per processed instance, so a run over N vectors consumes plan
+	// instances 0..N−1 deterministically.
+	Faults *faults.Plan
+	// Recovery enables the fault-tolerance layer: a precomputed full-speed
+	// worst-case fallback schedule (an instance whose primary replay
+	// misses the deadline is re-run on it), plus a miss-rate circuit
+	// breaker — when more than MissRateBound of the last MissWindow
+	// instances missed on the primary schedule, the guard band escalates
+	// (halving the remaining unguarded slack per level); when the windowed
+	// rate falls to MissRateBound/2 it relaxes one level.
+	Recovery bool
+	// MissWindow is the circuit breaker's sliding-window length; zero
+	// selects DefaultMissWindow.
+	MissWindow int
+	// MissRateBound is the windowed primary miss rate that trips the
+	// breaker; zero selects DefaultMissRateBound.
+	MissRateBound float64
 
 	// thresholdSet / windowSet record explicit SetThreshold / SetWindow
 	// calls, so literal zeros are distinguishable from unset fields.
@@ -78,6 +115,12 @@ func (o *Options) applyDefaults() {
 	if o.CacheSize == 0 {
 		o.CacheSize = DefaultCacheSize
 	}
+	if o.MissWindow == 0 {
+		o.MissWindow = DefaultMissWindow
+	}
+	if o.MissRateBound == 0 {
+		o.MissRateBound = DefaultMissRateBound
+	}
 }
 
 // Manager is the runtime of the adaptive framework: it owns the current
@@ -101,15 +144,38 @@ type Manager struct {
 	cache *scheduleCache
 
 	calls int // re-scheduling invocations (the paper's "# of calls")
+
+	// Fault-tolerance state (inert unless Options.Recovery / Faults set).
+	fallback      *sched.Schedule // precomputed full-speed worst-case schedule
+	faultInstance int             // fault-plan cursor, advanced once per Step
+	guardLevel    int             // circuit-breaker escalation level
+	maxLevelSeen  int
+	missRing      []bool // last MissWindow primary-schedule outcomes
+	missCursor    int
+	missFill      int
+	missCount     int
+	activations   int // fallback replays
+	missesAvoided int // fallback replays that met the deadline
 }
 
 // StepResult reports one processed CTG instance.
 type StepResult struct {
+	// Instance is the execution that counts: the primary replay, or — when
+	// FallbackUsed — the full-speed fallback re-run.
 	Instance    sim.Instance
 	Rescheduled bool
 	// Drift is the profiler drift measured after observing this
 	// instance's branch decisions.
 	Drift float64
+
+	// FallbackUsed reports that the primary replay missed the deadline and
+	// the instance was re-run on the worst-case fallback schedule; Primary
+	// then keeps the failed primary replay.
+	FallbackUsed bool
+	Primary      sim.Instance
+	// GuardLevel is the circuit breaker's escalation level after this
+	// step (0 = base guard band).
+	GuardLevel int
 }
 
 // RunStats aggregates a sequence of instances.
@@ -126,6 +192,21 @@ type RunStats struct {
 	// initial schedule) were served from the memoized schedule cache
 	// versus computed fresh. Zero when caching is disabled.
 	CacheHits, CacheMisses int
+
+	// FallbackActivations counts instances re-run on the full-speed
+	// fallback schedule after a primary-schedule miss (Recovery mode).
+	FallbackActivations int
+	// MissesAvoided counts fallback activations whose re-run met the
+	// deadline — misses the unguarded runtime would have taken.
+	MissesAvoided int
+	// TotalLateness sums the final deadline overshoot across instances
+	// (after fallback, where enabled).
+	TotalLateness float64
+	// Overruns totals fault-plan perturbed task executions.
+	Overruns int
+	// MaxGuardLevel is the highest circuit-breaker escalation level the
+	// run reached.
+	MaxGuardLevel int
 }
 
 // New builds an adaptive manager. The graph's current branch probabilities
@@ -135,6 +216,15 @@ func New(g *ctg.Graph, p *platform.Platform, opts Options) (*Manager, error) {
 	opts.applyDefaults()
 	if opts.Threshold < 0 || opts.Threshold > 1 {
 		return nil, fmt.Errorf("core: threshold must be in [0,1], got %v", opts.Threshold)
+	}
+	if math.IsNaN(opts.GuardBand) || opts.GuardBand < 0 || opts.GuardBand > 1 {
+		return nil, fmt.Errorf("core: guard band must be in [0,1], got %v", opts.GuardBand)
+	}
+	if opts.MissWindow < 1 {
+		return nil, fmt.Errorf("core: miss window must be ≥ 1, got %d", opts.MissWindow)
+	}
+	if math.IsNaN(opts.MissRateBound) || opts.MissRateBound <= 0 || opts.MissRateBound > 1 {
+		return nil, fmt.Errorf("core: miss-rate bound must be in (0,1], got %v", opts.MissRateBound)
 	}
 	m := &Manager{opts: opts, g: g.Clone(), p: p}
 	if opts.CacheSize > 0 {
@@ -149,12 +239,45 @@ func New(g *ctg.Graph, p *platform.Platform, opts Options) (*Manager, error) {
 	if err != nil {
 		return nil, err
 	}
+	if opts.Recovery {
+		// The worst-case fallback: plain full-speed DLS, never stretched,
+		// built once and bypassing the probability-keyed cache entirely (it
+		// is probability-independent by construction — every task runs at
+		// speed 1 — so caching it under a probability key would be both
+		// wrong and polluting).
+		fb, err := sched.DLS(m.a, m.p, m.opts.Sched)
+		if err != nil {
+			return nil, err
+		}
+		m.fallback = fb
+		m.missRing = make([]bool, opts.MissWindow)
+	}
 	if err := m.reschedule(); err != nil {
 		return nil, err
 	}
 	m.calls = 0 // the initial schedule does not count as an adaptive call
 	return m, nil
 }
+
+// effectiveGuard is the guard band after circuit-breaker escalation: level k
+// halves the unguarded slack fraction k times, 1 − (1 − base)/2^k.
+func (m *Manager) effectiveGuard() float64 {
+	g := m.opts.GuardBand
+	if m.guardLevel > 0 {
+		g = 1 - (1-g)/float64(uint64(1)<<uint(m.guardLevel))
+	}
+	if g > 1 {
+		g = 1
+	}
+	return g
+}
+
+// GuardLevel returns the circuit breaker's current escalation level.
+func (m *Manager) GuardLevel() int { return m.guardLevel }
+
+// Fallback returns the precomputed worst-case fallback schedule (nil unless
+// Recovery is enabled).
+func (m *Manager) Fallback() *sched.Schedule { return m.fallback }
 
 // reschedule runs the online algorithm (DLS + stretching) with the graph's
 // current probability estimates, consulting the schedule cache first: if the
@@ -163,9 +286,17 @@ func New(g *ctg.Graph, p *platform.Platform, opts Options) (*Manager, error) {
 // changes the cost of an invocation, never the invocation count or its
 // result.
 func (m *Manager) reschedule() error {
+	guard := m.effectiveGuard()
 	var key string
 	if m.cache != nil {
 		key = m.probKey()
+		if guard > 0 {
+			// Guarded schedules live under distinct keys: the same
+			// probability state stretched at different guard levels
+			// produces different speeds, and a guard-0 entry must stay
+			// bit-for-bit what the paper's runtime would reuse.
+			key += guardKey(guard)
+		}
 		if e, ok := m.cache.get(key); ok {
 			m.schedule, m.speeds = e.schedule, e.speeds
 			m.calls++
@@ -177,13 +308,13 @@ func (m *Manager) reschedule() error {
 		return err
 	}
 	if m.opts.PerScenario {
-		sp, err := stretch.PerScenario(s, m.opts.DVFS)
+		sp, err := stretch.PerScenarioGuarded(s, m.opts.DVFS, guard)
 		if err != nil {
 			return err
 		}
 		m.speeds = sp
 	} else {
-		if _, err := stretch.Heuristic(s, m.opts.DVFS, m.opts.MaxPaths); err != nil {
+		if _, err := stretch.HeuristicGuarded(s, m.opts.DVFS, m.opts.MaxPaths, guard); err != nil {
 			return err
 		}
 		m.speeds = nil
@@ -212,9 +343,14 @@ func (m *Manager) CacheStats() CacheStats {
 }
 
 // Probs returns the current probability estimate for the fork with the
-// given dense index.
+// given dense index, or nil when the index is out of range. The returned
+// slice is a copy — mutating it never touches the manager's internal state.
 func (m *Manager) Probs(forkIdx int) []float64 {
-	return m.g.BranchProbs(m.g.Forks()[forkIdx])
+	forks := m.g.Forks()
+	if forkIdx < 0 || forkIdx >= len(forks) {
+		return nil
+	}
+	return m.g.BranchProbs(forks[forkIdx])
 }
 
 // Step processes one CTG instance: replay it under the current schedule,
@@ -230,9 +366,35 @@ func (m *Manager) Step(decisions []int) (StepResult, error) {
 	if m.speeds != nil {
 		cfg.ScenarioSpeeds = m.speeds.Speeds
 	}
+	if m.opts.Faults != nil {
+		cfg.Faults = m.opts.Faults
+		cfg.FaultInstance = m.faultInstance
+		m.faultInstance++
+	}
 	inst, err := sim.ReplayCfg(m.schedule, si, cfg)
 	if err != nil {
 		return StepResult{}, err
+	}
+	res := StepResult{Instance: inst}
+	primaryMiss := !inst.DeadlineMet
+	if primaryMiss && m.fallback != nil {
+		// Recovery: re-run the instance at full speed on the worst-case
+		// fallback schedule. The same fault instance applies — the overruns
+		// that sank the primary run hit the fallback too, but without
+		// stretching the timeline has the full static slack to absorb them.
+		fcfg := cfg
+		fcfg.ScenarioSpeeds = nil
+		fb, err := sim.ReplayCfg(m.fallback, si, fcfg)
+		if err != nil {
+			return StepResult{}, err
+		}
+		res.FallbackUsed = true
+		res.Primary = inst
+		res.Instance = fb
+		m.activations++
+		if fb.DeadlineMet {
+			m.missesAvoided++
+		}
 	}
 	// Only executed branch forks produce observable decisions.
 	active := m.a.Scenario(inst.Scenario).Active
@@ -244,7 +406,11 @@ func (m *Manager) Step(decisions []int) (StepResult, error) {
 			return StepResult{}, err
 		}
 	}
-	res := StepResult{Instance: inst, Drift: m.profiler.MaxDrift()}
+	res.Drift = m.profiler.MaxDrift()
+	breakerMoved := false
+	if m.fallback != nil {
+		breakerMoved = m.recordPrimaryOutcome(primaryMiss)
+	}
 	// Update only the branches whose estimate crossed the threshold (the
 	// paper's "the branch probability is updated with this new value");
 	// any update triggers one re-scheduling. The comparison is inclusive:
@@ -273,12 +439,56 @@ func (m *Manager) Step(decisions []int) (StepResult, error) {
 	}
 	if updated {
 		m.a.Reweight()
+	}
+	if updated || breakerMoved {
 		if err := m.reschedule(); err != nil {
 			return StepResult{}, err
 		}
 		res.Rescheduled = true
 	}
+	res.GuardLevel = m.guardLevel
 	return res, nil
+}
+
+// recordPrimaryOutcome shifts one primary-schedule outcome into the circuit
+// breaker's sliding window and moves the escalation level when the windowed
+// miss rate crosses the configured bounds. It reports whether the level
+// changed (which requires a re-stretch at the new effective guard). The
+// window is cleared on every transition, giving the breaker hysteresis: a
+// fresh window must fill before the next move.
+func (m *Manager) recordPrimaryOutcome(miss bool) bool {
+	if m.missFill == len(m.missRing) {
+		if m.missRing[m.missCursor] {
+			m.missCount--
+		}
+	} else {
+		m.missFill++
+	}
+	m.missRing[m.missCursor] = miss
+	if miss {
+		m.missCount++
+	}
+	m.missCursor = (m.missCursor + 1) % len(m.missRing)
+	if m.missFill < len(m.missRing) {
+		return false
+	}
+	rate := float64(m.missCount) / float64(len(m.missRing))
+	switch {
+	case rate > m.opts.MissRateBound && m.guardLevel < maxGuardLevel:
+		m.guardLevel++
+	case rate <= m.opts.MissRateBound/2 && m.guardLevel > 0:
+		m.guardLevel--
+	default:
+		return false
+	}
+	if m.guardLevel > m.maxLevelSeen {
+		m.maxLevelSeen = m.guardLevel
+	}
+	m.missFill, m.missCursor, m.missCount = 0, 0, 0
+	for i := range m.missRing {
+		m.missRing[i] = false
+	}
+	return true
 }
 
 // Run processes a whole decision-vector sequence and aggregates statistics.
@@ -295,10 +505,15 @@ func (m *Manager) Run(vectors [][]int) (RunStats, error) {
 		if !r.Instance.DeadlineMet {
 			st.Misses++
 		}
+		st.TotalLateness += r.Instance.Lateness
+		st.Overruns += r.Instance.Overruns
 	}
 	st.Calls = m.calls
 	cs := m.CacheStats()
 	st.CacheHits, st.CacheMisses = cs.Hits, cs.Misses
+	st.FallbackActivations = m.activations
+	st.MissesAvoided = m.missesAvoided
+	st.MaxGuardLevel = m.maxLevelSeen
 	if st.Instances > 0 {
 		st.AvgEnergy = st.TotalEnergy / float64(st.Instances)
 		st.AvgMakespan /= float64(st.Instances)
@@ -310,9 +525,25 @@ func (m *Manager) Run(vectors [][]int) (RunStats, error) {
 // the paper's non-adaptive "online algorithm", which profiles once (the
 // probabilities baked into the schedule) and never adapts.
 func RunStatic(s *sched.Schedule, vectors [][]int) (RunStats, error) {
+	return RunStaticCfg(s, vectors, sim.Config{})
+}
+
+// RunStaticCfg is RunStatic with simulator options — in particular a fault
+// plan, whose instance cursor advances once per vector (vector i is plan
+// instance i, matching the adaptive manager's cursor so the two runtimes
+// face the identical perturbation sequence).
+func RunStaticCfg(s *sched.Schedule, vectors [][]int, cfg sim.Config) (RunStats, error) {
 	var st RunStats
-	for _, v := range vectors {
-		inst, err := sim.ReplayDecisions(s, v)
+	for i, v := range vectors {
+		si, err := s.A.ScenarioForDecisions(v)
+		if err != nil {
+			return st, err
+		}
+		ci := cfg
+		if ci.Faults != nil {
+			ci.FaultInstance = i
+		}
+		inst, err := sim.ReplayCfg(s, si, ci)
 		if err != nil {
 			return st, err
 		}
@@ -322,6 +553,8 @@ func RunStatic(s *sched.Schedule, vectors [][]int) (RunStats, error) {
 		if !inst.DeadlineMet {
 			st.Misses++
 		}
+		st.TotalLateness += inst.Lateness
+		st.Overruns += inst.Overruns
 	}
 	if st.Instances > 0 {
 		st.AvgEnergy = st.TotalEnergy / float64(st.Instances)

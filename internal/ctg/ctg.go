@@ -287,7 +287,7 @@ func (b *Builder) Build(deadline float64) (*Graph, error) {
 		}
 	}
 	for fork := range b.probs {
-		if int(fork) >= n || g.forkIndex[fork] < 0 {
+		if int(fork) < 0 || int(fork) >= n || g.forkIndex[fork] < 0 {
 			return nil, fmt.Errorf("ctg: probabilities set on non-fork task %d", fork)
 		}
 	}

@@ -29,12 +29,21 @@ import (
 	"bufio"
 	"fmt"
 	"io"
+	"math"
 	"os"
 	"strconv"
 	"strings"
 
 	"ctgdvfs/internal/ctg"
 	"ctgdvfs/internal/platform"
+)
+
+// Input-hardening caps: a hostile header must not be able to drive
+// allocation. Both bounds are far above any realistic workload (the paper's
+// largest benchmarks are tens of tasks on a handful of PEs).
+const (
+	maxTasks = 1 << 20
+	maxPEs   = 4096
 )
 
 // Write renders the workload in the canonical text form. p may be nil to
@@ -165,6 +174,32 @@ func (p *parser) floatArg(i int) (float64, error) {
 	return v, nil
 }
 
+// finiteArg parses a float that must be finite (NaN and ±Inf are hostile in
+// every numeric field of the format: costs, probabilities, deadlines).
+func (p *parser) finiteArg(i int) (float64, error) {
+	v, err := p.floatArg(i)
+	if err != nil {
+		return 0, err
+	}
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return 0, p.errf("non-finite value %q", p.toks[i])
+	}
+	return v, nil
+}
+
+// costArg parses a finite, non-negative float (communication volumes,
+// energies, bandwidths).
+func (p *parser) costArg(i int) (float64, error) {
+	v, err := p.finiteArg(i)
+	if err != nil {
+		return 0, err
+	}
+	if v < 0 {
+		return 0, p.errf("negative value %q", p.toks[i])
+	}
+	return v, nil
+}
+
 // Read parses a workload. The returned platform is nil when the file has no
 // platform section.
 func Read(r io.Reader) (*ctg.Graph, *platform.Platform, error) {
@@ -181,9 +216,15 @@ func Read(r io.Reader) (*ctg.Graph, *platform.Platform, error) {
 	if err != nil {
 		return nil, nil, err
 	}
-	deadline, err := p.floatArg(3)
+	if numTasks <= 0 || numTasks > maxTasks {
+		return nil, nil, p.errf("task count %d out of range (1..%d)", numTasks, maxTasks)
+	}
+	deadline, err := p.finiteArg(3)
 	if err != nil {
 		return nil, nil, err
+	}
+	if deadline <= 0 {
+		return nil, nil, p.errf("deadline must be positive, got %v", deadline)
 	}
 
 	gb := ctg.NewBuilder()
@@ -203,6 +244,9 @@ func Read(r io.Reader) (*ctg.Graph, *platform.Platform, error) {
 			}
 			if id != added {
 				return nil, nil, p.errf("task ids must be dense and ordered; got %d, want %d", id, added)
+			}
+			if added >= numTasks {
+				return nil, nil, p.errf("more tasks than the %d the header declares", numTasks)
 			}
 			if len(p.toks) != 4 {
 				return nil, nil, p.errf("want `task <id> <name> <and|or>`")
@@ -237,7 +281,10 @@ func Read(r io.Reader) (*ctg.Graph, *platform.Platform, error) {
 			if p.toks[3] != "comm" {
 				return nil, nil, p.errf("want `comm`, got %q", p.toks[3])
 			}
-			comm, err := p.floatArg(4)
+			if from < 0 || from >= numTasks || to < 0 || to >= numTasks {
+				return nil, nil, p.errf("edge %d->%d references a task outside 0..%d", from, to, numTasks-1)
+			}
+			comm, err := p.costArg(4)
 			if err != nil {
 				return nil, nil, err
 			}
@@ -265,11 +312,17 @@ func Read(r io.Reader) (*ctg.Graph, *platform.Platform, error) {
 			if err != nil {
 				return nil, nil, err
 			}
+			if fork < 0 || fork >= numTasks {
+				return nil, nil, p.errf("probs fork %d outside 0..%d", fork, numTasks-1)
+			}
 			probs := make([]float64, 0, len(p.toks)-2)
 			for i := 2; i < len(p.toks); i++ {
-				v, err := p.floatArg(i)
+				v, err := p.finiteArg(i)
 				if err != nil {
 					return nil, nil, err
+				}
+				if v < 0 || v > 1 {
+					return nil, nil, p.errf("probability %v outside [0,1]", v)
 				}
 				probs = append(probs, v)
 			}
@@ -289,6 +342,12 @@ func Read(r io.Reader) (*ctg.Graph, *platform.Platform, error) {
 			if pt != numTasks {
 				return nil, nil, p.errf("platform sized for %d tasks, graph header says %d", pt, numTasks)
 			}
+			if numPEs <= 0 || numPEs > maxPEs {
+				return nil, nil, p.errf("PE count %d out of range (1..%d)", numPEs, maxPEs)
+			}
+			if pb != nil {
+				return nil, nil, p.errf("duplicate platform header")
+			}
 			pb = platform.NewBuilder(pt, numPEs)
 			havePlatform = true
 		case "wcet", "energy":
@@ -299,12 +358,15 @@ func Read(r io.Reader) (*ctg.Graph, *platform.Platform, error) {
 			if err != nil {
 				return nil, nil, err
 			}
+			if task < 0 || task >= numTasks {
+				return nil, nil, p.errf("%s task %d outside 0..%d", p.toks[0], task, numTasks-1)
+			}
 			if len(p.toks) != 2+numPEs {
 				return nil, nil, p.errf("want %d values, got %d", numPEs, len(p.toks)-2)
 			}
 			vals := make([]float64, numPEs)
 			for i := range vals {
-				v, err := p.floatArg(2 + i)
+				v, err := p.costArg(2 + i)
 				if err != nil {
 					return nil, nil, err
 				}
@@ -329,11 +391,11 @@ func Read(r io.Reader) (*ctg.Graph, *platform.Platform, error) {
 			if err != nil {
 				return nil, nil, err
 			}
-			bw, err := p.floatArg(3)
+			bw, err := p.costArg(3)
 			if err != nil {
 				return nil, nil, err
 			}
-			en, err := p.floatArg(4)
+			en, err := p.costArg(4)
 			if err != nil {
 				return nil, nil, err
 			}

@@ -39,6 +39,29 @@ func FuzzRead(f *testing.F) {
 	f.Add(strings.Repeat("ctg 1 deadline 5\n", 3))
 	f.Add("ctg 1 deadline 5\ntask 0 \"a\" and\nedge 0 0 comm 1\n")
 	f.Add("ctg 3 deadline 9\ntask 0 \"a\" and\ntask 1 \"b\" and\ntask 2 \"c\" or\nedge 0 1 comm 1 cond 0 0\nedge 0 2 comm 1 cond 0 1\nprobs 0 0.25 0.75\n")
+	// Hostile numerics and counts: non-finite probabilities, deadlines and
+	// costs, negative indices, and absurd header sizes that must not drive
+	// allocation.
+	f.Add("ctg 1 deadline Inf\ntask 0 \"a\" and\n")
+	f.Add("ctg 1 deadline NaN\ntask 0 \"a\" and\n")
+	f.Add("ctg 1 deadline -5\ntask 0 \"a\" and\n")
+	f.Add("ctg 2 deadline 5\ntask 0 \"a\" and\ntask 1 \"b\" and\nedge 0 1 comm NaN\n")
+	f.Add("ctg 2 deadline 5\ntask 0 \"a\" and\ntask 1 \"b\" and\nedge 0 1 comm -1\n")
+	f.Add("ctg 2 deadline 5\ntask 0 \"a\" and\ntask 1 \"b\" and\nedge 0 1 comm +Inf\n")
+	f.Add("ctg 3 deadline 9\ntask 0 \"a\" and\ntask 1 \"b\" and\ntask 2 \"c\" or\nedge 0 1 comm 1 cond 0 0\nedge 0 2 comm 1 cond 0 1\nprobs 0 NaN NaN\n")
+	f.Add("ctg 3 deadline 9\ntask 0 \"a\" and\ntask 1 \"b\" and\ntask 2 \"c\" or\nedge 0 1 comm 1 cond 0 0\nedge 0 2 comm 1 cond 0 1\nprobs -1 0.5 0.5\n")
+	f.Add("ctg 3 deadline 9\ntask 0 \"a\" and\ntask 1 \"b\" and\ntask 2 \"c\" or\nedge 0 1 comm 1 cond 0 0\nedge 0 2 comm 1 cond 0 1\nprobs 0 -0.5 1.5\n")
+	f.Add("ctg 999999999 deadline 5\ntask 0 \"a\" and\n")
+	f.Add("ctg -7 deadline 5\n")
+	f.Add("ctg 1 deadline 5\ntask 0 \"a\" and\nplatform 1 999999999\n")
+	f.Add("ctg 1 deadline 5\ntask 0 \"a\" and\nplatform 1 -3\n")
+	f.Add("ctg 1 deadline 5\ntask 0 \"a\" and\nplatform 1 1\nwcet -4 1\nenergy 0 1\n")
+	f.Add("ctg 1 deadline 5\ntask 0 \"a\" and\nplatform 1 1\nwcet 0 NaN\nenergy 0 1\n")
+	f.Add("ctg 1 deadline 5\ntask 0 \"a\" and\nplatform 1 1\nwcet 0 1\nenergy 0 -2\n")
+	f.Add("ctg 1 deadline 5\ntask 0 \"a\" and\nplatform 1 2\nwcet 0 1 1\nenergy 0 1 1\nlink 0 1 Inf 0.1\n")
+	f.Add("ctg 1 deadline 5\ntask 0 \"a\" and\nplatform 1 2\nwcet 0 1 1\nenergy 0 1 1\nlink 0 5 1 0.1\n")
+	f.Add("ctg 2 deadline 5\ntask 0 \"a\" and\ntask 1 \"b\" and\nedge 0 -9 comm 1\n")
+	f.Add("ctg 1 deadline 5\ntask 0 \"a\" and\ntask 1 \"b\" and\n")
 
 	f.Fuzz(func(t *testing.T, input string) {
 		g1, p1, err := Read(strings.NewReader(input))

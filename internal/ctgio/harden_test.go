@@ -1,0 +1,62 @@
+package ctgio
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestHostileInputsRejected drives the parser with inputs that used to slip
+// past validation (non-finite numbers, negative indices, absurd counts):
+// every one must come back as an error — no panic, no over-allocation, and
+// definitely no accepted graph.
+func TestHostileInputsRejected(t *testing.T) {
+	cases := map[string]string{
+		"inf deadline":      "ctg 1 deadline Inf\ntask 0 \"a\" and\n",
+		"nan deadline":      "ctg 1 deadline NaN\ntask 0 \"a\" and\n",
+		"negative deadline": "ctg 1 deadline -5\ntask 0 \"a\" and\n",
+		"nan comm":          "ctg 2 deadline 5\ntask 0 \"a\" and\ntask 1 \"b\" and\nedge 0 1 comm NaN\n",
+		"inf comm":          "ctg 2 deadline 5\ntask 0 \"a\" and\ntask 1 \"b\" and\nedge 0 1 comm Inf\n",
+		"negative comm":     "ctg 2 deadline 5\ntask 0 \"a\" and\ntask 1 \"b\" and\nedge 0 1 comm -1\n",
+		"edge out of range": "ctg 2 deadline 5\ntask 0 \"a\" and\ntask 1 \"b\" and\nedge 0 9 comm 1\n",
+		"edge negative":     "ctg 2 deadline 5\ntask 0 \"a\" and\ntask 1 \"b\" and\nedge -3 1 comm 1\n",
+		"negative fork": "ctg 3 deadline 9\ntask 0 \"a\" and\ntask 1 \"b\" and\ntask 2 \"c\" or\n" +
+			"edge 0 1 comm 1 cond 0 0\nedge 0 2 comm 1 cond 0 1\nprobs -1 0.5 0.5\n",
+		"nan prob": "ctg 3 deadline 9\ntask 0 \"a\" and\ntask 1 \"b\" and\ntask 2 \"c\" or\n" +
+			"edge 0 1 comm 1 cond 0 0\nedge 0 2 comm 1 cond 0 1\nprobs 0 NaN NaN\n",
+		"prob above one": "ctg 3 deadline 9\ntask 0 \"a\" and\ntask 1 \"b\" and\ntask 2 \"c\" or\n" +
+			"edge 0 1 comm 1 cond 0 0\nedge 0 2 comm 1 cond 0 1\nprobs 0 -0.5 1.5\n",
+		"huge task count":      "ctg 99999999999 deadline 5\ntask 0 \"a\" and\n",
+		"negative task count":  "ctg -7 deadline 5\n",
+		"zero task count":      "ctg 0 deadline 5\n",
+		"huge PE count":        "ctg 1 deadline 5\ntask 0 \"a\" and\nplatform 1 999999999\n",
+		"negative PE count":    "ctg 1 deadline 5\ntask 0 \"a\" and\nplatform 1 -3\n",
+		"duplicate platform":   "ctg 1 deadline 5\ntask 0 \"a\" and\nplatform 1 1\nplatform 1 1\nwcet 0 1\nenergy 0 1\n",
+		"wcet task negative":   "ctg 1 deadline 5\ntask 0 \"a\" and\nplatform 1 1\nwcet -4 1\nenergy 0 1\n",
+		"wcet task huge":       "ctg 1 deadline 5\ntask 0 \"a\" and\nplatform 1 1\nwcet 4 1\nenergy 0 1\n",
+		"nan wcet":             "ctg 1 deadline 5\ntask 0 \"a\" and\nplatform 1 1\nwcet 0 NaN\nenergy 0 1\n",
+		"negative energy":      "ctg 1 deadline 5\ntask 0 \"a\" and\nplatform 1 1\nwcet 0 1\nenergy 0 -2\n",
+		"inf bandwidth":        "ctg 1 deadline 5\ntask 0 \"a\" and\nplatform 1 2\nwcet 0 1 1\nenergy 0 1 1\nlink 0 1 Inf 0.1\n",
+		"link PE out of range": "ctg 1 deadline 5\ntask 0 \"a\" and\nplatform 1 2\nwcet 0 1 1\nenergy 0 1 1\nlink 0 5 1 0.1\n",
+		"extra tasks":          "ctg 1 deadline 5\ntask 0 \"a\" and\ntask 1 \"b\" and\n",
+	}
+	for name, input := range cases {
+		if _, _, err := Read(strings.NewReader(input)); err == nil {
+			t.Errorf("%s: accepted hostile input", name)
+		}
+	}
+}
+
+// TestValidWorkloadStillAccepted pins the happy path after hardening.
+func TestValidWorkloadStillAccepted(t *testing.T) {
+	input := "ctg 3 deadline 9\ntask 0 \"a\" and\ntask 1 \"b\" and\ntask 2 \"c\" or\n" +
+		"edge 0 1 comm 1 cond 0 0\nedge 0 2 comm 1 cond 0 1\nprobs 0 0.25 0.75\n" +
+		"platform 3 2\nwcet 0 1 2\nenergy 0 1 1\nwcet 1 1 2\nenergy 1 1 1\nwcet 2 1 2\nenergy 2 1 1\n" +
+		"link 0 1 4 0.1\nlink 1 0 4 0.1\n"
+	g, p, err := Read(strings.NewReader(input))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumTasks() != 3 || p == nil || p.NumPEs() != 2 {
+		t.Fatalf("parsed shape wrong: %d tasks, platform %v", g.NumTasks(), p)
+	}
+}

@@ -1,0 +1,89 @@
+package exp
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"ctgdvfs/internal/par"
+)
+
+// campaignTestVectors truncates the measured sequences so the acceptance
+// tests stay affordable under the race detector; the qualitative contrast is
+// already unambiguous at this length.
+const campaignTestVectors = 250
+
+// TestFaultCampaignAcceptance pins the PR's headline claim on both
+// application workloads: under the seeded 20%-overrun plan the guarded
+// runtime with fallback recovery misses strictly less than the unguarded
+// adaptive runtime AND spends strictly less energy than the always-full-speed
+// baseline, with the recovery counters visible in the row.
+func TestFaultCampaignAcceptance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fault campaign replays hundreds of faulty instances per runtime")
+	}
+	r, err := faultCampaignN(DefaultCampaignSpec(), DefaultCampaignGuard, campaignTestVectors)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 2 {
+		t.Fatalf("got %d workloads, want 2", len(r.Rows))
+	}
+	for _, row := range r.Rows {
+		if row.Overruns == 0 {
+			t.Errorf("%s: fault plan injected no overruns", row.Workload)
+		}
+		if row.UnguardedMisses == 0 {
+			t.Errorf("%s: unguarded runtime never missed; the campaign has no contrast", row.Workload)
+		}
+		if row.GuardedMisses >= row.UnguardedMisses {
+			t.Errorf("%s: guarded misses %d not strictly below unguarded %d",
+				row.Workload, row.GuardedMisses, row.UnguardedMisses)
+		}
+		if row.GuardedEnergy >= row.FullSpeedEnergy {
+			t.Errorf("%s: guarded energy %v not strictly below full-speed %v",
+				row.Workload, row.GuardedEnergy, row.FullSpeedEnergy)
+		}
+		if row.FallbackActivations == 0 {
+			t.Errorf("%s: fallback never activated", row.Workload)
+		}
+		if row.MissesAvoided > row.FallbackActivations {
+			t.Errorf("%s: misses avoided %d exceeds activations %d",
+				row.Workload, row.MissesAvoided, row.FallbackActivations)
+		}
+		if row.GuardedMisses+row.MissesAvoided > row.FallbackActivations+row.UnguardedMisses {
+			t.Errorf("%s: counters inconsistent: %+v", row.Workload, row)
+		}
+	}
+	out := r.Render()
+	for _, want := range []string{"Fault campaign", "Guarded+fallback", "mpeg", "cruise"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q", want)
+		}
+	}
+}
+
+// TestFaultCampaignDeterministicAcrossWorkerBounds re-runs the campaign at
+// several worker bounds: the stateless fault hash plus the index-addressed
+// parallel helpers must make every number bit-for-bit identical.
+func TestFaultCampaignDeterministicAcrossWorkerBounds(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fault campaign replays hundreds of faulty instances per runtime")
+	}
+	var base *FaultCampaignResult
+	for _, workers := range []int{1, 4} {
+		prev := par.SetLimit(workers)
+		r, err := faultCampaignN(DefaultCampaignSpec(), DefaultCampaignGuard, campaignTestVectors)
+		par.SetLimit(prev)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if base == nil {
+			base = r
+			continue
+		}
+		if !reflect.DeepEqual(base.Rows, r.Rows) {
+			t.Fatalf("workers=%d diverged:\n%+v\n%+v", workers, base.Rows, r.Rows)
+		}
+	}
+}

@@ -64,6 +64,13 @@ func workersFor(n int) int {
 // run distributes indices [0, n) over the given number of workers, passing
 // each invocation its dense worker id in [0, workers). It is the common
 // engine under the exported helpers.
+//
+// Panic safety: a panicking body never kills a worker goroutine mid-pool or
+// deadlocks the caller. Each worker recovers per index, records the panic,
+// and keeps draining; after the pool joins, the panic of the *lowest* index
+// is re-raised on the calling goroutine — the same deterministic panic (and
+// the same goroutine) a serial loop would produce, regardless of worker
+// bound or interleaving.
 func run(n, workers int, body func(worker, i int)) {
 	if n <= 0 {
 		return
@@ -73,6 +80,23 @@ func run(n, workers int, body func(worker, i int)) {
 			body(0, i)
 		}
 		return
+	}
+	var (
+		panicMu  sync.Mutex
+		panicIdx = n // lowest panicking index seen; n = none
+		panicVal any
+	)
+	invoke := func(worker, i int) {
+		defer func() {
+			if r := recover(); r != nil {
+				panicMu.Lock()
+				if i < panicIdx {
+					panicIdx, panicVal = i, r
+				}
+				panicMu.Unlock()
+			}
+		}()
+		body(worker, i)
 	}
 	var next atomic.Int64
 	var wg sync.WaitGroup
@@ -85,11 +109,14 @@ func run(n, workers int, body func(worker, i int)) {
 				if i >= n {
 					return
 				}
-				body(worker, i)
+				invoke(worker, i)
 			}
 		}(w)
 	}
 	wg.Wait()
+	if panicIdx < n {
+		panic(panicVal)
+	}
 }
 
 // ForEach runs fn(i) for every i in [0, n) on the pool.

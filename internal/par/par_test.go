@@ -134,3 +134,57 @@ func TestMapScratchErr(t *testing.T) {
 		t.Fatalf("want fail@10, got %v", err)
 	}
 }
+
+func TestPanicInWorkerPropagatesAtEveryBound(t *testing.T) {
+	const n = 64
+	for _, workers := range []int{1, 2, 3, 4, 8, 16, 64} {
+		prev := SetLimit(workers)
+		func() {
+			defer SetLimit(prev)
+			defer func() {
+				r := recover()
+				if r == nil {
+					t.Fatalf("workers=%d: panic swallowed", workers)
+				}
+				if s, ok := r.(string); !ok || s != "boom 7" {
+					t.Fatalf("workers=%d: recovered %v, want lowest-index panic \"boom 7\"", workers, r)
+				}
+			}()
+			// Two panicking indices: the lower one must win at every bound,
+			// matching what a serial loop would raise first.
+			Map(n, func(i int) int {
+				if i == 7 || i == 40 {
+					panic(fmt.Sprintf("boom %d", i))
+				}
+				return i
+			})
+		}()
+	}
+}
+
+func TestPanicDoesNotStarveSiblingIndices(t *testing.T) {
+	// Every non-panicking index still runs: the pool drains instead of
+	// dying with the panicking goroutine.
+	const n = 200
+	var ran [n]atomic.Int64
+	prev := SetLimit(4)
+	defer SetLimit(prev)
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("panic swallowed")
+			}
+		}()
+		ForEach(n, func(i int) {
+			ran[i].Add(1)
+			if i == 13 {
+				panic(errors.New("unlucky"))
+			}
+		})
+	}()
+	for i := range ran {
+		if c := ran[i].Load(); c != 1 {
+			t.Fatalf("index %d ran %d times after sibling panic", i, c)
+		}
+	}
+}

@@ -100,3 +100,19 @@ func (d DVFS) SpeedForTime(wcet, budget float64) float64 {
 	}
 	return d.Clamp(wcet / budget)
 }
+
+// GuardedSpeedForTime is SpeedForTime with a guard band: a fraction guard of
+// the slack (budget − wcet) is reserved as margin rather than converted to
+// speed reduction, so the task nominally finishes guard·slack early and a
+// bounded execution-time overrun is absorbed before the budget is breached.
+// guard ≤ 0 reproduces SpeedForTime exactly; guard ≥ 1 reserves all slack
+// (full speed); NaN guards are treated as 0.
+func (d DVFS) GuardedSpeedForTime(wcet, budget, guard float64) float64 {
+	if guard > 0 && budget > wcet {
+		if guard > 1 {
+			guard = 1
+		}
+		budget = wcet + (budget-wcet)*(1-guard)
+	}
+	return d.SpeedForTime(wcet, budget)
+}

@@ -2,6 +2,7 @@ package sim
 
 import (
 	"ctgdvfs/internal/ctg"
+	"ctgdvfs/internal/faults"
 	"ctgdvfs/internal/sched"
 )
 
@@ -34,6 +35,18 @@ type Config struct {
 	// (ScenarioSpeeds[scenario][task]) as produced by
 	// stretch.PerScenario.
 	ScenarioSpeeds [][]float64
+
+	// Faults, when non-nil, perturbs per-task execution times with the
+	// plan's multiplicative factors. The replay then reports the perturbed
+	// Energy/Makespan/DeadlineMet next to the Nominal* fields; with Faults
+	// nil every number is bit-for-bit the unperturbed model.
+	Faults *faults.Plan
+	// FaultInstance selects which instance of the fault plan's
+	// deterministic sequence this replay represents. Exhaustive uses the
+	// scenario index and Sample the sample index automatically; callers
+	// replaying a stream of CTG iterations (core.Manager) advance it per
+	// iteration.
+	FaultInstance int
 }
 
 // orGuards precomputes, per or-node, the set of branch forks that are

@@ -39,7 +39,12 @@ func Sample(s *sched.Schedule, rng *rand.Rand, n int, cfg Config) (Summary, erro
 		if err != nil {
 			return Summary{}, err
 		}
-		inst, err := ReplayCfg(s, si, cfg)
+		ci := cfg
+		if ci.Faults != nil {
+			// Each sample is one CTG iteration of the fault sequence.
+			ci.FaultInstance = i
+		}
+		inst, err := ReplayCfg(s, si, ci)
 		if err != nil {
 			return Summary{}, err
 		}
@@ -51,8 +56,15 @@ func Sample(s *sched.Schedule, rng *rand.Rand, n int, cfg Config) (Summary, erro
 		if !inst.DeadlineMet {
 			sum.Misses++
 		}
+		sum.ExpectedLateness += inst.Lateness
+		sum.NominalExpectedEnergy += inst.NominalEnergy
+		sum.NominalExpectedMakespan += inst.NominalMakespan
+		sum.Overruns += inst.Overruns
 	}
 	sum.ExpectedEnergy /= float64(n)
 	sum.ExpectedMakespan /= float64(n)
+	sum.ExpectedLateness /= float64(n)
+	sum.NominalExpectedEnergy /= float64(n)
+	sum.NominalExpectedMakespan /= float64(n)
 	return sum, nil
 }

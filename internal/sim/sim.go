@@ -31,12 +31,18 @@ import (
 	"ctgdvfs/internal/sched"
 )
 
-// Instance is the outcome of replaying one CTG iteration.
+// Instance is the outcome of replaying one CTG iteration. Without a fault
+// plan the actual and nominal numbers coincide; with Config.Faults set,
+// Energy/Makespan/DeadlineMet describe the *perturbed* execution (what
+// actually happened under injected overruns) and the Nominal* fields keep
+// the unperturbed timeline alongside for comparison.
 type Instance struct {
 	// Scenario is the index of the realized leaf minterm.
 	Scenario int
 	// Energy is the consumed energy: Σ active E(τ)·s² plus the
-	// transmission energy of every active cross-PE edge.
+	// transmission energy of every active cross-PE edge. Under a fault
+	// plan, overrunning tasks consume proportionally more (the extra
+	// cycles run at the same speed).
 	Energy float64
 	// Makespan is the completion time of the last active task.
 	Makespan float64
@@ -44,6 +50,20 @@ type Instance struct {
 	DeadlineMet bool
 	// Executed counts the active (executed) tasks.
 	Executed int
+
+	// NominalEnergy and NominalMakespan are the unperturbed numbers
+	// (identical to Energy/Makespan when no fault plan is configured).
+	NominalEnergy   float64
+	NominalMakespan float64
+	// Lateness is max(0, Makespan − deadline): how far past the deadline
+	// the instance actually finished.
+	Lateness float64
+	// Overruns counts active tasks whose execution time was perturbed
+	// above nominal by the fault plan.
+	Overruns int
+	// MaxTaskLateness is the largest per-task finish-time slip versus the
+	// nominal timeline (zero without faults).
+	MaxTaskLateness float64
 }
 
 // Replay executes the schedule under the given leaf scenario with the
@@ -64,11 +84,6 @@ func ReplayCfg(s *sched.Schedule, scenario int, cfg Config) (Instance, error) {
 	}
 	active := s.A.Scenario(scenario).Active
 
-	type activity struct {
-		nominal float64
-		isComm  bool
-		id      int // task ID or edge index
-	}
 	var acts []activity
 	for t := 0; t < s.G.NumTasks(); t++ {
 		if active.Get(t) {
@@ -93,13 +108,65 @@ func ReplayCfg(s *sched.Schedule, scenario int, cfg Config) (Instance, error) {
 		return acts[i].id < acts[j].id
 	})
 
+	nom := walkTimeline(s, acts, active, scenario, cfg, guards, false)
+	inst := Instance{
+		Scenario: scenario,
+		Energy:   nom.energy, Makespan: nom.makespan, Executed: nom.executed,
+		NominalEnergy: nom.energy, NominalMakespan: nom.makespan,
+	}
+	if cfg.Faults != nil {
+		// The perturbed timeline re-walks the same dispatch order with the
+		// plan's execution-time factors applied; the nominal walk above is
+		// untouched, so disabling faults is bit-for-bit the paper's model.
+		pert := walkTimeline(s, acts, active, scenario, cfg, guards, true)
+		inst.Energy, inst.Makespan = pert.energy, pert.makespan
+		inst.Overruns = pert.overruns
+		for t := 0; t < s.G.NumTasks(); t++ {
+			if !active.Get(t) {
+				continue
+			}
+			if slip := pert.finish[t] - nom.finish[t]; slip > inst.MaxTaskLateness {
+				inst.MaxTaskLateness = slip
+			}
+		}
+	}
+	inst.DeadlineMet = inst.Makespan <= s.G.Deadline()+1e-9
+	if !inst.DeadlineMet {
+		inst.Lateness = inst.Makespan - s.G.Deadline()
+	}
+	return inst, nil
+}
+
+// activity is one dispatchable unit of a replay: a task or a link transfer,
+// ordered by nominal start time.
+type activity struct {
+	nominal float64
+	isComm  bool
+	id      int // task ID or edge index
+}
+
+// timeline is the outcome of one dispatch-order walk.
+type timeline struct {
+	finish   []float64 // per task: completion time
+	energy   float64
+	makespan float64
+	executed int
+	overruns int
+}
+
+// walkTimeline executes the activity list once: each PE dispatches its
+// active tasks in schedule order, link transfers serialize in schedule
+// order. With perturb set, every task's execution time (and energy — the
+// extra cycles run at the same speed) is multiplied by the fault plan's
+// factor for (Config.FaultInstance, task, PE).
+func walkTimeline(s *sched.Schedule, acts []activity, active ctg.Bitset, scenario int, cfg Config, guards orGuards, perturb bool) timeline {
 	finish := make([]float64, s.G.NumTasks())
 	commFinish := make([]float64, s.G.NumEdges())
 	peAvail := make([]float64, s.P.NumPEs())
 	peSpeed := make([]float64, s.P.NumPEs()) // last dispatched speed; 0 = none
 	linkAvail := map[[2]int]float64{}
 
-	inst := Instance{Scenario: scenario}
+	tl := timeline{finish: finish}
 	for _, act := range acts {
 		if act.isComm {
 			ei := act.id
@@ -108,7 +175,7 @@ func ReplayCfg(s *sched.Schedule, scenario int, cfg Config) (Instance, error) {
 			start := math.Max(linkAvail[link], finish[e.From])
 			commFinish[ei] = start + s.CommTime(ei)
 			linkAvail[link] = commFinish[ei]
-			inst.Energy += s.CommEnergy(ei)
+			tl.energy += s.CommEnergy(ei)
 			continue
 		}
 		t := ctg.TaskID(act.id)
@@ -121,7 +188,7 @@ func ReplayCfg(s *sched.Schedule, scenario int, cfg Config) (Instance, error) {
 		if peSpeed[pe] != 0 && peSpeed[pe] != speed {
 			// DVFS transition between consecutive tasks on this PE.
 			avail += cfg.SwitchTime
-			inst.Energy += cfg.SwitchEnergy
+			tl.energy += cfg.SwitchEnergy
 		}
 		start := avail
 		for _, ei := range s.G.Pred(t) {
@@ -154,17 +221,25 @@ func ReplayCfg(s *sched.Schedule, scenario int, cfg Config) (Instance, error) {
 				}
 			}
 		}
-		finish[t] = start + s.WCET(t)/speed
+		exec := s.WCET(t) / speed
+		taskEnergy := s.NominalEnergy(t) * speed * speed
+		if perturb {
+			if f := cfg.Faults.Factor(cfg.FaultInstance, int(t), pe); f > 1 {
+				exec *= f
+				taskEnergy *= f
+				tl.overruns++
+			}
+		}
+		finish[t] = start + exec
 		peAvail[pe] = finish[t]
 		peSpeed[pe] = speed
-		inst.Energy += s.NominalEnergy(t) * speed * speed
-		inst.Executed++
-		if finish[t] > inst.Makespan {
-			inst.Makespan = finish[t]
+		tl.energy += taskEnergy
+		tl.executed++
+		if finish[t] > tl.makespan {
+			tl.makespan = finish[t]
 		}
 	}
-	inst.DeadlineMet = inst.Makespan <= s.G.Deadline()+1e-9
-	return inst, nil
+	return tl
 }
 
 // ReplayDecisions resolves a full branch decision vector (one outcome per
@@ -187,6 +262,18 @@ type Summary struct {
 	WorstMakespan float64
 	// Misses counts scenarios that violate the deadline.
 	Misses int
+
+	// ExpectedLateness is the probability-weighted (or sample-mean)
+	// deadline overshoot, zero without faults whenever the stretched
+	// schedule fits the deadline.
+	ExpectedLateness float64
+	// NominalExpectedEnergy and NominalExpectedMakespan aggregate the
+	// unperturbed numbers; they equal ExpectedEnergy/ExpectedMakespan when
+	// no fault plan is configured.
+	NominalExpectedEnergy   float64
+	NominalExpectedMakespan float64
+	// Overruns totals the perturbed task executions across all replays.
+	Overruns int
 }
 
 // Exhaustive replays every leaf scenario and aggregates by probability.
@@ -200,7 +287,13 @@ func Exhaustive(s *sched.Schedule) (Summary, error) {
 // bit-for-bit identical to a serial loop.
 func ExhaustiveCfg(s *sched.Schedule, cfg Config) (Summary, error) {
 	insts, err := par.MapErr(s.A.NumScenarios(), func(si int) (Instance, error) {
-		return ReplayCfg(s, si, cfg)
+		ci := cfg
+		if ci.Faults != nil {
+			// Each scenario draws its own slice of the fault sequence so
+			// the exhaustive sweep exercises the plan's variation.
+			ci.FaultInstance = si
+		}
+		return ReplayCfg(s, si, ci)
 	})
 	if err != nil {
 		return Summary{}, err
@@ -216,6 +309,10 @@ func ExhaustiveCfg(s *sched.Schedule, cfg Config) (Summary, error) {
 		if !inst.DeadlineMet {
 			sum.Misses++
 		}
+		sum.ExpectedLateness += p * inst.Lateness
+		sum.NominalExpectedEnergy += p * inst.NominalEnergy
+		sum.NominalExpectedMakespan += p * inst.NominalMakespan
+		sum.Overruns += inst.Overruns
 	}
 	return sum, nil
 }

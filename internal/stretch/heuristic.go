@@ -1,6 +1,7 @@
 package stretch
 
 import (
+	"fmt"
 	"math"
 
 	"ctgdvfs/internal/ctg"
@@ -50,7 +51,28 @@ type Result struct {
 // receive slack, contradicting the stated goal of giving more slack to
 // likely tasks; under this reading the worked examples of §III.A hold.
 func Heuristic(s *sched.Schedule, d platform.DVFS, maxPaths int) (*Result, error) {
-	return HeuristicVariant(s, d, maxPaths, false)
+	return heuristicOpts(s, d, maxPaths, false, 0)
+}
+
+// HeuristicGuarded is Heuristic with a guard band: a fraction guard ∈ [0, 1]
+// of every task's distributed slack is reserved as margin instead of being
+// converted into speed reduction (platform.GuardedSpeedForTime), so the
+// stretched schedule tolerates bounded execution-time overruns by
+// construction at the cost of higher energy. guard = 0 is exactly Heuristic;
+// guard = 1 leaves every task at full speed.
+func HeuristicGuarded(s *sched.Schedule, d platform.DVFS, maxPaths int, guard float64) (*Result, error) {
+	if err := validGuard(guard); err != nil {
+		return nil, err
+	}
+	return heuristicOpts(s, d, maxPaths, false, guard)
+}
+
+// validGuard checks a guard-band fraction.
+func validGuard(guard float64) error {
+	if math.IsNaN(guard) || guard < 0 || guard > 1 {
+		return fmt.Errorf("stretch: guard band must be in [0,1], got %v", guard)
+	}
+	return nil
 }
 
 // HeuristicVariant exposes the ablation knob between the two readings of
@@ -60,6 +82,10 @@ func Heuristic(s *sched.Schedule, d platform.DVFS, maxPaths int) (*Result, error
 // shares shrink geometrically along a path, leaving slack unused). See the
 // ablation benchmarks for the measured difference.
 func HeuristicVariant(s *sched.Schedule, d platform.DVFS, maxPaths int, literalRatio bool) (*Result, error) {
+	return heuristicOpts(s, d, maxPaths, literalRatio, 0)
+}
+
+func heuristicOpts(s *sched.Schedule, d platform.DVFS, maxPaths int, literalRatio bool, guard float64) (*Result, error) {
 	if err := d.Validate(); err != nil {
 		return nil, err
 	}
@@ -72,7 +98,7 @@ func HeuristicVariant(s *sched.Schedule, d platform.DVFS, maxPaths int, literalR
 		slk := calculateSlack(dag, t, locked, literalRatio, scratch)
 		if slk > 0 {
 			wcet := s.WCET(t)
-			speed := d.SpeedForTime(wcet, wcet+slk)
+			speed := d.GuardedSpeedForTime(wcet, wcet+slk, guard)
 			if speed < 1 {
 				s.Speed[t] = speed
 				dag.refreshExec(t)

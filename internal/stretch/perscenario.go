@@ -42,6 +42,20 @@ type ScenarioSpeeds struct {
 // heuristic whenever minterm workloads differ, at the cost of a speed
 // table of size scenarios × tasks.
 func PerScenario(s *sched.Schedule, d platform.DVFS) (*ScenarioSpeeds, error) {
+	return perScenarioOpts(s, d, 0)
+}
+
+// PerScenarioGuarded is PerScenario with a guard band: a fraction guard of
+// every task's per-scenario slack is reserved as overrun margin
+// (platform.GuardedSpeedForTime). guard = 0 is exactly PerScenario.
+func PerScenarioGuarded(s *sched.Schedule, d platform.DVFS, guard float64) (*ScenarioSpeeds, error) {
+	if err := validGuard(guard); err != nil {
+		return nil, err
+	}
+	return perScenarioOpts(s, d, guard)
+}
+
+func perScenarioOpts(s *sched.Schedule, d platform.DVFS, guard float64) (*ScenarioSpeeds, error) {
 	if err := d.Validate(); err != nil {
 		return nil, err
 	}
@@ -61,7 +75,7 @@ func PerScenario(s *sched.Schedule, d platform.DVFS) (*ScenarioSpeeds, error) {
 	ideal := par.MapScratch(a.NumScenarios(),
 		func() *scenarioScratch { return newScenarioScratch(base) },
 		func(scr *scenarioScratch, si int) []float64 {
-			return scenarioStretch(s, d, si, scr)
+			return scenarioStretch(s, d, si, scr, guard)
 		})
 
 	// Step 2: causality folding by ancestor-fork signature. Tasks are
@@ -180,7 +194,7 @@ func (scr *scenarioScratch) load(active ctg.Bitset) {
 // execution time, only transfers between active endpoints cost, and the
 // whole slack is distributed among the active tasks (activation within the
 // scenario is certain, so no probability weighting applies).
-func scenarioStretch(s *sched.Schedule, d platform.DVFS, si int, scr *scenarioScratch) []float64 {
+func scenarioStretch(s *sched.Schedule, d platform.DVFS, si int, scr *scenarioScratch, guard float64) []float64 {
 	sc := s.A.Scenario(si)
 	scr.load(sc.Active)
 	dag := &scr.view
@@ -203,7 +217,7 @@ func scenarioStretch(s *sched.Schedule, d platform.DVFS, si int, scr *scenarioSc
 					slk = slack
 				}
 				if slk > 0 {
-					speed := d.SpeedForTime(wcet, wcet+slk)
+					speed := d.GuardedSpeedForTime(wcet, wcet+slk, guard)
 					if speed < 1 {
 						speeds[t] = speed
 						dag.exec[t] = wcet / speed

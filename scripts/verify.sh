@@ -1,8 +1,9 @@
 #!/bin/sh
 # verify.sh — the repo's full verification pipeline:
-#   vet, build, tests with the race detector, and a one-iteration smoke run
-#   of every benchmark (catches bit-rot in the bench harness without paying
-#   for real measurement).
+#   vet, build, tests with the race detector, a one-iteration smoke run of
+#   every benchmark (catches bit-rot in the bench harness without paying for
+#   real measurement), a short parser fuzzing session, and a fault-campaign
+#   run of the fault-tolerance layer.
 # Run from anywhere; operates on the repo root.
 set -eu
 
@@ -14,10 +15,19 @@ go vet ./...
 echo "== go build =="
 go build ./...
 
+# The exp suite replays every paper experiment; under the race detector on a
+# small machine that legitimately takes ~10 minutes, so raise go test's
+# default 10m per-package timeout rather than trimming coverage.
 echo "== go test -race =="
-go test -race ./...
+go test -race -timeout 30m ./...
 
 echo "== bench smoke (1 iteration each) =="
 go test -run '^$' -bench . -benchtime 1x ./... >/dev/null
+
+echo "== fuzz smoke (parser, 5s) =="
+go test -run '^$' -fuzz FuzzRead -fuzztime 5s ./internal/ctgio >/dev/null
+
+echo "== fault-campaign smoke =="
+go run ./cmd/experiments -exp faults >/dev/null
 
 echo "verify: OK"
