@@ -1,6 +1,6 @@
 # Standard entry points; `make verify` is the gate a change must pass.
 
-.PHONY: build test race bench bench-parallel fuzz-smoke fault-smoke verify
+.PHONY: build test race bench bench-parallel bench-telemetry fuzz-smoke fault-smoke telemetry-smoke verify
 
 build:
 	go build ./...
@@ -28,6 +28,16 @@ fuzz-smoke:
 # Fault-injection campaign on the MPEG + cruise workloads.
 fault-smoke:
 	go run ./cmd/experiments -exp faults
+
+# Telemetry-disabled vs enabled adaptive-step cost; see BENCH_telemetry.json
+# for a recorded baseline (including the pre-telemetry runtime).
+bench-telemetry:
+	go test -run '^$$' -bench 'AdaptiveStep(MPEG|Telemetry)' -benchmem .
+
+# Fault campaign with the Chrome trace export, validated by checktrace.
+telemetry-smoke:
+	go run ./cmd/experiments -exp faults -trace-out /tmp/ctgdvfs_trace.json
+	go run ./scripts/checktrace /tmp/ctgdvfs_trace.json
 
 verify:
 	sh scripts/verify.sh

@@ -15,7 +15,9 @@ import (
 	"ctgdvfs/internal/platform"
 	"ctgdvfs/internal/sched"
 	"ctgdvfs/internal/sim"
+	"ctgdvfs/internal/stats"
 	"ctgdvfs/internal/stretch"
+	"ctgdvfs/internal/telemetry"
 	"ctgdvfs/internal/tgff"
 	"ctgdvfs/internal/trace"
 )
@@ -107,6 +109,77 @@ type (
 	// SeriesPoint is one instant of a filtered-probability series.
 	SeriesPoint = core.SeriesPoint
 )
+
+// Telemetry (packages internal/telemetry, internal/stats): the runtime's
+// structured event stream, metrics registry and Chrome-trace export. Attach
+// a recorder via AdaptiveOptions.Recorder or SimConfig.Recorder; a nil
+// recorder keeps every instrumented path allocation-free and bit-for-bit
+// identical to an uninstrumented run.
+type (
+	// TelemetryEvent is one structured runtime event (task slice, window
+	// estimate, reschedule decision, fallback activation, ...).
+	TelemetryEvent = telemetry.Event
+	// TelemetryKind discriminates TelemetryEvent payloads.
+	TelemetryKind = telemetry.Kind
+	// TelemetryRecorder is the event sink interface; nil disables the
+	// stream.
+	TelemetryRecorder = telemetry.Recorder
+	// MemoryRecorder buffers events in memory (feed to ChromeTrace).
+	MemoryRecorder = telemetry.MemoryRecorder
+	// JSONLRecorder streams events as JSON lines to a writer.
+	JSONLRecorder = telemetry.JSONLRecorder
+	// MetricsRegistry is the named counter/gauge/histogram registry with
+	// JSON, HTTP and expvar exposition.
+	MetricsRegistry = telemetry.Registry
+	// MetricsSnapshot is a point-in-time copy of a registry.
+	MetricsSnapshot = telemetry.Snapshot
+	// ChromeTrace exports recorded runs as Chrome trace-event JSON
+	// (chrome://tracing, Perfetto).
+	ChromeTrace = telemetry.ChromeTrace
+	// Histogram is the fixed-bucket distribution summary behind the
+	// registry and the RunStats percentiles.
+	Histogram = stats.Histogram
+	// Percentiles is a P50/P95/P99 summary.
+	Percentiles = stats.Percentiles
+)
+
+// Telemetry event kinds.
+const (
+	KindInstanceStart  = telemetry.KindInstanceStart
+	KindInstanceFinish = telemetry.KindInstanceFinish
+	KindTaskSlice      = telemetry.KindTaskSlice
+	KindCommSlice      = telemetry.KindCommSlice
+	KindEstimate       = telemetry.KindEstimate
+	KindReschedule     = telemetry.KindReschedule
+	KindStretch        = telemetry.KindStretch
+	KindOverrun        = telemetry.KindOverrun
+	KindFallback       = telemetry.KindFallback
+	KindGuardLevel     = telemetry.KindGuardLevel
+)
+
+// NewMemoryRecorder returns an empty in-memory event sink.
+func NewMemoryRecorder() *MemoryRecorder { return telemetry.NewMemoryRecorder() }
+
+// NewJSONLRecorder returns a sink streaming events as JSON lines to w
+// (buffered; call Close — or Flush — before reading the output).
+func NewJSONLRecorder(w io.Writer) *JSONLRecorder { return telemetry.NewJSONLRecorder(w) }
+
+// ReadTelemetryJSONL parses a JSONL event stream back into events.
+func ReadTelemetryJSONL(r io.Reader) ([]TelemetryEvent, error) { return telemetry.ReadJSONL(r) }
+
+// NewMetricsRegistry returns an empty metrics registry.
+func NewMetricsRegistry() *MetricsRegistry { return telemetry.NewRegistry() }
+
+// NewChromeTrace returns an empty Chrome trace-event exporter.
+func NewChromeTrace() *ChromeTrace { return telemetry.NewChromeTrace() }
+
+// NewHistogram builds a fixed-bucket histogram over [lo, hi].
+func NewHistogram(lo, hi float64, buckets int) (*Histogram, error) {
+	return stats.NewHistogram(lo, hi, buckets)
+}
+
+// SamplePercentiles summarizes a sample's P50/P95/P99.
+func SamplePercentiles(xs []float64) Percentiles { return stats.SamplePercentiles(xs) }
 
 // Fault injection (package internal/faults).
 type (

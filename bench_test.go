@@ -523,3 +523,48 @@ func BenchmarkExhaustiveSerial(b *testing.B) { benchExhaustive(b, 1) }
 // BenchmarkExhaustiveParallel is the same workload on the default worker
 // bound.
 func BenchmarkExhaustiveParallel(b *testing.B) { benchExhaustive(b, 0) }
+
+// --- Telemetry overhead benchmarks (BENCH_telemetry.json) ---
+
+// benchAdaptiveTelemetry measures the adaptive runtime's per-instance cost
+// on the MPEG decoder under a given telemetry configuration. With a nil
+// recorder this is the telemetry-disabled path — compare against
+// BenchmarkAdaptiveStepMPEG (the uninstrumented call pattern) to read the
+// overhead of the always-on instrumentation hooks.
+func benchAdaptiveTelemetry(b *testing.B, rec ctgdvfs.TelemetryRecorder, reg *ctgdvfs.MetricsRegistry) {
+	g, p, err := ctgdvfs.BuildMPEG()
+	if err != nil {
+		b.Fatal(err)
+	}
+	g, err = ctgdvfs.TightenDeadline(g, p, 1.6)
+	if err != nil {
+		b.Fatal(err)
+	}
+	vec := ctgdvfs.MovieClips()[0].Generate(g, 4096)
+	mgr, err := ctgdvfs.NewAdaptive(g, p, ctgdvfs.AdaptiveOptions{
+		Window: 20, Threshold: 0.1, Recorder: rec, Metrics: reg,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := mgr.Step(vec[i%len(vec)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAdaptiveStepTelemetryOff is the telemetry-disabled adaptive step:
+// every emission site nil-checks and skips, only the metrics mirror runs.
+func BenchmarkAdaptiveStepTelemetryOff(b *testing.B) {
+	benchAdaptiveTelemetry(b, nil, nil)
+}
+
+// BenchmarkAdaptiveStepTelemetryMemory records the full event stream into a
+// memory recorder (reset periodically so the buffer doesn't dominate).
+func BenchmarkAdaptiveStepTelemetryMemory(b *testing.B) {
+	rec := ctgdvfs.NewMemoryRecorder()
+	benchAdaptiveTelemetry(b, rec, ctgdvfs.NewMetricsRegistry())
+	b.ReportMetric(float64(rec.Len())/float64(b.N), "events/op")
+}

@@ -31,6 +31,8 @@ func main() {
 	algo := flag.String("algo", "online", "algorithm: online, ref1, ref2/nlp, none (no DVFS)")
 	dot := flag.Bool("dot", false, "print the CTG in Graphviz dot format and exit")
 	gantt := flag.Bool("gantt", false, "also print a per-PE Gantt chart of the nominal schedule")
+	traceOut := flag.String("trace-out", "",
+		"write a Chrome trace-event file replaying every leaf scenario (open in chrome://tracing or https://ui.perfetto.dev)")
 	flag.Parse()
 
 	var g *ctgdvfs.Graph
@@ -126,10 +128,49 @@ func main() {
 	}
 	fmt.Printf("\nexpected energy %.2f, expected makespan %.1f, worst makespan %.1f, deadline misses %d/%d\n",
 		sum.ExpectedEnergy, sum.ExpectedMakespan, sum.WorstMakespan, sum.Misses, a.NumScenarios())
+	if *traceOut != "" {
+		if err := writeScenarioTrace(*traceOut, s, a.NumScenarios()); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote Chrome trace of %d scenarios to %s\n", a.NumScenarios(), *traceOut)
+	}
 	if *gantt {
 		fmt.Println()
 		fmt.Print(s.Gantt(100))
 	}
 	fmt.Println()
 	fmt.Print(ctgdvfs.AnalyzeBreakdown(s).String())
+}
+
+// writeScenarioTrace replays every leaf scenario serially with a recorder
+// attached (instance id = scenario index, so the trace lays the scenarios out
+// back to back) and writes the Chrome trace-event file.
+func writeScenarioTrace(path string, s *ctgdvfs.PlanResult, scenarios int) error {
+	rec := ctgdvfs.NewMemoryRecorder()
+	for si := 0; si < scenarios; si++ {
+		inst, err := ctgdvfs.ReplayCfg(s, si, ctgdvfs.SimConfig{Recorder: rec, InstanceID: si})
+		if err != nil {
+			return err
+		}
+		rec.Record(ctgdvfs.TelemetryEvent{
+			Kind:     ctgdvfs.KindInstanceFinish,
+			Instance: si,
+			Scenario: si,
+			Energy:   inst.Energy,
+			Makespan: inst.Makespan,
+			Lateness: inst.Lateness,
+			Met:      inst.DeadlineMet,
+		})
+	}
+	ct := ctgdvfs.NewChromeTrace()
+	ct.AddRun("scenarios", 1, rec.Events())
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := ct.Write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

@@ -9,18 +9,29 @@
 // miss-rate-vs-energy tradeoff of guard-band stretching plus worst-case
 // fallback recovery. -faults seeds the plan, -overrun sets the per-task
 // overrun probability, -guard sets the base guard band.
+//
+// Telemetry: -trace-out FILE exports the fault campaign's guarded runtimes as
+// a Chrome trace-event file (open in chrome://tracing or
+// https://ui.perfetto.dev — one process per workload, one row per PE/link);
+// -metrics-addr HOST:PORT serves the campaign's live metrics registry at
+// /metrics (JSON) and the standard expvar page at /debug/vars for the
+// duration of the run.
 package main
 
 import (
+	"expvar"
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"sort"
 	"time"
 
 	"ctgdvfs/internal/exp"
 	"ctgdvfs/internal/par"
+	"ctgdvfs/internal/telemetry"
 )
 
 // Fault-campaign knobs, shared with the runner table.
@@ -30,7 +41,41 @@ var (
 		"per-task execution-time overrun probability for the fault campaign")
 	faultGuard = flag.Float64("guard", exp.DefaultCampaignGuard,
 		"base guard band (fraction of slack reserved) for the fault campaign")
+
+	traceOut = flag.String("trace-out", "",
+		"write a Chrome trace-event file of the fault campaign's guarded runtimes (use with -exp faults)")
+	metricsAddr = flag.String("metrics-addr", "",
+		"serve the live metrics registry over HTTP at this address (/metrics JSON, /debug/vars expvar)")
+
+	// metricsReg is the registry served at -metrics-addr and fed by the
+	// observed fault campaign; campaignTel keeps the recorded event streams
+	// for -trace-out.
+	metricsReg  *telemetry.Registry
+	campaignTel *exp.CampaignTelemetry
 )
+
+// writeCampaignTrace renders the observed campaign's event streams as one
+// Chrome trace file, one process per workload in name order.
+func writeCampaignTrace(path string, tel *exp.CampaignTelemetry) error {
+	names := make([]string, 0, len(tel.Recorders))
+	for name := range tel.Recorders {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	ct := telemetry.NewChromeTrace()
+	for i, name := range names {
+		ct.AddRun(name, i+1, tel.Recorders[name].Events())
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := ct.Write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
 
 func main() {
 	exp := flag.String("exp", "all",
@@ -43,6 +88,20 @@ func main() {
 
 	if *workers > 0 {
 		par.SetLimit(*workers)
+	}
+	if *metricsAddr != "" {
+		metricsReg = telemetry.NewRegistry()
+		mux := http.NewServeMux()
+		mux.Handle("/metrics", metricsReg)
+		mux.Handle("/debug/vars", expvar.Handler())
+		if err := metricsReg.PublishExpvar("ctgdvfs"); err != nil {
+			fmt.Fprintf(os.Stderr, "metrics-addr: %v\n", err)
+		}
+		go func() {
+			if err := http.ListenAndServe(*metricsAddr, mux); err != nil {
+				fmt.Fprintf(os.Stderr, "metrics-addr: %v\n", err)
+			}
+		}()
 	}
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
@@ -77,6 +136,18 @@ func main() {
 	if ran == 0 {
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
 		os.Exit(2)
+	}
+
+	if *traceOut != "" {
+		if campaignTel == nil {
+			fmt.Fprintln(os.Stderr, "-trace-out: no traced experiment ran (use -exp faults)")
+			os.Exit(1)
+		}
+		if err := writeCampaignTrace(*traceOut, campaignTel); err != nil {
+			fmt.Fprintf(os.Stderr, "trace-out: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote Chrome trace to %s (open in chrome://tracing or https://ui.perfetto.dev)\n", *traceOut)
 	}
 
 	if *memprofile != "" {

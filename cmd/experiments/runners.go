@@ -112,6 +112,17 @@ func orderedRunners() []runner {
 			spec := exp.DefaultCampaignSpec()
 			spec.Seed = *faultSeed
 			spec.OverrunProb = *faultOverrun
+			// Telemetry flags switch the campaign to observed mode: the
+			// guarded runtimes record their event streams (-trace-out) and
+			// publish metrics into the served registry (-metrics-addr).
+			if *traceOut != "" || *metricsAddr != "" {
+				r, tel, err := exp.FaultCampaignObserved(spec, *faultGuard, metricsReg)
+				if err != nil {
+					return "", err
+				}
+				campaignTel = tel
+				return r.Render(), nil
+			}
 			r, err := exp.FaultCampaign(spec, *faultGuard)
 			if err != nil {
 				return "", err

@@ -9,7 +9,9 @@ import (
 	"ctgdvfs/internal/platform"
 	"ctgdvfs/internal/sched"
 	"ctgdvfs/internal/sim"
+	"ctgdvfs/internal/stats"
 	"ctgdvfs/internal/stretch"
+	"ctgdvfs/internal/telemetry"
 )
 
 // Circuit-breaker defaults: the miss-rate window and the windowed miss-rate
@@ -80,6 +82,24 @@ type Options struct {
 	// breaker; zero selects DefaultMissRateBound.
 	MissRateBound float64
 
+	// Recorder, when non-nil, receives the runtime's structured telemetry
+	// stream: instance start/finish, per-task and per-transfer slices (via
+	// the simulator), per-fork window estimates, re-scheduling decisions
+	// with cache outcome, stretch-pass summaries, fault overruns, fallback
+	// activations and circuit-breaker level changes. Nil (the default)
+	// disables the stream entirely: every emission site is nil-guarded
+	// before any event is built, so the disabled path adds one branch and
+	// zero allocations and the runtime's outputs are bit-for-bit identical
+	// to a recorder-free build.
+	Recorder telemetry.Recorder
+	// Metrics, when non-nil, is the registry the manager publishes its
+	// counters, gauges and latency/makespan histograms to (metric names
+	// are prefixed "adaptive."); nil gives the manager a private registry,
+	// exposed via Manager.Metrics. Sharing one registry across managers
+	// aggregates their counters (the campaign-wide view); each manager's
+	// RunStats remain per-manager either way.
+	Metrics *telemetry.Registry
+
 	// thresholdSet / windowSet record explicit SetThreshold / SetWindow
 	// calls, so literal zeros are distinguishable from unset fields.
 	thresholdSet bool
@@ -143,7 +163,18 @@ type Manager struct {
 	// nil when disabled.
 	cache *scheduleCache
 
-	calls int // re-scheduling invocations (the paper's "# of calls")
+	calls     int // re-scheduling invocations (the paper's "# of calls")
+	instances int // processed instances; doubles as the telemetry instance id
+
+	// Telemetry (inert unless Options.Recorder / Metrics set — rec nil
+	// means no events; metrics always points at a registry, private by
+	// default). The manager's logic state lives in the plain fields above
+	// and is mirrored into the registry handles, never read back from
+	// them: a registry shared across managers aggregates, and must not be
+	// able to corrupt any single manager's RunStats.
+	rec     telemetry.Recorder
+	metrics *telemetry.Registry
+	mm      managerMetrics
 
 	// Fault-tolerance state (inert unless Options.Recovery / Faults set).
 	fallback      *sched.Schedule // precomputed full-speed worst-case schedule
@@ -156,6 +187,45 @@ type Manager struct {
 	missCount     int
 	activations   int // fallback replays
 	missesAvoided int // fallback replays that met the deadline
+}
+
+// managerMetrics holds the manager's resolved registry handles so the hot
+// path never touches the registry's name maps.
+type managerMetrics struct {
+	instances, misses, overruns   *telemetry.Counter
+	calls, cacheHits, cacheMisses *telemetry.Counter
+	fallbacks, missesAvoided      *telemetry.Counter
+	guardLevel, maxGuardLevel     *telemetry.Gauge
+	drift                         *telemetry.Gauge
+	lateness, makespan            *telemetry.HistogramMetric
+}
+
+// resolveMetrics binds the manager's metric handles in reg under the
+// "adaptive." prefix. Histogram ranges are deadline-relative: lateness can
+// only fall in [0, deadline]-ish territory (clamping catches pathological
+// overshoots) and makespans beyond twice the deadline carry no extra
+// information.
+func (m *Manager) resolveMetrics(reg *telemetry.Registry) {
+	hi := m.g.Deadline()
+	if !(hi > 0) {
+		hi = 1
+	}
+	m.metrics = reg
+	m.mm = managerMetrics{
+		instances:     reg.Counter("adaptive.instances"),
+		misses:        reg.Counter("adaptive.misses"),
+		overruns:      reg.Counter("adaptive.overruns"),
+		calls:         reg.Counter("adaptive.calls"),
+		cacheHits:     reg.Counter("adaptive.cache_hits"),
+		cacheMisses:   reg.Counter("adaptive.cache_misses"),
+		fallbacks:     reg.Counter("adaptive.fallback_activations"),
+		missesAvoided: reg.Counter("adaptive.misses_avoided"),
+		guardLevel:    reg.Gauge("adaptive.guard_level"),
+		maxGuardLevel: reg.Gauge("adaptive.max_guard_level"),
+		drift:         reg.Gauge("adaptive.drift"),
+		lateness:      reg.Histogram("adaptive.lateness", 0, hi, 64),
+		makespan:      reg.Histogram("adaptive.makespan", 0, 2*hi, 64),
+	}
 }
 
 // StepResult reports one processed CTG instance.
@@ -207,6 +277,50 @@ type RunStats struct {
 	// MaxGuardLevel is the highest circuit-breaker escalation level the
 	// run reached.
 	MaxGuardLevel int
+
+	// LatenessP50/P95/P99 and MakespanP50/P95/P99 are percentile summaries
+	// of the per-instance final lateness and makespan distributions
+	// (stats.SamplePercentiles — interpolated within 1/256 of the observed
+	// range). All zero on an empty run.
+	LatenessP50, LatenessP95, LatenessP99 float64
+	MakespanP50, MakespanP95, MakespanP99 float64
+}
+
+// runAgg accumulates RunStats over a replayed instance sequence. Run and
+// RunStaticCfg share it so the adaptive and static runtimes aggregate — and
+// round — identically. The plain-sum fields are updated in the same order the
+// pre-telemetry runtime used, keeping accumulated floats bit-for-bit.
+type runAgg struct {
+	st       RunStats
+	lateness []float64
+	makespan []float64
+}
+
+func (a *runAgg) add(inst sim.Instance) {
+	a.st.Instances++
+	a.st.TotalEnergy += inst.Energy
+	a.st.AvgMakespan += inst.Makespan
+	if !inst.DeadlineMet {
+		a.st.Misses++
+	}
+	a.st.TotalLateness += inst.Lateness
+	a.st.Overruns += inst.Overruns
+	a.lateness = append(a.lateness, inst.Lateness)
+	a.makespan = append(a.makespan, inst.Makespan)
+}
+
+// finish computes the averages and percentile summaries.
+func (a *runAgg) finish() RunStats {
+	st := a.st
+	if st.Instances > 0 {
+		st.AvgEnergy = st.TotalEnergy / float64(st.Instances)
+		st.AvgMakespan /= float64(st.Instances)
+	}
+	lp := stats.SamplePercentiles(a.lateness)
+	mp := stats.SamplePercentiles(a.makespan)
+	st.LatenessP50, st.LatenessP95, st.LatenessP99 = lp.P50, lp.P95, lp.P99
+	st.MakespanP50, st.MakespanP95, st.MakespanP99 = mp.P50, mp.P95, mp.P99
+	return st
 }
 
 // New builds an adaptive manager. The graph's current branch probabilities
@@ -230,6 +344,12 @@ func New(g *ctg.Graph, p *platform.Platform, opts Options) (*Manager, error) {
 	if opts.CacheSize > 0 {
 		m.cache = newScheduleCache(opts.CacheSize)
 	}
+	m.rec = opts.Recorder
+	reg := opts.Metrics
+	if reg == nil {
+		reg = telemetry.NewRegistry()
+	}
+	m.resolveMetrics(reg)
 	a, err := ctg.Analyze(m.g)
 	if err != nil {
 		return nil, err
@@ -252,10 +372,11 @@ func New(g *ctg.Graph, p *platform.Platform, opts Options) (*Manager, error) {
 		m.fallback = fb
 		m.missRing = make([]bool, opts.MissWindow)
 	}
-	if err := m.reschedule(); err != nil {
+	if err := m.reschedule("initial"); err != nil {
 		return nil, err
 	}
 	m.calls = 0 // the initial schedule does not count as an adaptive call
+	m.mm.calls.Add(-1)
 	return m, nil
 }
 
@@ -285,7 +406,7 @@ func (m *Manager) Fallback() *sched.Schedule { return m.fallback }
 // order, speeds) is reused. Hits and misses both count as a call — the cache
 // changes the cost of an invocation, never the invocation count or its
 // result.
-func (m *Manager) reschedule() error {
+func (m *Manager) reschedule(reason string) error {
 	guard := m.effectiveGuard()
 	var key string
 	if m.cache != nil {
@@ -300,8 +421,12 @@ func (m *Manager) reschedule() error {
 		if e, ok := m.cache.get(key); ok {
 			m.schedule, m.speeds = e.schedule, e.speeds
 			m.calls++
+			m.mm.calls.Inc()
+			m.mm.cacheHits.Inc()
+			m.emitReschedule(reason, key, true)
 			return nil
 		}
+		m.mm.cacheMisses.Inc()
 	}
 	s, err := sched.DLS(m.a, m.p, m.opts.Sched)
 	if err != nil {
@@ -314,21 +439,66 @@ func (m *Manager) reschedule() error {
 		}
 		m.speeds = sp
 	} else {
-		if _, err := stretch.HeuristicGuarded(s, m.opts.DVFS, m.opts.MaxPaths, guard); err != nil {
+		sr, err := stretch.HeuristicGuarded(s, m.opts.DVFS, m.opts.MaxPaths, guard)
+		if err != nil {
 			return err
 		}
 		m.speeds = nil
+		if m.rec != nil {
+			// Stretch-pass summary: how much slack Figure 2 distributed and
+			// how much of it the (guarded, possibly discrete) DVFS model
+			// actually converted. The per-scenario path has no single
+			// summary — its detail is a scenarios × tasks table.
+			m.rec.Record(telemetry.Event{
+				Kind:       telemetry.KindStretch,
+				Instance:   m.instances,
+				Tasks:      sr.Stretched,
+				SlackFound: sr.SlackFound,
+				SlackUsed:  sr.SlackUsed,
+				Energy:     sr.ExpectedEnergy,
+				Makespan:   sr.WorstDelay,
+			})
+		}
 	}
 	m.schedule = s
 	if m.cache != nil {
 		m.cache.put(key, s, m.speeds)
 	}
 	m.calls++
+	m.mm.calls.Inc()
+	m.emitReschedule(reason, key, false)
 	return nil
+}
+
+// emitReschedule records the re-scheduling decision event. The hex rendering
+// of the cache key (raw probability bits) is only materialized when a
+// recorder is listening.
+func (m *Manager) emitReschedule(reason, key string, hit bool) {
+	if m.rec == nil {
+		return
+	}
+	ev := telemetry.Event{
+		Kind:     telemetry.KindReschedule,
+		Instance: m.instances,
+		Reason:   reason,
+		CacheHit: hit,
+		Calls:    m.calls,
+	}
+	if key != "" {
+		ev.Key = fmt.Sprintf("%x", key)
+	}
+	m.rec.Record(ev)
 }
 
 // Schedule returns the current schedule (read-only use).
 func (m *Manager) Schedule() *sched.Schedule { return m.schedule }
+
+// Metrics returns the registry the manager publishes to — the one passed via
+// Options.Metrics, or the manager's private registry otherwise. Never nil.
+func (m *Manager) Metrics() *telemetry.Registry { return m.metrics }
+
+// Instances returns the number of instances processed so far.
+func (m *Manager) Instances() int { return m.instances }
 
 // Calls returns the number of adaptive re-scheduling invocations so far.
 func (m *Manager) Calls() int { return m.calls }
@@ -362,6 +532,10 @@ func (m *Manager) Step(decisions []int) (StepResult, error) {
 	if err != nil {
 		return StepResult{}, err
 	}
+	idx := m.instances
+	if m.rec != nil {
+		m.rec.Record(telemetry.Event{Kind: telemetry.KindInstanceStart, Instance: idx, Scenario: si})
+	}
 	var cfg sim.Config
 	if m.speeds != nil {
 		cfg.ScenarioSpeeds = m.speeds.Speeds
@@ -371,6 +545,8 @@ func (m *Manager) Step(decisions []int) (StepResult, error) {
 		cfg.FaultInstance = m.faultInstance
 		m.faultInstance++
 	}
+	cfg.Recorder = m.rec
+	cfg.InstanceID = idx
 	inst, err := sim.ReplayCfg(m.schedule, si, cfg)
 	if err != nil {
 		return StepResult{}, err
@@ -384,6 +560,7 @@ func (m *Manager) Step(decisions []int) (StepResult, error) {
 		// stretching the timeline has the full static slack to absorb them.
 		fcfg := cfg
 		fcfg.ScenarioSpeeds = nil
+		fcfg.Phase = telemetry.PhaseFallback
 		fb, err := sim.ReplayCfg(m.fallback, si, fcfg)
 		if err != nil {
 			return StepResult{}, err
@@ -392,8 +569,22 @@ func (m *Manager) Step(decisions []int) (StepResult, error) {
 		res.Primary = inst
 		res.Instance = fb
 		m.activations++
+		m.mm.fallbacks.Inc()
 		if fb.DeadlineMet {
 			m.missesAvoided++
+			m.mm.missesAvoided.Inc()
+		}
+		if m.rec != nil {
+			// Makespan is the fallback re-run's; Makespan2 keeps the failed
+			// primary timeline for comparison.
+			m.rec.Record(telemetry.Event{
+				Kind:      telemetry.KindFallback,
+				Instance:  idx,
+				Met:       fb.DeadlineMet,
+				Makespan:  fb.Makespan,
+				Makespan2: inst.Makespan,
+				Phase:     telemetry.PhaseFallback,
+			})
 		}
 	}
 	// Only executed branch forks produce observable decisions.
@@ -407,9 +598,38 @@ func (m *Manager) Step(decisions []int) (StepResult, error) {
 		}
 	}
 	res.Drift = m.profiler.MaxDrift()
+	if m.rec != nil {
+		// One window-estimate update per fork that actually executed (the
+		// others observed nothing this instance).
+		for fi, fork := range m.g.Forks() {
+			if !active.Get(int(fork)) {
+				continue
+			}
+			m.rec.Record(telemetry.Event{
+				Kind:     telemetry.KindEstimate,
+				Instance: idx,
+				Fork:     fi,
+				Probs:    m.profiler.Estimate(fi),
+				Drift:    res.Drift,
+			})
+		}
+	}
+	prevLevel := m.guardLevel
 	breakerMoved := false
 	if m.fallback != nil {
 		breakerMoved = m.recordPrimaryOutcome(primaryMiss)
+	}
+	if breakerMoved {
+		m.mm.guardLevel.Set(float64(m.guardLevel))
+		m.mm.maxGuardLevel.SetMax(float64(m.guardLevel))
+		if m.rec != nil {
+			m.rec.Record(telemetry.Event{
+				Kind:     telemetry.KindGuardLevel,
+				Instance: idx,
+				Level:    m.guardLevel,
+				Level2:   prevLevel,
+			})
+		}
 	}
 	// Update only the branches whose estimate crossed the threshold (the
 	// paper's "the branch probability is updated with this new value");
@@ -441,12 +661,45 @@ func (m *Manager) Step(decisions []int) (StepResult, error) {
 		m.a.Reweight()
 	}
 	if updated || breakerMoved {
-		if err := m.reschedule(); err != nil {
+		reason := "drift"
+		switch {
+		case updated && breakerMoved:
+			reason = "drift+breaker"
+		case breakerMoved:
+			reason = "breaker"
+		}
+		if err := m.reschedule(reason); err != nil {
 			return StepResult{}, err
 		}
 		res.Rescheduled = true
 	}
 	res.GuardLevel = m.guardLevel
+	m.instances++
+	m.mm.instances.Inc()
+	if !res.Instance.DeadlineMet {
+		m.mm.misses.Inc()
+	}
+	if res.Instance.Overruns > 0 {
+		m.mm.overruns.Add(int64(res.Instance.Overruns))
+	}
+	m.mm.lateness.Observe(res.Instance.Lateness)
+	m.mm.makespan.Observe(res.Instance.Makespan)
+	m.mm.drift.Set(res.Drift)
+	if m.rec != nil {
+		m.rec.Record(telemetry.Event{
+			Kind:        telemetry.KindInstanceFinish,
+			Instance:    idx,
+			Scenario:    res.Instance.Scenario,
+			Energy:      res.Instance.Energy,
+			Makespan:    res.Instance.Makespan,
+			Lateness:    res.Instance.Lateness,
+			Met:         res.Instance.DeadlineMet,
+			Overruns:    res.Instance.Overruns,
+			Rescheduled: res.Rescheduled,
+			Drift:       res.Drift,
+			Level:       m.guardLevel,
+		})
+	}
 	return res, nil
 }
 
@@ -493,31 +746,21 @@ func (m *Manager) recordPrimaryOutcome(miss bool) bool {
 
 // Run processes a whole decision-vector sequence and aggregates statistics.
 func (m *Manager) Run(vectors [][]int) (RunStats, error) {
-	var st RunStats
+	var agg runAgg
 	for _, v := range vectors {
 		r, err := m.Step(v)
 		if err != nil {
-			return st, err
+			return agg.st, err
 		}
-		st.Instances++
-		st.TotalEnergy += r.Instance.Energy
-		st.AvgMakespan += r.Instance.Makespan
-		if !r.Instance.DeadlineMet {
-			st.Misses++
-		}
-		st.TotalLateness += r.Instance.Lateness
-		st.Overruns += r.Instance.Overruns
+		agg.add(r.Instance)
 	}
+	st := agg.finish()
 	st.Calls = m.calls
 	cs := m.CacheStats()
 	st.CacheHits, st.CacheMisses = cs.Hits, cs.Misses
 	st.FallbackActivations = m.activations
 	st.MissesAvoided = m.missesAvoided
 	st.MaxGuardLevel = m.maxLevelSeen
-	if st.Instances > 0 {
-		st.AvgEnergy = st.TotalEnergy / float64(st.Instances)
-		st.AvgMakespan /= float64(st.Instances)
-	}
 	return st, nil
 }
 
@@ -533,34 +776,39 @@ func RunStatic(s *sched.Schedule, vectors [][]int) (RunStats, error) {
 // instance i, matching the adaptive manager's cursor so the two runtimes
 // face the identical perturbation sequence).
 func RunStaticCfg(s *sched.Schedule, vectors [][]int, cfg sim.Config) (RunStats, error) {
-	var st RunStats
+	var agg runAgg
 	for i, v := range vectors {
 		si, err := s.A.ScenarioForDecisions(v)
 		if err != nil {
-			return st, err
+			return agg.st, err
 		}
 		ci := cfg
 		if ci.Faults != nil {
 			ci.FaultInstance = i
 		}
+		ci.InstanceID = i
+		if ci.Recorder != nil {
+			ci.Recorder.Record(telemetry.Event{Kind: telemetry.KindInstanceStart, Instance: i, Scenario: si})
+		}
 		inst, err := sim.ReplayCfg(s, si, ci)
 		if err != nil {
-			return st, err
+			return agg.st, err
 		}
-		st.Instances++
-		st.TotalEnergy += inst.Energy
-		st.AvgMakespan += inst.Makespan
-		if !inst.DeadlineMet {
-			st.Misses++
+		if ci.Recorder != nil {
+			ci.Recorder.Record(telemetry.Event{
+				Kind:     telemetry.KindInstanceFinish,
+				Instance: i,
+				Scenario: inst.Scenario,
+				Energy:   inst.Energy,
+				Makespan: inst.Makespan,
+				Lateness: inst.Lateness,
+				Met:      inst.DeadlineMet,
+				Overruns: inst.Overruns,
+			})
 		}
-		st.TotalLateness += inst.Lateness
-		st.Overruns += inst.Overruns
+		agg.add(inst)
 	}
-	if st.Instances > 0 {
-		st.AvgEnergy = st.TotalEnergy / float64(st.Instances)
-		st.AvgMakespan /= float64(st.Instances)
-	}
-	return st, nil
+	return agg.finish(), nil
 }
 
 // TightenDeadline rebuilds the graph with deadline = factor × the nominal

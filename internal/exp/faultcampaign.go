@@ -11,6 +11,7 @@ import (
 	"ctgdvfs/internal/par"
 	"ctgdvfs/internal/platform"
 	"ctgdvfs/internal/sim"
+	"ctgdvfs/internal/telemetry"
 	"ctgdvfs/internal/trace"
 )
 
@@ -125,7 +126,39 @@ func campaignWorkloads() ([]campaignWorkload, error) {
 // the slack — most of the DVFS saving, a bounded miss rate, and a full-speed
 // fallback for the instances the guard band cannot absorb.
 func FaultCampaign(spec faults.Spec, guard float64) (*FaultCampaignResult, error) {
-	return faultCampaignN(spec, guard, 0)
+	return faultCampaignN(spec, guard, 0, nil)
+}
+
+// CampaignTelemetry carries the observability side of an observed campaign:
+// one event stream per workload (separate recorders, so the parallel
+// workloads never interleave their streams) and one registry every guarded
+// manager publishes into (counters aggregate campaign-wide). Only the
+// guarded+fallback runtime is instrumented — it is the runtime whose behavior
+// (fallback re-runs, breaker trips, guard levels) the trace is for; the
+// baselines would only double every slice.
+type CampaignTelemetry struct {
+	Metrics   *telemetry.Registry
+	Recorders map[string]*telemetry.MemoryRecorder // keyed by workload name
+}
+
+// FaultCampaignObserved is FaultCampaign with telemetry attached to the
+// guarded runtime of every workload. The returned streams replay into
+// telemetry.ChromeTrace (one AddRun per workload) and the registry snapshot
+// summarizes the whole campaign. Pass a registry to watch the campaign live
+// (e.g. one already served over HTTP); nil allocates a private one.
+func FaultCampaignObserved(spec faults.Spec, guard float64, reg *telemetry.Registry) (*FaultCampaignResult, *CampaignTelemetry, error) {
+	if reg == nil {
+		reg = telemetry.NewRegistry()
+	}
+	tel := &CampaignTelemetry{
+		Metrics:   reg,
+		Recorders: make(map[string]*telemetry.MemoryRecorder),
+	}
+	res, err := faultCampaignN(spec, guard, 0, tel)
+	if err != nil {
+		return nil, nil, err
+	}
+	return res, tel, nil
 }
 
 // faultCampaignN is FaultCampaign with the measured sequences truncated to
@@ -133,7 +166,7 @@ func FaultCampaign(spec faults.Spec, guard float64) (*FaultCampaignResult, error
 // prefix so the campaign stays affordable under the race detector; the
 // truncation changes nothing but the sample size (instance i keeps fault
 // instance i).
-func faultCampaignN(spec faults.Spec, guard float64, maxVec int) (*FaultCampaignResult, error) {
+func faultCampaignN(spec faults.Spec, guard float64, maxVec int, tel *CampaignTelemetry) (*FaultCampaignResult, error) {
 	workloads, err := campaignWorkloads()
 	if err != nil {
 		return nil, err
@@ -143,6 +176,13 @@ func faultCampaignN(spec faults.Spec, guard float64, maxVec int) (*FaultCampaign
 			if len(workloads[i].vec) > maxVec {
 				workloads[i].vec = workloads[i].vec[:maxVec]
 			}
+		}
+	}
+	// Recorders are allocated before the fan-out so the map is read-only
+	// inside the workers.
+	if tel != nil {
+		for _, w := range workloads {
+			tel.Recorders[w.name] = telemetry.NewMemoryRecorder()
 		}
 	}
 	// The workloads are independent end-to-end runs, so they fan out over
@@ -165,10 +205,15 @@ func faultCampaignN(spec faults.Spec, guard float64, maxVec int) (*FaultCampaign
 			return CampaignRow{}, err
 		}
 
-		guarded, err := core.New(w.g, w.p, core.Options{
+		gopts := core.Options{
 			Window: 20, Threshold: 0.1, Faults: plan,
 			GuardBand: guard, Recovery: true,
-		})
+		}
+		if tel != nil {
+			gopts.Recorder = tel.Recorders[w.name]
+			gopts.Metrics = tel.Metrics
+		}
+		guarded, err := core.New(w.g, w.p, gopts)
 		if err != nil {
 			return CampaignRow{}, err
 		}

@@ -22,7 +22,7 @@ func TestFaultCampaignAcceptance(t *testing.T) {
 	if testing.Short() {
 		t.Skip("fault campaign replays hundreds of faulty instances per runtime")
 	}
-	r, err := faultCampaignN(DefaultCampaignSpec(), DefaultCampaignGuard, campaignTestVectors)
+	r, err := faultCampaignN(DefaultCampaignSpec(), DefaultCampaignGuard, campaignTestVectors, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -73,7 +73,7 @@ func TestFaultCampaignDeterministicAcrossWorkerBounds(t *testing.T) {
 	var base *FaultCampaignResult
 	for _, workers := range []int{1, 4} {
 		prev := par.SetLimit(workers)
-		r, err := faultCampaignN(DefaultCampaignSpec(), DefaultCampaignGuard, campaignTestVectors)
+		r, err := faultCampaignN(DefaultCampaignSpec(), DefaultCampaignGuard, campaignTestVectors, nil)
 		par.SetLimit(prev)
 		if err != nil {
 			t.Fatal(err)

@@ -4,6 +4,7 @@ import (
 	"ctgdvfs/internal/ctg"
 	"ctgdvfs/internal/faults"
 	"ctgdvfs/internal/sched"
+	"ctgdvfs/internal/telemetry"
 )
 
 // Config selects optional runtime-fidelity features of the replay
@@ -47,6 +48,21 @@ type Config struct {
 	// replaying a stream of CTG iterations (core.Manager) advance it per
 	// iteration.
 	FaultInstance int
+
+	// Recorder, when non-nil, receives one telemetry.KindTaskSlice event
+	// per executed task and one KindCommSlice per realized link transfer
+	// (of the timeline that counts: the perturbed walk under a fault plan,
+	// the nominal walk otherwise), plus a KindOverrun event per perturbed
+	// execution. With Recorder nil the replay allocates and emits nothing.
+	Recorder telemetry.Recorder
+	// InstanceID is the instance index stamped on emitted events —
+	// the step index for adaptive runs, the scenario index for
+	// exhaustive sweeps.
+	InstanceID int
+	// Phase labels emitted events (telemetry.Event.Phase); the adaptive
+	// manager marks its worst-case fallback re-runs with
+	// telemetry.PhaseFallback.
+	Phase string
 }
 
 // orGuards precomputes, per or-node, the set of branch forks that are

@@ -29,6 +29,7 @@ import (
 	"ctgdvfs/internal/ctg"
 	"ctgdvfs/internal/par"
 	"ctgdvfs/internal/sched"
+	"ctgdvfs/internal/telemetry"
 )
 
 // Instance is the outcome of replaying one CTG iteration. Without a fault
@@ -108,7 +109,13 @@ func ReplayCfg(s *sched.Schedule, scenario int, cfg Config) (Instance, error) {
 		return acts[i].id < acts[j].id
 	})
 
-	nom := walkTimeline(s, acts, active, scenario, cfg, guards, false)
+	// Telemetry records the timeline that counts: the perturbed walk when a
+	// fault plan is active, the nominal walk otherwise.
+	nomRec := cfg.Recorder
+	if cfg.Faults != nil {
+		nomRec = nil
+	}
+	nom := walkTimeline(s, acts, active, scenario, cfg, guards, false, nomRec)
 	inst := Instance{
 		Scenario: scenario,
 		Energy:   nom.energy, Makespan: nom.makespan, Executed: nom.executed,
@@ -118,7 +125,7 @@ func ReplayCfg(s *sched.Schedule, scenario int, cfg Config) (Instance, error) {
 		// The perturbed timeline re-walks the same dispatch order with the
 		// plan's execution-time factors applied; the nominal walk above is
 		// untouched, so disabling faults is bit-for-bit the paper's model.
-		pert := walkTimeline(s, acts, active, scenario, cfg, guards, true)
+		pert := walkTimeline(s, acts, active, scenario, cfg, guards, true, cfg.Recorder)
 		inst.Energy, inst.Makespan = pert.energy, pert.makespan
 		inst.Overruns = pert.overruns
 		for t := 0; t < s.G.NumTasks(); t++ {
@@ -158,8 +165,10 @@ type timeline struct {
 // active tasks in schedule order, link transfers serialize in schedule
 // order. With perturb set, every task's execution time (and energy — the
 // extra cycles run at the same speed) is multiplied by the fault plan's
-// factor for (Config.FaultInstance, task, PE).
-func walkTimeline(s *sched.Schedule, acts []activity, active ctg.Bitset, scenario int, cfg Config, guards orGuards, perturb bool) timeline {
+// factor for (Config.FaultInstance, task, PE). A non-nil rec receives one
+// slice event per dispatched activity (every emission is nil-guarded, so a
+// nil rec costs one branch and no allocations).
+func walkTimeline(s *sched.Schedule, acts []activity, active ctg.Bitset, scenario int, cfg Config, guards orGuards, perturb bool, rec telemetry.Recorder) timeline {
 	finish := make([]float64, s.G.NumTasks())
 	commFinish := make([]float64, s.G.NumEdges())
 	peAvail := make([]float64, s.P.NumPEs())
@@ -176,6 +185,16 @@ func walkTimeline(s *sched.Schedule, acts []activity, active ctg.Bitset, scenari
 			commFinish[ei] = start + s.CommTime(ei)
 			linkAvail[link] = commFinish[ei]
 			tl.energy += s.CommEnergy(ei)
+			if rec != nil {
+				rec.Record(telemetry.Event{
+					Kind: telemetry.KindCommSlice, Instance: cfg.InstanceID,
+					Scenario: scenario, Edge: ei,
+					Task: int(e.From), Task2: int(e.To),
+					PE: link[0], PE2: link[1],
+					Start: start, End: commFinish[ei],
+					Energy: s.CommEnergy(ei), Phase: cfg.Phase,
+				})
+			}
 			continue
 		}
 		t := ctg.TaskID(act.id)
@@ -223,11 +242,13 @@ func walkTimeline(s *sched.Schedule, acts []activity, active ctg.Bitset, scenari
 		}
 		exec := s.WCET(t) / speed
 		taskEnergy := s.NominalEnergy(t) * speed * speed
+		overrun := 0.0
 		if perturb {
 			if f := cfg.Faults.Factor(cfg.FaultInstance, int(t), pe); f > 1 {
 				exec *= f
 				taskEnergy *= f
 				tl.overruns++
+				overrun = f
 			}
 		}
 		finish[t] = start + exec
@@ -237,6 +258,21 @@ func walkTimeline(s *sched.Schedule, acts []activity, active ctg.Bitset, scenari
 		tl.executed++
 		if finish[t] > tl.makespan {
 			tl.makespan = finish[t]
+		}
+		if rec != nil {
+			rec.Record(telemetry.Event{
+				Kind: telemetry.KindTaskSlice, Instance: cfg.InstanceID,
+				Scenario: scenario, Task: int(t), Name: s.G.Task(t).Name,
+				PE: pe, Start: start, End: finish[t],
+				Speed: speed, Factor: overrun, Energy: taskEnergy,
+				Phase: cfg.Phase,
+			})
+			if overrun > 1 {
+				rec.Record(telemetry.Event{
+					Kind: telemetry.KindOverrun, Instance: cfg.InstanceID,
+					Task: int(t), PE: pe, Factor: overrun, Phase: cfg.Phase,
+				})
+			}
 		}
 	}
 	return tl

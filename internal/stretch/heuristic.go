@@ -18,7 +18,21 @@ type Result struct {
 	// WorstDelay is the largest chain delay after stretching; it never
 	// exceeds the deadline when the nominal schedule was feasible.
 	WorstDelay float64
+	// SlackFound sums the positive per-task slack CalculateSlack
+	// distributed (time units); SlackUsed sums the execution-time increase
+	// actually converted into speed reduction — under a guard band (or a
+	// discrete DVFS model snapping to a level) it is below SlackFound, the
+	// difference being the margin reserved for overruns. Populated by the
+	// heuristic stretchers; the worst-case and NLP baselines leave both
+	// zero.
+	SlackFound, SlackUsed float64
 }
+
+// Observer receives one callback per task processed by the stretching
+// heuristic (in DLS task order): the slack CalculateSlack distributed to the
+// task and the speed the task ended at. It is the telemetry hook of the
+// stretching stage; a nil Observer costs one branch per task.
+type Observer func(t ctg.TaskID, slack, speed float64)
 
 // Heuristic runs the paper's online task-stretching heuristic (Figure 2) on
 // the schedule, assigning one DVFS speed per task in the DLS task order. The
@@ -51,7 +65,7 @@ type Result struct {
 // receive slack, contradicting the stated goal of giving more slack to
 // likely tasks; under this reading the worked examples of §III.A hold.
 func Heuristic(s *sched.Schedule, d platform.DVFS, maxPaths int) (*Result, error) {
-	return heuristicOpts(s, d, maxPaths, false, 0)
+	return heuristicOpts(s, d, maxPaths, false, 0, nil)
 }
 
 // HeuristicGuarded is Heuristic with a guard band: a fraction guard ∈ [0, 1]
@@ -61,10 +75,16 @@ func Heuristic(s *sched.Schedule, d platform.DVFS, maxPaths int) (*Result, error
 // construction at the cost of higher energy. guard = 0 is exactly Heuristic;
 // guard = 1 leaves every task at full speed.
 func HeuristicGuarded(s *sched.Schedule, d platform.DVFS, maxPaths int, guard float64) (*Result, error) {
+	return HeuristicObserved(s, d, maxPaths, guard, nil)
+}
+
+// HeuristicObserved is HeuristicGuarded with a per-task telemetry Observer.
+// The observer only watches — passing nil is bit-for-bit HeuristicGuarded.
+func HeuristicObserved(s *sched.Schedule, d platform.DVFS, maxPaths int, guard float64, obs Observer) (*Result, error) {
 	if err := validGuard(guard); err != nil {
 		return nil, err
 	}
-	return heuristicOpts(s, d, maxPaths, false, guard)
+	return heuristicOpts(s, d, maxPaths, false, guard, obs)
 }
 
 // validGuard checks a guard-band fraction.
@@ -82,10 +102,10 @@ func validGuard(guard float64) error {
 // shares shrink geometrically along a path, leaving slack unused). See the
 // ablation benchmarks for the measured difference.
 func HeuristicVariant(s *sched.Schedule, d platform.DVFS, maxPaths int, literalRatio bool) (*Result, error) {
-	return heuristicOpts(s, d, maxPaths, literalRatio, 0)
+	return heuristicOpts(s, d, maxPaths, literalRatio, 0, nil)
 }
 
-func heuristicOpts(s *sched.Schedule, d platform.DVFS, maxPaths int, literalRatio bool, guard float64) (*Result, error) {
+func heuristicOpts(s *sched.Schedule, d platform.DVFS, maxPaths int, literalRatio bool, guard float64, obs Observer) (*Result, error) {
 	if err := d.Validate(); err != nil {
 		return nil, err
 	}
@@ -98,12 +118,17 @@ func heuristicOpts(s *sched.Schedule, d platform.DVFS, maxPaths int, literalRati
 		slk := calculateSlack(dag, t, locked, literalRatio, scratch)
 		if slk > 0 {
 			wcet := s.WCET(t)
+			res.SlackFound += slk
 			speed := d.GuardedSpeedForTime(wcet, wcet+slk, guard)
 			if speed < 1 {
 				s.Speed[t] = speed
 				dag.refreshExec(t)
 				res.Stretched++
+				res.SlackUsed += wcet/speed - wcet
 			}
+		}
+		if obs != nil {
+			obs(t, slk, s.Speed[t])
 		}
 		// "Stretch τi, lock its schedule and speed": processed tasks leave
 		// the distributable portion of every path they span.

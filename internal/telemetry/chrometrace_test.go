@@ -1,0 +1,124 @@
+package telemetry_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"ctgdvfs/internal/core"
+	"ctgdvfs/internal/telemetry"
+	"ctgdvfs/internal/tgff"
+	"ctgdvfs/internal/trace"
+)
+
+var update = flag.Bool("update", false, "rewrite the chrometrace golden file")
+
+// goldenEvents replays a small deterministic CTG through the adaptive manager
+// with a memory recorder attached. Everything in the chain is seeded: the
+// workload generator, the decision stream, the scheduler and the replay — so
+// the recorded stream, and hence the exported trace, is byte-stable.
+func goldenEvents(t *testing.T) []telemetry.Event {
+	t.Helper()
+	cfg := tgff.Config{Seed: 42, Nodes: 10, PEs: 2, Branches: 2, Category: tgff.ForkJoin}
+	g, p, err := tgff.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := telemetry.NewMemoryRecorder()
+	m, err := core.New(g, p, core.Options{Window: 5, Threshold: 0.1, Recorder: rec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Run(trace.Fluctuating(g, 4, 6, 0.45)); err != nil {
+		t.Fatal(err)
+	}
+	return rec.Events()
+}
+
+// TestChromeTraceGolden pins the exporter's exact output. On intentional
+// format changes rerun with -update and eyeball the diff (and reload the file
+// in Perfetto).
+func TestChromeTraceGolden(t *testing.T) {
+	ct := telemetry.NewChromeTrace()
+	ct.AddRun("adaptive", 1, goldenEvents(t))
+	var buf bytes.Buffer
+	if err := ct.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	golden := filepath.Join("testdata", "chrometrace_golden.json")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run go test ./internal/telemetry -update to create it)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("trace output drifted from golden file (len %d vs %d);\nrun with -update if the change is intentional", buf.Len(), len(want))
+	}
+}
+
+// TestChromeTraceWellFormed validates the structural invariants any trace
+// viewer relies on, independent of the exact golden bytes.
+func TestChromeTraceWellFormed(t *testing.T) {
+	ct := telemetry.NewChromeTrace()
+	ct.AddRun("adaptive", 1, goldenEvents(t))
+	var buf bytes.Buffer
+	if err := ct.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var file struct {
+		TraceEvents []struct {
+			Name  string  `json:"name"`
+			Ph    string  `json:"ph"`
+			Ts    float64 `json:"ts"`
+			Dur   float64 `json:"dur"`
+			Pid   int     `json:"pid"`
+			Tid   int     `json:"tid"`
+			ID    string  `json:"id"`
+			Scope string  `json:"s"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &file); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	if file.DisplayTimeUnit != "ms" {
+		t.Fatalf("displayTimeUnit = %q", file.DisplayTimeUnit)
+	}
+	if len(file.TraceEvents) == 0 {
+		t.Fatal("empty trace")
+	}
+	slices, flows := 0, make(map[string]int)
+	for _, e := range file.TraceEvents {
+		switch e.Ph {
+		case "X":
+			slices++
+			if e.Ts < 0 || e.Dur < 0 {
+				t.Fatalf("slice with negative timing: %+v", e)
+			}
+		case "s", "f":
+			flows[e.ID]++
+		case "M", "i", "C":
+		default:
+			t.Fatalf("unexpected phase %q in %+v", e.Ph, e)
+		}
+	}
+	if slices == 0 {
+		t.Fatal("no duration slices in trace")
+	}
+	for id, n := range flows {
+		if n != 2 {
+			t.Fatalf("flow %q has %d endpoints, want matched s/f pair", id, n)
+		}
+	}
+}

@@ -1,0 +1,114 @@
+// Package telemetry is the runtime observability layer of the adaptive
+// framework: a structured event stream, a metrics registry, and a Chrome
+// trace-event exporter. (It is distinct from internal/trace, which generates
+// branch-decision workloads.)
+//
+// The event stream answers *why* the runtime did what it did on a given CTG
+// instance — which fork estimate drifted, whether the re-schedule was a cache
+// hit, how much slack the stretcher found, which task overran, when the
+// fallback or the circuit breaker fired — where the end-of-run aggregates
+// (core.RunStats) only say how often. Producers (core.Manager, internal/sim,
+// internal/stretch) accept a Recorder through their options and emit nothing
+// when it is nil: every emission site is guarded by a nil check before any
+// event value is built, so the disabled path costs one predictable branch and
+// zero allocations.
+package telemetry
+
+// Kind enumerates the event taxonomy. The values are stable strings (they
+// appear in JSONL output and trace files), not iota constants.
+type Kind string
+
+const (
+	// KindInstanceStart opens one CTG instance: Instance, Scenario.
+	KindInstanceStart Kind = "instance_start"
+	// KindInstanceFinish closes one CTG instance: Instance, Scenario,
+	// Energy, Makespan, Met, Lateness, Overruns, plus Rescheduled for
+	// adaptive runs.
+	KindInstanceFinish Kind = "instance_finish"
+	// KindTaskSlice is one executed task of a replay: Instance, Task,
+	// Name, PE, Start, End, Speed, and Factor (> 1 when a fault plan
+	// perturbed the execution).
+	KindTaskSlice Kind = "task_slice"
+	// KindCommSlice is one link transfer of a replay: Instance, Edge,
+	// Task (producer), Task2 (consumer), PE (source), PE2 (destination),
+	// Start, End.
+	KindCommSlice Kind = "comm_slice"
+	// KindEstimate is one fork's windowed probability estimate after an
+	// instance's decisions were observed: Instance, Fork, Probs, Drift.
+	KindEstimate Kind = "window_estimate"
+	// KindReschedule is one re-scheduling decision: Instance, Reason
+	// ("drift", "breaker", "initial"), CacheHit, Key (hex cache key),
+	// Calls so far.
+	KindReschedule Kind = "reschedule"
+	// KindStretch summarizes one stretching pass: Instance, Stretched
+	// task count (Tasks), SlackFound, SlackUsed, Energy (expected,
+	// post-stretch). Emitted only when a schedule is computed fresh (a
+	// cache hit reuses the recorded-at-miss stretch verbatim).
+	KindStretch Kind = "stretch_summary"
+	// KindOverrun is one fault-plan perturbed task execution: Instance,
+	// Task, PE, Factor.
+	KindOverrun Kind = "fault_overrun"
+	// KindFallback is one worst-case fallback activation: Instance, Met
+	// (did the fallback re-run meet the deadline), Makespan (fallback),
+	// Makespan2 (failed primary).
+	KindFallback Kind = "fallback"
+	// KindGuardLevel is one circuit-breaker level change: Instance,
+	// Level (new), Level2 (previous).
+	KindGuardLevel Kind = "guard_level"
+)
+
+// Event is one telemetry record. A single flat struct (rather than one type
+// per kind) keeps recording allocation-free for sinks that buffer values and
+// keeps JSONL lines self-describing; unused fields are omitted from JSON.
+// Field pairs (Task/Task2, PE/PE2, Makespan/Makespan2, Level/Level2) hold the
+// kind-specific secondary value documented on each Kind constant.
+type Event struct {
+	Kind Kind `json:"kind"`
+	// Instance is the CTG-instance index the event belongs to (the step
+	// index for adaptive runs, the scenario index for exhaustive replays).
+	Instance int `json:"instance"`
+
+	Scenario int     `json:"scenario,omitempty"`
+	Task     int     `json:"task,omitempty"`
+	Task2    int     `json:"task2,omitempty"`
+	Name     string  `json:"name,omitempty"`
+	PE       int     `json:"pe,omitempty"`
+	PE2      int     `json:"pe2,omitempty"`
+	Edge     int     `json:"edge,omitempty"`
+	Start    float64 `json:"start,omitempty"`
+	End      float64 `json:"end,omitempty"`
+	Speed    float64 `json:"speed,omitempty"`
+	Factor   float64 `json:"factor,omitempty"`
+
+	Energy    float64 `json:"energy,omitempty"`
+	Makespan  float64 `json:"makespan,omitempty"`
+	Makespan2 float64 `json:"makespan2,omitempty"`
+	Lateness  float64 `json:"lateness,omitempty"`
+	Met       bool    `json:"met,omitempty"`
+	Overruns  int     `json:"overruns,omitempty"`
+
+	Fork  int       `json:"fork,omitempty"`
+	Probs []float64 `json:"probs,omitempty"`
+	Drift float64   `json:"drift,omitempty"`
+
+	Reason      string `json:"reason,omitempty"`
+	CacheHit    bool   `json:"cache_hit,omitempty"`
+	Key         string `json:"key,omitempty"`
+	Calls       int    `json:"calls,omitempty"`
+	Rescheduled bool   `json:"rescheduled,omitempty"`
+
+	Tasks      int     `json:"tasks,omitempty"`
+	SlackFound float64 `json:"slack_found,omitempty"`
+	SlackUsed  float64 `json:"slack_used,omitempty"`
+
+	Level  int `json:"level,omitempty"`
+	Level2 int `json:"level2,omitempty"`
+
+	// Phase distinguishes replay passes within one instance: "" is the
+	// primary replay, PhaseFallback the worst-case fallback re-run.
+	Phase string `json:"phase,omitempty"`
+}
+
+// PhaseFallback marks events emitted by the worst-case fallback re-run of an
+// instance whose primary replay missed the deadline.
+const PhaseFallback = "fallback"

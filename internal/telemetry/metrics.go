@@ -1,0 +1,230 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"expvar"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"sync"
+	"sync/atomic"
+
+	"ctgdvfs/internal/stats"
+)
+
+// Counter is a monotonically adjustable integer metric. All methods are
+// lock-free and safe for concurrent use.
+type Counter struct{ v atomic.Int64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n (n may be negative — used to net out warm-up increments).
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is an instantaneous float64 metric.
+type Gauge struct{ bits atomic.Uint64 }
+
+// Set stores the value.
+func (g *Gauge) Set(v float64) { g.bits.Store(floatBits(v)) }
+
+// SetMax stores the value only if it exceeds the current one.
+func (g *Gauge) SetMax(v float64) {
+	for {
+		old := g.bits.Load()
+		if v <= floatOf(old) {
+			return
+		}
+		if g.bits.CompareAndSwap(old, floatBits(v)) {
+			return
+		}
+	}
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return floatOf(g.bits.Load()) }
+
+func floatBits(v float64) uint64 { return math.Float64bits(v) }
+func floatOf(b uint64) float64   { return math.Float64frombits(b) }
+
+// HistogramMetric is a mutex-guarded fixed-bucket histogram metric (the
+// distribution counterpart of Counter/Gauge), backed by stats.Histogram.
+type HistogramMetric struct {
+	mu sync.Mutex
+	h  *stats.Histogram
+}
+
+// Observe records one value.
+func (m *HistogramMetric) Observe(x float64) {
+	m.mu.Lock()
+	m.h.Observe(x)
+	m.mu.Unlock()
+}
+
+// Snapshot summarizes the distribution.
+func (m *HistogramMetric) Snapshot() HistogramSnapshot {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return HistogramSnapshot{
+		Count: m.h.Count(),
+		Mean:  m.h.Mean(),
+		Min:   m.h.Min(),
+		Max:   m.h.Max(),
+		P50:   m.h.Quantile(0.50),
+		P95:   m.h.Quantile(0.95),
+		P99:   m.h.Quantile(0.99),
+	}
+}
+
+// HistogramSnapshot is the exported summary of one histogram metric.
+type HistogramSnapshot struct {
+	Count uint64  `json:"count"`
+	Mean  float64 `json:"mean"`
+	Min   float64 `json:"min"`
+	Max   float64 `json:"max"`
+	P50   float64 `json:"p50"`
+	P95   float64 `json:"p95"`
+	P99   float64 `json:"p99"`
+}
+
+// Registry is a process-local metrics registry: named counters, gauges and
+// fixed-bucket histograms with a JSON snapshot and optional expvar/HTTP
+// exposition. Metric handles are created on first use and cached; producers
+// resolve their handles once (outside the hot path) and then operate
+// lock-free (counters/gauges) or under a short mutex (histograms).
+type Registry struct {
+	mu       sync.RWMutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*HistogramMetric
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		hists:    make(map[string]*HistogramMetric),
+	}
+}
+
+// Counter returns the named counter, creating it on first use.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.RLock()
+	c, ok := r.counters[name]
+	r.mu.RUnlock()
+	if ok {
+		return c
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c, ok = r.counters[name]; ok {
+		return c
+	}
+	c = &Counter{}
+	r.counters[name] = c
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.RLock()
+	g, ok := r.gauges[name]
+	r.mu.RUnlock()
+	if ok {
+		return g
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if g, ok = r.gauges[name]; ok {
+		return g
+	}
+	g = &Gauge{}
+	r.gauges[name] = g
+	return g
+}
+
+// Histogram returns the named histogram metric, creating it over [lo, hi]
+// with the given bucket count on first use (later calls keep the original
+// layout and ignore the arguments).
+func (r *Registry) Histogram(name string, lo, hi float64, buckets int) *HistogramMetric {
+	r.mu.RLock()
+	h, ok := r.hists[name]
+	r.mu.RUnlock()
+	if ok {
+		return h
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h, ok = r.hists[name]; ok {
+		return h
+	}
+	h = &HistogramMetric{h: stats.MustHistogram(lo, hi, buckets)}
+	r.hists[name] = h
+	return h
+}
+
+// Snapshot is a point-in-time copy of every metric in the registry.
+type Snapshot struct {
+	Counters   map[string]int64             `json:"counters"`
+	Gauges     map[string]float64           `json:"gauges"`
+	Histograms map[string]HistogramSnapshot `json:"histograms"`
+}
+
+// Snapshot captures all metrics.
+func (r *Registry) Snapshot() Snapshot {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	s := Snapshot{
+		Counters:   make(map[string]int64, len(r.counters)),
+		Gauges:     make(map[string]float64, len(r.gauges)),
+		Histograms: make(map[string]HistogramSnapshot, len(r.hists)),
+	}
+	for name, c := range r.counters {
+		s.Counters[name] = c.Value()
+	}
+	for name, g := range r.gauges {
+		s.Gauges[name] = g.Value()
+	}
+	for name, h := range r.hists {
+		s.Histograms[name] = h.Snapshot()
+	}
+	return s
+}
+
+// WriteJSON renders the snapshot as indented JSON (keys sorted by
+// encoding/json's map ordering, so output is deterministic).
+func (r *Registry) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r.Snapshot())
+}
+
+// ServeHTTP exposes the snapshot as JSON — mount the registry on a mux
+// (e.g. at /metrics) next to expvar's /debug/vars.
+func (r *Registry) ServeHTTP(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := r.WriteJSON(w); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+// PublishExpvar publishes the registry under the given expvar name, so it
+// also appears in the standard /debug/vars page. Returns an error instead of
+// panicking when the name is already taken.
+func (r *Registry) PublishExpvar(name string) (err error) {
+	if expvar.Get(name) != nil {
+		return fmt.Errorf("telemetry: expvar %q already published", name)
+	}
+	defer func() {
+		if recover() != nil {
+			err = fmt.Errorf("telemetry: expvar %q already published", name)
+		}
+	}()
+	expvar.Publish(name, expvar.Func(func() any { return r.Snapshot() }))
+	return nil
+}

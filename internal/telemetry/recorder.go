@@ -1,0 +1,167 @@
+package telemetry
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"sync"
+)
+
+// Recorder consumes telemetry events. Implementations must be safe for
+// concurrent Record calls: replays fan out over the scenario-engine worker
+// pool, and the experiment harness runs whole workloads in parallel.
+//
+// A nil Recorder means "telemetry disabled"; every producer checks for nil
+// before building an event, so the disabled path allocates nothing.
+type Recorder interface {
+	Record(Event)
+}
+
+// MemoryRecorder buffers events in order of arrival. It is the sink the
+// Chrome-trace exporter and the tests consume.
+type MemoryRecorder struct {
+	mu     sync.Mutex
+	events []Event
+}
+
+// NewMemoryRecorder returns an empty in-memory sink.
+func NewMemoryRecorder() *MemoryRecorder { return &MemoryRecorder{} }
+
+// Record appends the event.
+func (r *MemoryRecorder) Record(e Event) {
+	r.mu.Lock()
+	r.events = append(r.events, e)
+	r.mu.Unlock()
+}
+
+// Events returns a snapshot copy of the recorded stream.
+func (r *MemoryRecorder) Events() []Event {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]Event(nil), r.events...)
+}
+
+// Len returns the number of recorded events.
+func (r *MemoryRecorder) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.events)
+}
+
+// Reset discards all recorded events.
+func (r *MemoryRecorder) Reset() {
+	r.mu.Lock()
+	r.events = r.events[:0]
+	r.mu.Unlock()
+}
+
+// CountByKind tallies the recorded events per kind.
+func (r *MemoryRecorder) CountByKind() map[Kind]int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	m := make(map[Kind]int)
+	for _, e := range r.events {
+		m[e.Kind]++
+	}
+	return m
+}
+
+// JSONLRecorder streams events as one JSON object per line. Writes are
+// buffered; call Close (or Flush) to drain the buffer. Encoding errors are
+// sticky and reported by Close, so the hot path never returns an error.
+type JSONLRecorder struct {
+	mu  sync.Mutex
+	w   *bufio.Writer
+	c   io.Closer // non-nil when the recorder owns the underlying writer
+	enc *json.Encoder
+	err error
+}
+
+// NewJSONLRecorder wraps an io.Writer. If the writer is also an io.Closer,
+// Close closes it after flushing.
+func NewJSONLRecorder(w io.Writer) *JSONLRecorder {
+	bw := bufio.NewWriter(w)
+	r := &JSONLRecorder{w: bw, enc: json.NewEncoder(bw)}
+	if c, ok := w.(io.Closer); ok {
+		r.c = c
+	}
+	return r
+}
+
+// Record encodes the event as one JSONL line.
+func (r *JSONLRecorder) Record(e Event) {
+	r.mu.Lock()
+	if r.err == nil {
+		r.err = r.enc.Encode(e) // Encode appends the newline
+	}
+	r.mu.Unlock()
+}
+
+// Flush drains the write buffer and returns the first error seen so far.
+func (r *JSONLRecorder) Flush() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.err == nil {
+		r.err = r.w.Flush()
+	}
+	return r.err
+}
+
+// Close flushes and, when the recorder owns an io.Closer, closes it.
+func (r *JSONLRecorder) Close() error {
+	err := r.Flush()
+	if r.c != nil {
+		if cerr := r.c.Close(); err == nil {
+			err = cerr
+		}
+	}
+	return err
+}
+
+// ReadJSONL decodes a JSONL event stream (the inverse of JSONLRecorder).
+func ReadJSONL(r io.Reader) ([]Event, error) {
+	dec := json.NewDecoder(r)
+	var out []Event
+	for dec.More() {
+		var e Event
+		if err := dec.Decode(&e); err != nil {
+			return out, err
+		}
+		out = append(out, e)
+	}
+	return out, nil
+}
+
+// MultiRecorder fans one event stream out to several sinks.
+type MultiRecorder []Recorder
+
+// Record forwards the event to every sink.
+func (m MultiRecorder) Record(e Event) {
+	for _, r := range m {
+		r.Record(e)
+	}
+}
+
+// FilterRecorder forwards only events of the listed kinds — e.g. keep the
+// per-decision control events while dropping the (much denser) per-task
+// slices when only a JSONL decision log is wanted.
+type FilterRecorder struct {
+	next  Recorder
+	kinds map[Kind]bool
+}
+
+// NewFilterRecorder wraps next, passing through only the given kinds.
+func NewFilterRecorder(next Recorder, kinds ...Kind) *FilterRecorder {
+	m := make(map[Kind]bool, len(kinds))
+	for _, k := range kinds {
+		m[k] = true
+	}
+	return &FilterRecorder{next: next, kinds: m}
+}
+
+// Record forwards the event when its kind is selected.
+func (f *FilterRecorder) Record(e Event) {
+	if f.kinds[e.Kind] {
+		f.next.Record(e)
+	}
+}

@@ -1,0 +1,199 @@
+package telemetry
+
+import (
+	"bytes"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestMemoryRecorder(t *testing.T) {
+	r := NewMemoryRecorder()
+	r.Record(Event{Kind: KindInstanceStart, Instance: 0})
+	r.Record(Event{Kind: KindTaskSlice, Instance: 0, Task: 3, PE: 1, Start: 1, End: 2})
+	r.Record(Event{Kind: KindInstanceFinish, Instance: 0, Energy: 12.5, Met: true})
+	if r.Len() != 3 {
+		t.Fatalf("len = %d, want 3", r.Len())
+	}
+	byKind := r.CountByKind()
+	if byKind[KindTaskSlice] != 1 || byKind[KindInstanceStart] != 1 {
+		t.Fatalf("counts: %v", byKind)
+	}
+	evs := r.Events()
+	evs[0].Kind = KindFallback // snapshot must be a copy
+	if r.Events()[0].Kind != KindInstanceStart {
+		t.Fatal("Events() exposed internal storage")
+	}
+	r.Reset()
+	if r.Len() != 0 {
+		t.Fatal("reset failed")
+	}
+}
+
+func TestMemoryRecorderConcurrent(t *testing.T) {
+	r := NewMemoryRecorder()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				r.Record(Event{Kind: KindTaskSlice, Instance: w, Task: i})
+			}
+		}(w)
+	}
+	wg.Wait()
+	if r.Len() != 800 {
+		t.Fatalf("len = %d, want 800", r.Len())
+	}
+}
+
+func TestJSONLRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	r := NewJSONLRecorder(&buf)
+	in := []Event{
+		{Kind: KindInstanceStart, Instance: 7, Scenario: 2},
+		{Kind: KindTaskSlice, Instance: 7, Task: 1, Name: "idct", PE: 2, Start: 0.5, End: 1.25, Speed: 0.8},
+		{Kind: KindReschedule, Instance: 7, Reason: "drift", CacheHit: true, Key: "ab12", Calls: 3},
+		{Kind: KindFallback, Instance: 7, Met: true, Makespan: 90, Makespan2: 120, Phase: PhaseFallback},
+	}
+	for _, e := range in {
+		r.Record(e)
+	}
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if lines := strings.Count(buf.String(), "\n"); lines != len(in) {
+		t.Fatalf("wrote %d lines, want %d", lines, len(in))
+	}
+	out, err := ReadJSONL(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != len(in) {
+		t.Fatalf("read %d events, want %d", len(out), len(in))
+	}
+	for i := range in {
+		if !reflect.DeepEqual(out[i], in[i]) {
+			t.Errorf("event %d: got %+v, want %+v", i, out[i], in[i])
+		}
+	}
+}
+
+func TestMultiAndFilterRecorder(t *testing.T) {
+	a, b := NewMemoryRecorder(), NewMemoryRecorder()
+	multi := MultiRecorder{a, NewFilterRecorder(b, KindReschedule)}
+	multi.Record(Event{Kind: KindTaskSlice})
+	multi.Record(Event{Kind: KindReschedule, Reason: "drift"})
+	if a.Len() != 2 {
+		t.Fatalf("multi sink a got %d events, want 2", a.Len())
+	}
+	if b.Len() != 1 || b.Events()[0].Kind != KindReschedule {
+		t.Fatalf("filtered sink got %v", b.Events())
+	}
+}
+
+func TestRegistryCountersGaugesHistograms(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("runtime.calls")
+	c.Inc()
+	c.Add(4)
+	if reg.Counter("runtime.calls") != c {
+		t.Fatal("counter handle not cached")
+	}
+	if c.Value() != 5 {
+		t.Fatalf("counter = %d, want 5", c.Value())
+	}
+	c.Add(-1)
+	if c.Value() != 4 {
+		t.Fatalf("counter after Add(-1) = %d, want 4", c.Value())
+	}
+
+	g := reg.Gauge("runtime.guard_level")
+	g.Set(2)
+	g.SetMax(1) // must not lower
+	if g.Value() != 2 {
+		t.Fatalf("gauge = %v, want 2", g.Value())
+	}
+	g.SetMax(3)
+	if g.Value() != 3 {
+		t.Fatalf("gauge = %v, want 3", g.Value())
+	}
+
+	h := reg.Histogram("runtime.lateness", 0, 100, 10)
+	for i := 0; i < 100; i++ {
+		h.Observe(float64(i))
+	}
+	snap := h.Snapshot()
+	if snap.Count != 100 || snap.Min != 0 || snap.Max != 99 {
+		t.Fatalf("histogram snapshot: %+v", snap)
+	}
+	if snap.P50 < 40 || snap.P50 > 60 {
+		t.Fatalf("P50 = %v, want ≈ 50", snap.P50)
+	}
+
+	full := reg.Snapshot()
+	if full.Counters["runtime.calls"] != 4 || full.Gauges["runtime.guard_level"] != 3 {
+		t.Fatalf("registry snapshot: %+v", full)
+	}
+	if full.Histograms["runtime.lateness"].Count != 100 {
+		t.Fatalf("registry snapshot histograms: %+v", full.Histograms)
+	}
+}
+
+func TestRegistryConcurrent(t *testing.T) {
+	reg := NewRegistry()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				reg.Counter("c").Inc()
+				reg.Gauge("g").SetMax(float64(i))
+				reg.Histogram("h", 0, 1000, 16).Observe(float64(i))
+			}
+		}()
+	}
+	wg.Wait()
+	if got := reg.Counter("c").Value(); got != 8000 {
+		t.Fatalf("counter = %d, want 8000", got)
+	}
+	if got := reg.Histogram("h", 0, 1000, 16).Snapshot().Count; got != 8000 {
+		t.Fatalf("histogram count = %d, want 8000", got)
+	}
+}
+
+func TestRegistryHTTPAndJSON(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("instances").Add(42)
+	reg.Gauge("drift").Set(0.25)
+
+	var buf bytes.Buffer
+	if err := reg.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"instances": 42`, `"drift": 0.25`} {
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("JSON snapshot missing %q:\n%s", want, buf.String())
+		}
+	}
+
+	rec := httptest.NewRecorder()
+	reg.ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if rec.Code != 200 || !strings.Contains(rec.Body.String(), `"instances": 42`) {
+		t.Fatalf("HTTP exposition: code %d body %s", rec.Code, rec.Body.String())
+	}
+}
+
+func TestPublishExpvar(t *testing.T) {
+	reg := NewRegistry()
+	if err := reg.PublishExpvar("ctgdvfs-test-metrics"); err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.PublishExpvar("ctgdvfs-test-metrics"); err == nil {
+		t.Fatal("duplicate publish must fail, not panic")
+	}
+}

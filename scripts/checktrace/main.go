@@ -1,0 +1,78 @@
+// Command checktrace validates a Chrome trace-event JSON file produced by
+// the telemetry exporter (cmd/experiments -trace-out, cmd/ctgsched
+// -trace-out): the file must parse, declare a display time unit, contain at
+// least one duration slice, and every flow arrow must have a matched
+// begin/end pair. It is the verification half of the telemetry smoke test in
+// scripts/verify.sh — a trace that passes here loads in chrome://tracing and
+// Perfetto.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+type traceFile struct {
+	TraceEvents []struct {
+		Name string  `json:"name"`
+		Ph   string  `json:"ph"`
+		Ts   float64 `json:"ts"`
+		Dur  float64 `json:"dur"`
+		Pid  int     `json:"pid"`
+		ID   string  `json:"id"`
+	} `json:"traceEvents"`
+	DisplayTimeUnit string `json:"displayTimeUnit"`
+}
+
+func main() {
+	if len(os.Args) != 2 {
+		fmt.Fprintln(os.Stderr, "usage: checktrace FILE")
+		os.Exit(2)
+	}
+	data, err := os.ReadFile(os.Args[1])
+	if err != nil {
+		fail(err.Error())
+	}
+	var file traceFile
+	if err := json.Unmarshal(data, &file); err != nil {
+		fail("not valid trace JSON: " + err.Error())
+	}
+	if file.DisplayTimeUnit == "" {
+		fail("missing displayTimeUnit")
+	}
+	if len(file.TraceEvents) == 0 {
+		fail("empty traceEvents")
+	}
+	slices := 0
+	flows := make(map[string]int)
+	for _, e := range file.TraceEvents {
+		switch e.Ph {
+		case "X":
+			slices++
+			if e.Ts < 0 || e.Dur < 0 {
+				fail(fmt.Sprintf("slice %q has negative timing (ts %v dur %v)", e.Name, e.Ts, e.Dur))
+			}
+		case "s", "f":
+			flows[e.ID]++
+		case "M", "i", "C":
+		default:
+			fail(fmt.Sprintf("unknown event phase %q", e.Ph))
+		}
+	}
+	if slices == 0 {
+		fail("no duration slices")
+	}
+	for id, n := range flows {
+		if n != 2 {
+			fail(fmt.Sprintf("flow %q has %d endpoints, want 2", id, n))
+		}
+	}
+	fmt.Printf("checktrace: OK (%d events, %d slices, %d flows)\n",
+		len(file.TraceEvents), slices, len(flows))
+}
+
+func fail(msg string) {
+	fmt.Fprintln(os.Stderr, "checktrace: "+msg)
+	os.Exit(1)
+}

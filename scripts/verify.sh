@@ -27,7 +27,10 @@ go test -run '^$' -bench . -benchtime 1x ./... >/dev/null
 echo "== fuzz smoke (parser, 5s) =="
 go test -run '^$' -fuzz FuzzRead -fuzztime 5s ./internal/ctgio >/dev/null
 
-echo "== fault-campaign smoke =="
-go run ./cmd/experiments -exp faults >/dev/null
+echo "== fault-campaign + telemetry smoke =="
+trace_tmp="$(mktemp)"
+go run ./cmd/experiments -exp faults -trace-out "$trace_tmp" >/dev/null
+go run ./scripts/checktrace "$trace_tmp"
+rm -f "$trace_tmp"
 
 echo "verify: OK"
