@@ -1,6 +1,6 @@
 # Standard entry points; `make verify` is the gate a change must pass.
 
-.PHONY: build test race bench bench-parallel bench-telemetry fuzz-smoke fault-smoke telemetry-smoke verify
+.PHONY: build test race bench bench-parallel bench-telemetry benchgate bench-baseline fuzz-smoke fault-smoke telemetry-smoke analyze-smoke verify
 
 build:
 	go build ./...
@@ -38,6 +38,21 @@ bench-telemetry:
 telemetry-smoke:
 	go run ./cmd/experiments -exp faults -trace-out /tmp/ctgdvfs_trace.json
 	go run ./scripts/checktrace /tmp/ctgdvfs_trace.json
+
+# Bench-regression gate: re-run the baselined benchmarks and fail on >10%
+# ns/op regressions against the committed BENCH_*.json files.
+benchgate:
+	go run ./scripts/benchgate BENCH_parallel.json BENCH_telemetry.json
+
+# Re-bless the benchmark baselines on this host (after a deliberate change).
+bench-baseline:
+	go run ./scripts/benchgate -update BENCH_parallel.json BENCH_telemetry.json
+
+# End-to-end health pipeline: capture a JSONL event stream from the telemetry
+# example, then run the offline analyzer over it.
+analyze-smoke:
+	go run ./examples/telemetry -events-out /tmp/ctgdvfs_events.jsonl -trace-out /tmp/ctgdvfs_example_trace.json >/dev/null
+	go run ./cmd/ctgsched analyze /tmp/ctgdvfs_events.jsonl
 
 verify:
 	sh scripts/verify.sh

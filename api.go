@@ -11,6 +11,7 @@ import (
 	"ctgdvfs/internal/ctg"
 	"ctgdvfs/internal/ctgio"
 	"ctgdvfs/internal/faults"
+	"ctgdvfs/internal/health"
 	"ctgdvfs/internal/par"
 	"ctgdvfs/internal/platform"
 	"ctgdvfs/internal/sched"
@@ -128,6 +129,8 @@ type (
 	MemoryRecorder = telemetry.MemoryRecorder
 	// JSONLRecorder streams events as JSON lines to a writer.
 	JSONLRecorder = telemetry.JSONLRecorder
+	// MultiRecorder fans one event stream out to several sinks.
+	MultiRecorder = telemetry.MultiRecorder
 	// MetricsRegistry is the named counter/gauge/histogram registry with
 	// JSON, HTTP and expvar exposition.
 	MetricsRegistry = telemetry.Registry
@@ -155,6 +158,7 @@ const (
 	KindOverrun        = telemetry.KindOverrun
 	KindFallback       = telemetry.KindFallback
 	KindGuardLevel     = telemetry.KindGuardLevel
+	KindHealthAlert    = telemetry.KindHealthAlert
 )
 
 // NewMemoryRecorder returns an empty in-memory event sink.
@@ -172,6 +176,42 @@ func NewMetricsRegistry() *MetricsRegistry { return telemetry.NewRegistry() }
 
 // NewChromeTrace returns an empty Chrome trace-event exporter.
 func NewChromeTrace() *ChromeTrace { return telemetry.NewChromeTrace() }
+
+// Health monitoring (package internal/health): streaming analyzers over the
+// telemetry event stream — estimator drift detection, SLO tracking, hotspot
+// attribution. Fan a HealthAnalyzer into AdaptiveOptions.Recorder (alone or
+// via MultiRecorder) and read Health() at any time; the analyzer observes
+// only, the run's outputs stay bit-for-bit identical.
+type (
+	// HealthAnalyzer is the fan-in recorder hosting the drift, SLO and
+	// hotspot analyzers.
+	HealthAnalyzer = health.AnalyzerRecorder
+	// HealthOptions configures the analyzers; the zero value works.
+	HealthOptions = health.Options
+	// HealthSLO is the service-level objective a run is scored against.
+	HealthSLO = health.SLO
+	// HealthSnapshot is the full analyzer state (Report renders it as the
+	// diagnosis text `ctgsched analyze` prints).
+	HealthSnapshot = health.Snapshot
+	// HealthAlert is one raised drift/miss-streak/SLO alert.
+	HealthAlert = health.Alert
+)
+
+// NewHealthAnalyzer builds a streaming health monitor.
+func NewHealthAnalyzer(opts HealthOptions) *HealthAnalyzer { return health.New(opts) }
+
+// AnalyzeTelemetry replays a recorded event stream through a fresh analyzer
+// and returns the snapshot — the offline path behind `ctgsched analyze`.
+func AnalyzeTelemetry(events []TelemetryEvent, opts HealthOptions) HealthSnapshot {
+	return health.Analyze(events, opts)
+}
+
+// LoadTelemetry parses a recorded capture — JSONL or Chrome trace (format
+// auto-detected; run selects the process of a multi-run trace) — into the
+// event stream AnalyzeTelemetry consumes. Returns the detected format name.
+func LoadTelemetry(data []byte, run string) ([]TelemetryEvent, string, error) {
+	return health.LoadEvents(data, run)
+}
 
 // NewHistogram builds a fixed-bucket histogram over [lo, hi].
 func NewHistogram(lo, hi float64, buckets int) (*Histogram, error) {

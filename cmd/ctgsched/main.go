@@ -7,6 +7,12 @@
 //	ctgsched -workload random -nodes 25 -pes 3 -branches 3 -algo online
 //	ctgsched -workload mpeg -algo nlp -deadline 1.5
 //	ctgsched -workload cruise -dot
+//
+// The analyze subcommand replays a recorded telemetry capture through the
+// health analyzers offline and prints a diagnosis report:
+//
+//	ctgsched analyze events.jsonl
+//	ctgsched analyze -run "mpeg adaptive" trace.json
 package main
 
 import (
@@ -19,6 +25,10 @@ import (
 )
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "analyze" {
+		runAnalyze(os.Args[2:])
+		return
+	}
 	workload := flag.String("workload", "random", "workload: random, mpeg, cruise, wlan, or file")
 	file := flag.String("file", "", "workload file to load (with -workload file)")
 	save := flag.String("save", "", "write the (untightened) workload to this file and exit")

@@ -14,19 +14,29 @@
 // a Chrome trace-event file (open in chrome://tracing or
 // https://ui.perfetto.dev — one process per workload, one row per PE/link);
 // -metrics-addr HOST:PORT serves the campaign's live metrics registry at
-// /metrics (JSON) and the standard expvar page at /debug/vars for the
-// duration of the run.
+// /metrics (JSON), the standard expvar page at /debug/vars, and the
+// per-workload health snapshots at /health for the duration of the run.
+// -pprof additionally mounts the net/http/pprof handlers under /debug/pprof/
+// on the same server, and -serve keeps the server running after the
+// experiments finish (until interrupted) so the final /health snapshots and
+// profiles can be scraped. -health attaches the streaming health monitor to
+// the fault campaign and prints one diagnosis report per workload after the
+// tables.
 package main
 
 import (
+	"encoding/json"
 	"expvar"
 	"flag"
 	"fmt"
 	"net/http"
+	httppprof "net/http/pprof"
 	"os"
+	"os/signal"
 	"runtime"
 	"runtime/pprof"
 	"sort"
+	"sync/atomic"
 	"time"
 
 	"ctgdvfs/internal/exp"
@@ -45,14 +55,41 @@ var (
 	traceOut = flag.String("trace-out", "",
 		"write a Chrome trace-event file of the fault campaign's guarded runtimes (use with -exp faults)")
 	metricsAddr = flag.String("metrics-addr", "",
-		"serve the live metrics registry over HTTP at this address (/metrics JSON, /debug/vars expvar)")
+		"serve the live metrics registry over HTTP at this address (/metrics JSON, /debug/vars expvar, /health snapshots)")
+	pprofFlag = flag.Bool("pprof", false,
+		"also mount net/http/pprof under /debug/pprof/ on the -metrics-addr server")
+	serveFlag = flag.Bool("serve", false,
+		"keep the -metrics-addr server running after the experiments finish (until interrupted)")
+	healthFlag = flag.Bool("health", false,
+		"attach the streaming health monitor to the fault campaign and print per-workload diagnosis reports")
 
 	// metricsReg is the registry served at -metrics-addr and fed by the
 	// observed fault campaign; campaignTel keeps the recorded event streams
-	// for -trace-out.
+	// and health analyzers. It is stored atomically because the -metrics-addr
+	// server goroutine reads it (/health) while the runner goroutine sets it.
 	metricsReg  *telemetry.Registry
-	campaignTel *exp.CampaignTelemetry
+	campaignTel atomic.Pointer[exp.CampaignTelemetry]
 )
+
+// serveHealth renders the observed campaign's per-workload health snapshots
+// as one JSON object keyed by workload name (503 until a campaign has run).
+func serveHealth(w http.ResponseWriter, _ *http.Request) {
+	tel := campaignTel.Load()
+	if tel == nil || len(tel.Health) == 0 {
+		http.Error(w, "no observed fault campaign has run yet", http.StatusServiceUnavailable)
+		return
+	}
+	snaps := make(map[string]any, len(tel.Health))
+	for name, h := range tel.Health {
+		snaps[name] = h.Health()
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(snaps); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
 
 // writeCampaignTrace renders the observed campaign's event streams as one
 // Chrome trace file, one process per workload in name order.
@@ -89,11 +126,27 @@ func main() {
 	if *workers > 0 {
 		par.SetLimit(*workers)
 	}
+	if *pprofFlag && *metricsAddr == "" {
+		fmt.Fprintln(os.Stderr, "-pprof requires -metrics-addr (it mounts on that server)")
+		os.Exit(2)
+	}
+	if *serveFlag && *metricsAddr == "" {
+		fmt.Fprintln(os.Stderr, "-serve requires -metrics-addr (there is no server to keep alive)")
+		os.Exit(2)
+	}
 	if *metricsAddr != "" {
 		metricsReg = telemetry.NewRegistry()
 		mux := http.NewServeMux()
 		mux.Handle("/metrics", metricsReg)
 		mux.Handle("/debug/vars", expvar.Handler())
+		mux.HandleFunc("/health", serveHealth)
+		if *pprofFlag {
+			mux.HandleFunc("/debug/pprof/", httppprof.Index)
+			mux.HandleFunc("/debug/pprof/cmdline", httppprof.Cmdline)
+			mux.HandleFunc("/debug/pprof/profile", httppprof.Profile)
+			mux.HandleFunc("/debug/pprof/symbol", httppprof.Symbol)
+			mux.HandleFunc("/debug/pprof/trace", httppprof.Trace)
+		}
 		if err := metricsReg.PublishExpvar("ctgdvfs"); err != nil {
 			fmt.Fprintf(os.Stderr, "metrics-addr: %v\n", err)
 		}
@@ -139,15 +192,32 @@ func main() {
 	}
 
 	if *traceOut != "" {
-		if campaignTel == nil {
+		tel := campaignTel.Load()
+		if tel == nil {
 			fmt.Fprintln(os.Stderr, "-trace-out: no traced experiment ran (use -exp faults)")
 			os.Exit(1)
 		}
-		if err := writeCampaignTrace(*traceOut, campaignTel); err != nil {
+		if err := writeCampaignTrace(*traceOut, tel); err != nil {
 			fmt.Fprintf(os.Stderr, "trace-out: %v\n", err)
 			os.Exit(1)
 		}
 		fmt.Printf("wrote Chrome trace to %s (open in chrome://tracing or https://ui.perfetto.dev)\n", *traceOut)
+	}
+
+	if *healthFlag {
+		tel := campaignTel.Load()
+		if tel == nil {
+			fmt.Fprintln(os.Stderr, "-health: no monitored experiment ran (use -exp faults)")
+			os.Exit(1)
+		}
+		names := make([]string, 0, len(tel.Health))
+		for name := range tel.Health {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			fmt.Printf("=== health: %s ===\n%s\n", name, tel.Health[name].Health().Report())
+		}
 	}
 
 	if *memprofile != "" {
@@ -162,5 +232,16 @@ func main() {
 			fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
 			os.Exit(1)
 		}
+	}
+
+	if *serveFlag {
+		endpoints := "/metrics, /debug/vars, /health"
+		if *pprofFlag {
+			endpoints += ", /debug/pprof/"
+		}
+		fmt.Printf("serving on %s (%s) until interrupted\n", *metricsAddr, endpoints)
+		stop := make(chan os.Signal, 1)
+		signal.Notify(stop, os.Interrupt)
+		<-stop
 	}
 }

@@ -113,14 +113,15 @@ func orderedRunners() []runner {
 			spec.Seed = *faultSeed
 			spec.OverrunProb = *faultOverrun
 			// Telemetry flags switch the campaign to observed mode: the
-			// guarded runtimes record their event streams (-trace-out) and
-			// publish metrics into the served registry (-metrics-addr).
-			if *traceOut != "" || *metricsAddr != "" {
+			// guarded runtimes record their event streams (-trace-out),
+			// publish metrics into the served registry (-metrics-addr), and
+			// run the streaming health analyzers (-health, /health).
+			if *traceOut != "" || *metricsAddr != "" || *healthFlag {
 				r, tel, err := exp.FaultCampaignObserved(spec, *faultGuard, metricsReg)
 				if err != nil {
 					return "", err
 				}
-				campaignTel = tel
+				campaignTel.Store(tel)
 				return r.Render(), nil
 			}
 			r, err := exp.FaultCampaign(spec, *faultGuard)

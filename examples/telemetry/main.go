@@ -37,14 +37,17 @@ func main() {
 	}
 
 	// One recorder buffers events for the trace export; the registry
-	// mirrors the runtime's counters live. Both are optional and
+	// mirrors the runtime's counters live; the health analyzer runs the
+	// drift/SLO/hotspot monitors over the same stream. All are optional and
 	// independent — a nil Recorder keeps the runtime allocation-free and
-	// bit-for-bit identical to an uninstrumented run.
+	// bit-for-bit identical to an uninstrumented run, and the analyzer only
+	// observes.
 	rec := ctgdvfs.NewMemoryRecorder()
 	reg := ctgdvfs.NewMetricsRegistry()
+	mon := ctgdvfs.NewHealthAnalyzer(ctgdvfs.HealthOptions{Metrics: reg})
 	m, err := ctgdvfs.NewAdaptive(g, p, ctgdvfs.AdaptiveOptions{
 		Window: 20, Threshold: 0.1,
-		Recorder: rec,
+		Recorder: ctgdvfs.MultiRecorder{rec, mon},
 		Metrics:  reg,
 	})
 	if err != nil {
@@ -75,6 +78,11 @@ func main() {
 	if err := reg.WriteJSON(os.Stdout); err != nil {
 		log.Fatal(err)
 	}
+
+	// The streaming health monitor's diagnosis — the same report `ctgsched
+	// analyze` produces offline from the JSONL or trace file written below.
+	fmt.Println("\nhealth monitor:")
+	fmt.Print(mon.Health().Report())
 
 	// Chrome trace export.
 	ct := ctgdvfs.NewChromeTrace()

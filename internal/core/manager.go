@@ -611,6 +611,7 @@ func (m *Manager) Step(decisions []int) (StepResult, error) {
 				Fork:     fi,
 				Probs:    m.profiler.Estimate(fi),
 				Drift:    res.Drift,
+				Outcome:  decisions[fi],
 			})
 		}
 	}

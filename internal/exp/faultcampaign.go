@@ -8,6 +8,7 @@ import (
 	"ctgdvfs/internal/core"
 	"ctgdvfs/internal/ctg"
 	"ctgdvfs/internal/faults"
+	"ctgdvfs/internal/health"
 	"ctgdvfs/internal/par"
 	"ctgdvfs/internal/platform"
 	"ctgdvfs/internal/sim"
@@ -139,6 +140,11 @@ func FaultCampaign(spec faults.Spec, guard float64) (*FaultCampaignResult, error
 type CampaignTelemetry struct {
 	Metrics   *telemetry.Registry
 	Recorders map[string]*telemetry.MemoryRecorder // keyed by workload name
+	// Health holds one streaming analyzer per workload, fanned into the same
+	// event stream as the workload's recorder: drift detection, SLO tracking
+	// and hotspot attribution run live alongside the campaign, and the
+	// per-workload snapshots feed the harness's health summary.
+	Health map[string]*health.AnalyzerRecorder
 }
 
 // FaultCampaignObserved is FaultCampaign with telemetry attached to the
@@ -153,6 +159,7 @@ func FaultCampaignObserved(spec faults.Spec, guard float64, reg *telemetry.Regis
 	tel := &CampaignTelemetry{
 		Metrics:   reg,
 		Recorders: make(map[string]*telemetry.MemoryRecorder),
+		Health:    make(map[string]*health.AnalyzerRecorder),
 	}
 	res, err := faultCampaignN(spec, guard, 0, tel)
 	if err != nil {
@@ -178,11 +185,21 @@ func faultCampaignN(spec faults.Spec, guard float64, maxVec int, tel *CampaignTe
 			}
 		}
 	}
-	// Recorders are allocated before the fan-out so the map is read-only
-	// inside the workers.
+	// Recorders and analyzers are allocated before the fan-out so the maps
+	// are read-only inside the workers.
 	if tel != nil {
 		for _, w := range workloads {
-			tel.Recorders[w.name] = telemetry.NewMemoryRecorder()
+			rec := telemetry.NewMemoryRecorder()
+			tel.Recorders[w.name] = rec
+			if tel.Health != nil {
+				// Alerts interleave into the workload's own stream; metrics
+				// share the campaign registry (adaptive.health.* aggregates
+				// across workloads, like the adaptive.* counters do).
+				tel.Health[w.name] = health.New(health.Options{
+					Alerts:  rec,
+					Metrics: tel.Metrics,
+				})
+			}
 		}
 	}
 	// The workloads are independent end-to-end runs, so they fan out over
@@ -211,6 +228,9 @@ func faultCampaignN(spec faults.Spec, guard float64, maxVec int, tel *CampaignTe
 		}
 		if tel != nil {
 			gopts.Recorder = tel.Recorders[w.name]
+			if h := tel.Health[w.name]; h != nil {
+				gopts.Recorder = telemetry.MultiRecorder{tel.Recorders[w.name], h}
+			}
 			gopts.Metrics = tel.Metrics
 		}
 		guarded, err := core.New(w.g, w.p, gopts)

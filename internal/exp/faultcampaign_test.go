@@ -5,7 +5,9 @@ import (
 	"strings"
 	"testing"
 
+	"ctgdvfs/internal/health"
 	"ctgdvfs/internal/par"
+	"ctgdvfs/internal/telemetry"
 )
 
 // campaignTestVectors truncates the measured sequences so the acceptance
@@ -60,6 +62,65 @@ func TestFaultCampaignAcceptance(t *testing.T) {
 		if !strings.Contains(out, want) {
 			t.Errorf("render missing %q", want)
 		}
+	}
+}
+
+// TestFaultCampaignObservedHealth checks the observed campaign carries one
+// live health analyzer per workload, fanned into the same stream as the
+// recorder, and that attaching it changes no campaign number.
+func TestFaultCampaignObservedHealth(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fault campaign replays hundreds of faulty instances per runtime")
+	}
+	plain, err := faultCampaignN(DefaultCampaignSpec(), DefaultCampaignGuard, campaignTestVectors, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := telemetry.NewRegistry()
+	tel := &CampaignTelemetry{
+		Metrics:   reg,
+		Recorders: make(map[string]*telemetry.MemoryRecorder),
+		Health:    make(map[string]*health.AnalyzerRecorder),
+	}
+	observed, err := faultCampaignN(DefaultCampaignSpec(), DefaultCampaignGuard, campaignTestVectors, tel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(plain.Rows, observed.Rows) {
+		t.Fatalf("health monitoring changed campaign rows:\n%+v\n%+v", plain.Rows, observed.Rows)
+	}
+	for _, row := range observed.Rows {
+		h := tel.Health[row.Workload]
+		if h == nil {
+			t.Fatalf("%s: no health analyzer", row.Workload)
+		}
+		s := h.Health()
+		if s.Instances != row.Vectors {
+			t.Errorf("%s: analyzer saw %d instances, want %d", row.Workload, s.Instances, row.Vectors)
+		}
+		if s.SLO.Misses != row.GuardedMisses {
+			t.Errorf("%s: analyzer counted %d misses, want %d", row.Workload, s.SLO.Misses, row.GuardedMisses)
+		}
+		if s.SLO.Fallbacks != row.FallbackActivations {
+			t.Errorf("%s: analyzer counted %d fallbacks, want %d",
+				row.Workload, s.SLO.Fallbacks, row.FallbackActivations)
+		}
+		if s.SLO.MaxGuardLevel != row.MaxGuardLevel {
+			t.Errorf("%s: analyzer max guard level %d, want %d",
+				row.Workload, s.SLO.MaxGuardLevel, row.MaxGuardLevel)
+		}
+		if len(s.Hotspots.Tasks) == 0 || len(s.Drift) == 0 {
+			t.Errorf("%s: analyzer missing hotspot/drift data", row.Workload)
+		}
+		// Raised alerts interleave into the workload's trace stream as typed
+		// events, exactly as many as the analyzer counted.
+		typed := tel.Recorders[row.Workload].CountByKind()[telemetry.KindHealthAlert]
+		if typed != s.AlertsTotal {
+			t.Errorf("%s: %d typed alert events vs %d alerts raised", row.Workload, typed, s.AlertsTotal)
+		}
+	}
+	if reg.Snapshot().Counters["adaptive.instances"] == 0 {
+		t.Error("campaign registry saw no instances")
 	}
 }
 

@@ -1,0 +1,290 @@
+package health_test
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"testing"
+
+	"ctgdvfs/internal/core"
+	"ctgdvfs/internal/ctg"
+	"ctgdvfs/internal/health"
+	"ctgdvfs/internal/platform"
+	"ctgdvfs/internal/telemetry"
+	"ctgdvfs/internal/tgff"
+	"ctgdvfs/internal/trace"
+)
+
+func testWorkload(t *testing.T, seed int64) (*ctg.Graph, *platform.Platform) {
+	t.Helper()
+	cfg := tgff.Config{Seed: seed, Nodes: 18, PEs: 3, Branches: 2, Category: tgff.ForkJoin}
+	g, p, err := tgff.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g, p
+}
+
+// TestAnalyzerPassivity pins the health layer's headline guarantee: fanning
+// an AnalyzerRecorder into the event stream changes neither the RunStats nor
+// the recorded events — bit for bit.
+func TestAnalyzerPassivity(t *testing.T) {
+	run := func(attach bool) (core.RunStats, []telemetry.Event) {
+		g, p := testWorkload(t, 12)
+		mem := telemetry.NewMemoryRecorder()
+		var rec telemetry.Recorder = mem
+		if attach {
+			rec = telemetry.MultiRecorder{mem, health.New(health.Options{})}
+		}
+		m, err := core.New(g, p, core.Options{Window: 10, Threshold: 0.1, Recorder: rec})
+		if err != nil {
+			t.Fatal(err)
+		}
+		st, err := m.Run(trace.Fluctuating(g, 3, 60, 0.45))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return st, mem.Events()
+	}
+	plainStats, plainEvents := run(false)
+	monitoredStats, monitoredEvents := run(true)
+	if plainStats != monitoredStats {
+		t.Fatalf("health monitor changed RunStats:\nplain     %+v\nmonitored %+v",
+			plainStats, monitoredStats)
+	}
+	if !reflect.DeepEqual(plainEvents, monitoredEvents) {
+		t.Fatalf("health monitor changed the event stream: %d vs %d events",
+			len(plainEvents), len(monitoredEvents))
+	}
+}
+
+// estimateEvent builds one KindEstimate event as the manager emits it.
+func estimateEvent(instance, fork int, probs []float64, outcome int) telemetry.Event {
+	return telemetry.Event{
+		Kind: telemetry.KindEstimate, Instance: instance, Fork: fork,
+		Probs: probs, Outcome: outcome,
+	}
+}
+
+// TestDriftDetectorAlertsAndRearms drives one fork from agreement into
+// divergence and back: the alert must fire once (latched), then re-arm only
+// after the error EWMA falls below half the threshold.
+func TestDriftDetectorAlertsAndRearms(t *testing.T) {
+	a := health.New(health.Options{DriftAlpha: 0.3, DriftThreshold: 0.2})
+	// Estimator insists on [0.5 0.5] while reality always takes branch 0.
+	for i := 0; i < 40; i++ {
+		a.Record(estimateEvent(i, 0, []float64{0.5, 0.5}, 0))
+	}
+	s := a.Health()
+	if len(s.Drift) != 1 {
+		t.Fatalf("drift snapshot has %d forks, want 1", len(s.Drift))
+	}
+	f := s.Drift[0]
+	if !f.Alerting {
+		t.Fatalf("fork should be alerting: %+v", f)
+	}
+	if f.Alerts != 1 {
+		t.Fatalf("alert latched %d times, want exactly 1 (hysteresis)", f.Alerts)
+	}
+	if f.ErrEWMA < 0.2 {
+		t.Fatalf("err EWMA %.3f below threshold yet alerting", f.ErrEWMA)
+	}
+	if got := s.AlertsTotal; got != 1 {
+		t.Fatalf("AlertsTotal = %d, want 1", got)
+	}
+	// Estimator catches up: estimates now match the all-branch-0 reality.
+	for i := 40; i < 120; i++ {
+		a.Record(estimateEvent(i, 0, []float64{1, 0}, 0))
+	}
+	f = a.Health().Drift[0]
+	if f.Alerting {
+		t.Fatalf("fork should have re-armed after recovery: %+v", f)
+	}
+	if f.ErrEWMA >= 0.1 {
+		t.Fatalf("err EWMA %.3f did not decay below threshold/2", f.ErrEWMA)
+	}
+	// Metrics mirror: the drift gauge tracks the worst fork error.
+	snap := a.Metrics().Snapshot()
+	if snap.Counters["adaptive.health.drift_alerts"] != 1 {
+		t.Fatalf("drift_alerts counter = %d, want 1",
+			snap.Counters["adaptive.health.drift_alerts"])
+	}
+}
+
+func finishEvent(instance int, met bool, lateness, makespan, energy float64) telemetry.Event {
+	return telemetry.Event{
+		Kind: telemetry.KindInstanceFinish, Instance: instance,
+		Met: met, Lateness: lateness, Makespan: makespan, Energy: energy,
+	}
+}
+
+// TestMissStreakAlert checks the streak detector fires exactly once when the
+// configured run of consecutive misses is reached.
+func TestMissStreakAlert(t *testing.T) {
+	a := health.New(health.Options{MissStreak: 3, SLO: health.SLO{MaxMissRate: -1}})
+	a.Record(finishEvent(0, true, 0, 10, 5))
+	a.Record(finishEvent(1, false, 1, 11, 5))
+	a.Record(finishEvent(2, false, 1, 11, 5))
+	if got := a.Health().AlertsTotal; got != 0 {
+		t.Fatalf("alert before the streak completed (%d)", got)
+	}
+	a.Record(finishEvent(3, false, 1, 11, 5))
+	a.Record(finishEvent(4, false, 1, 11, 5)) // streak 4: no second alert
+	s := a.Health()
+	if s.AlertsTotal != 1 || len(s.Alerts) != 1 || s.Alerts[0].Type != "miss_streak" {
+		t.Fatalf("want exactly one miss_streak alert, got %+v", s.Alerts)
+	}
+	if s.SLO.CurStreak != 4 || s.SLO.MaxStreak != 4 {
+		t.Fatalf("streak tracking wrong: %+v", s.SLO)
+	}
+	a.Record(finishEvent(5, true, 0, 10, 5))
+	if got := a.Health().SLO.CurStreak; got != 0 {
+		t.Fatalf("streak did not reset on a met deadline: %d", got)
+	}
+}
+
+// TestSLOVerdictsAndBudgetBurn checks verdict scoring, the warm-up pending
+// flag, the pass→fail transition alert, and the budget-burn rate.
+func TestSLOVerdictsAndBudgetBurn(t *testing.T) {
+	a := health.New(health.Options{
+		SLO:        health.SLO{MaxMissRate: 0.25, MaxAvgEnergy: 100},
+		SLOWarmup:  4,
+		MissStreak: 100, // keep streak alerts out of the way
+	})
+	a.Record(finishEvent(0, true, 0, 10, 50))
+	s := a.Health()
+	if len(s.SLO.Verdicts) != 2 {
+		t.Fatalf("want 2 verdicts (miss_rate, avg_energy), got %+v", s.SLO.Verdicts)
+	}
+	for _, v := range s.SLO.Verdicts {
+		if !v.Pending {
+			t.Fatalf("verdict %s should be pending during warm-up", v.Name)
+		}
+	}
+	a.Record(finishEvent(1, true, 0, 10, 50))
+	a.Record(finishEvent(2, false, 2, 12, 50))
+	a.Record(finishEvent(3, false, 2, 12, 50))
+	s = a.Health()
+	// miss rate 2/4 = 0.5 > 0.25: FAIL and alerted exactly once.
+	var miss *health.Verdict
+	for i := range s.SLO.Verdicts {
+		if s.SLO.Verdicts[i].Name == "miss_rate" {
+			miss = &s.SLO.Verdicts[i]
+		}
+	}
+	if miss == nil || miss.Pass || miss.Pending {
+		t.Fatalf("miss_rate verdict wrong: %+v", s.SLO.Verdicts)
+	}
+	var sloAlerts int
+	for _, al := range s.Alerts {
+		if al.Type == "slo" {
+			sloAlerts++
+		}
+	}
+	if sloAlerts != 1 {
+		t.Fatalf("want one slo alert on the pass→fail transition, got %d", sloAlerts)
+	}
+	if want := 0.5 / 0.25; s.SLO.BudgetBurn != want {
+		t.Fatalf("budget burn = %v, want %v", s.SLO.BudgetBurn, want)
+	}
+	if s.SLO.AvgEnergy != 50 {
+		t.Fatalf("avg energy = %v, want 50", s.SLO.AvgEnergy)
+	}
+}
+
+// TestHotspotAttribution drives two instances of synthetic slices and checks
+// ranking order and critical-path attribution, including the
+// fallback-supersedes-primary rule.
+func TestHotspotAttribution(t *testing.T) {
+	a := health.New(health.Options{})
+	slice := func(inst, task int, name string, pe int, start, end, energy float64, phase string) telemetry.Event {
+		return telemetry.Event{
+			Kind: telemetry.KindTaskSlice, Instance: inst, Task: task, Name: name,
+			PE: pe, Start: start, End: end, Energy: energy, Phase: phase,
+		}
+	}
+	// Instance 0: task 1 ends last on the primary timeline.
+	a.Record(slice(0, 0, "src", 0, 0, 4, 2, ""))
+	a.Record(slice(0, 1, "dec", 1, 4, 10, 3, ""))
+	a.Record(telemetry.Event{
+		Kind: telemetry.KindCommSlice, Instance: 0, Edge: 0, Task: 0, Task2: 1,
+		PE: 0, PE2: 1, Start: 4, End: 5, Energy: 1,
+	})
+	a.Record(finishEvent(0, true, 0, 10, 5))
+	// Instance 1: primary ends with task 1, but a fallback replay ran and its
+	// terminal is task 0 — the fallback wins the critical credit.
+	a.Record(slice(1, 1, "dec", 1, 0, 9, 3, ""))
+	a.Record(slice(1, 0, "src", 0, 0, 6, 2, telemetry.PhaseFallback))
+	a.Record(finishEvent(1, false, 1, 11, 5))
+
+	s := a.Health()
+	if s.Instances != 2 {
+		t.Fatalf("instances = %d, want 2", s.Instances)
+	}
+	if len(s.Hotspots.Tasks) != 2 || len(s.Hotspots.PEs) != 2 || len(s.Hotspots.Links) != 1 {
+		t.Fatalf("hotspot shape wrong: %+v", s.Hotspots)
+	}
+	// Each task was critical once; tie broken by busy time (task 1: 6+9=15).
+	top := s.Hotspots.Tasks[0]
+	if top.Task != 1 || top.Critical != 1 || top.Busy != 15 {
+		t.Fatalf("top task wrong: %+v", top)
+	}
+	if s.Hotspots.Tasks[1].Critical != 1 {
+		t.Fatalf("fallback terminal not credited: %+v", s.Hotspots.Tasks[1])
+	}
+	if l := s.Hotspots.Links[0]; l.From != 0 || l.To != 1 || l.Transfers != 1 || l.Busy != 1 {
+		t.Fatalf("link attribution wrong: %+v", l)
+	}
+}
+
+// TestTimelineAndAlertSink checks decision-timeline capture, bounded
+// eviction, and the typed alert events sent into the Alerts sink.
+func TestTimelineAndAlertSink(t *testing.T) {
+	sink := telemetry.NewMemoryRecorder()
+	a := health.New(health.Options{Timeline: 4, MissStreak: 2, Alerts: sink,
+		SLO: health.SLO{MaxMissRate: -1}})
+	a.Record(telemetry.Event{Kind: telemetry.KindReschedule, Instance: 0, Reason: "initial"})
+	a.Record(telemetry.Event{Kind: telemetry.KindReschedule, Instance: 3, Reason: "drift", CacheHit: true})
+	a.Record(telemetry.Event{Kind: telemetry.KindGuardLevel, Instance: 4, Level: 2, Level2: 1})
+	a.Record(telemetry.Event{Kind: telemetry.KindFallback, Instance: 5, Met: true})
+	a.Record(finishEvent(5, false, 1, 11, 5))
+	a.Record(finishEvent(6, false, 1, 11, 5)) // miss_streak alert → timeline entry 5 of 4
+	s := a.Health()
+	if len(s.Timeline) != 4 || s.TimelineDropped != 1 {
+		t.Fatalf("timeline bound broken: %d entries, %d dropped", len(s.Timeline), s.TimelineDropped)
+	}
+	// Oldest entry ("initial" reschedule) evicted; newest is the alert.
+	if s.Timeline[0].Kind != "reschedule" || !strings.Contains(s.Timeline[0].Detail, "cache hit") {
+		t.Fatalf("unexpected oldest entry: %+v", s.Timeline[0])
+	}
+	if s.Timeline[3].Kind != "alert" {
+		t.Fatalf("unexpected newest entry: %+v", s.Timeline[3])
+	}
+	if s.SLO.Fallbacks != 1 || s.SLO.FallbacksSaved != 1 || s.SLO.GuardLevel != 2 {
+		t.Fatalf("decision counters wrong: %+v", s.SLO)
+	}
+	// The sink received the typed alert event.
+	evs := sink.Events()
+	if len(evs) != 1 || evs[0].Kind != telemetry.KindHealthAlert || evs[0].Reason != "miss_streak" {
+		t.Fatalf("alert sink got %+v", evs)
+	}
+}
+
+// TestServeHTTP checks the /health endpoint serves the snapshot as JSON.
+func TestServeHTTP(t *testing.T) {
+	a := health.New(health.Options{})
+	a.Record(finishEvent(0, true, 0, 10, 5))
+	rr := httptest.NewRecorder()
+	a.ServeHTTP(rr, httptest.NewRequest("GET", "/health", nil))
+	if ct := rr.Header().Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("content type %q", ct)
+	}
+	var s health.Snapshot
+	if err := json.Unmarshal(rr.Body.Bytes(), &s); err != nil {
+		t.Fatal(err)
+	}
+	if s.Instances != 1 || s.Events != 1 {
+		t.Fatalf("served snapshot wrong: %+v", s)
+	}
+}

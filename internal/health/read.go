@@ -1,0 +1,214 @@
+package health
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+
+	"ctgdvfs/internal/telemetry"
+)
+
+// LoadEvents parses a recorded telemetry capture — either a JSONL event
+// stream (telemetry.JSONLRecorder output) or a Chrome trace-event file
+// (telemetry.ChromeTrace output) — into the flat event stream the analyzers
+// consume. The format is auto-detected. For Chrome traces, run selects the
+// process (run name) to analyze; empty run is allowed when the trace holds
+// exactly one process. The returned string names the format: "jsonl" or
+// "chrome".
+//
+// A Chrome trace is a lossy projection of the original stream (instance
+// summaries and estimator events are rendered as counters or not at all), so
+// the converted stream supports hotspot and decision-timeline analysis but
+// carries no estimate or per-instance SLO data — Analyze on it reports
+// drift and SLO sections as "(no data)".
+func LoadEvents(data []byte, run string) ([]telemetry.Event, string, error) {
+	var cf chromeInFile
+	if err := json.Unmarshal(data, &cf); err == nil && len(cf.TraceEvents) > 0 {
+		evs, err := convertChrome(cf.TraceEvents, run)
+		return evs, "chrome", err
+	}
+	evs, err := telemetry.ReadJSONL(bytes.NewReader(data))
+	if err != nil {
+		return nil, "", fmt.Errorf("parse as JSONL: %w (and not a Chrome trace)", err)
+	}
+	return evs, "jsonl", nil
+}
+
+// chromeInFile mirrors the exporter's top-level object for ingestion.
+type chromeInFile struct {
+	TraceEvents []chromeInEvent `json:"traceEvents"`
+}
+
+type chromeInEvent struct {
+	Name string        `json:"name"`
+	Cat  string        `json:"cat"`
+	Ph   string        `json:"ph"`
+	Ts   float64       `json:"ts"`
+	Dur  float64       `json:"dur"`
+	Pid  int           `json:"pid"`
+	Tid  int           `json:"tid"`
+	Args *chromeInArgs `json:"args"`
+}
+
+type chromeInArgs struct {
+	Label    string   `json:"name"`
+	Task     int      `json:"task"`
+	Scenario int      `json:"scenario"`
+	Speed    float64  `json:"speed"`
+	Overrun  float64  `json:"overrun"`
+	Energy   *float64 `json:"energy"`
+	Makespan float64  `json:"makespan"`
+	Met      *bool    `json:"met"`
+	Reason   string   `json:"reason"`
+	CacheHit *bool    `json:"cache_hit"`
+	Calls    int      `json:"calls"`
+	Level    *int     `json:"level"`
+	Drift    *float64 `json:"drift"`
+}
+
+// convertChrome rebuilds a flat event stream from one process of a Chrome
+// trace. Instance ids are reconstructed from the per-instance "drift"
+// counter boundaries the exporter writes at each instance end.
+func convertChrome(evs []chromeInEvent, run string) ([]telemetry.Event, error) {
+	// Processes, in order of appearance.
+	procName := make(map[int]string)
+	var pids []int
+	for _, e := range evs {
+		if e.Ph == "M" && e.Name == "process_name" && e.Args != nil {
+			if _, ok := procName[e.Pid]; !ok {
+				pids = append(pids, e.Pid)
+			}
+			procName[e.Pid] = e.Args.Label
+		}
+	}
+	pid, found := -1, false
+	switch {
+	case run != "":
+		for _, p := range pids {
+			if procName[p] == run {
+				pid, found = p, true
+				break
+			}
+		}
+		if !found {
+			names := make([]string, len(pids))
+			for i, p := range pids {
+				names[i] = procName[p]
+			}
+			return nil, fmt.Errorf("run %q not in trace (runs: %s)", run, strings.Join(names, ", "))
+		}
+	case len(pids) == 1:
+		pid = pids[0]
+	case len(pids) == 0:
+		return nil, fmt.Errorf("trace has no process_name metadata")
+	default:
+		names := make([]string, len(pids))
+		for i, p := range pids {
+			names[i] = procName[p]
+		}
+		return nil, fmt.Errorf("trace holds %d runs (%s); pick one with -run", len(pids), strings.Join(names, ", "))
+	}
+
+	// Thread rows of the chosen process: PE rows and link rows.
+	peRow := make(map[int]int)      // tid -> PE id
+	linkRow := make(map[int][2]int) // tid -> (from, to)
+	var boundaries []float64        // instance-end timestamps ("drift" counters)
+	for _, e := range evs {
+		if e.Pid != pid {
+			continue
+		}
+		switch {
+		case e.Ph == "M" && e.Name == "thread_name" && e.Args != nil:
+			var a, b int
+			if n, _ := fmt.Sscanf(e.Args.Label, "PE %d", &a); n == 1 {
+				peRow[e.Tid] = a
+			} else if n, _ := fmt.Sscanf(e.Args.Label, "link %d→%d", &a, &b); n == 2 {
+				linkRow[e.Tid] = [2]int{a, b}
+			}
+		case e.Ph == "C" && e.Name == "drift":
+			boundaries = append(boundaries, e.Ts)
+		}
+	}
+	sort.Float64s(boundaries)
+	instFor := func(ts float64) int {
+		if len(boundaries) == 0 {
+			return 0
+		}
+		i := sort.SearchFloat64s(boundaries, ts-1e-9)
+		if i >= len(boundaries) {
+			i = len(boundaries) - 1
+		}
+		return i
+	}
+
+	var out []telemetry.Event
+	for _, e := range evs {
+		if e.Pid != pid || e.Ph == "M" || e.Cat == "flow" {
+			continue
+		}
+		switch e.Ph {
+		case "X":
+			end := e.Ts + e.Dur
+			inst := instFor(end)
+			phase := ""
+			if e.Cat == "fallback" {
+				phase = telemetry.PhaseFallback
+			}
+			if link, ok := linkRow[e.Tid]; ok {
+				ev := telemetry.Event{
+					Kind: telemetry.KindCommSlice, Instance: inst,
+					PE: link[0], PE2: link[1],
+					Start: e.Ts, End: end, Phase: phase,
+				}
+				fmt.Sscanf(e.Name, "%d→%d", &ev.Task, &ev.Task2)
+				out = append(out, ev)
+				continue
+			}
+			ev := telemetry.Event{
+				Kind: telemetry.KindTaskSlice, Instance: inst,
+				Name: e.Name, PE: peRow[e.Tid],
+				Start: e.Ts, End: end, Phase: phase,
+			}
+			if e.Args != nil {
+				ev.Task = e.Args.Task
+				ev.Scenario = e.Args.Scenario
+				ev.Speed = e.Args.Speed
+				ev.Factor = e.Args.Overrun
+				if e.Args.Energy != nil {
+					ev.Energy = *e.Args.Energy
+				}
+			}
+			out = append(out, ev)
+		case "i":
+			inst := instFor(e.Ts)
+			switch {
+			case strings.HasPrefix(e.Name, "reschedule"):
+				ev := telemetry.Event{Kind: telemetry.KindReschedule, Instance: inst}
+				if e.Args != nil {
+					ev.Reason = e.Args.Reason
+					if e.Args.CacheHit != nil {
+						ev.CacheHit = *e.Args.CacheHit
+					}
+					ev.Calls = e.Args.Calls
+				}
+				out = append(out, ev)
+			case e.Name == "fallback":
+				ev := telemetry.Event{Kind: telemetry.KindFallback, Instance: inst}
+				if e.Args != nil {
+					ev.Makespan2 = e.Args.Makespan
+					if e.Args.Met != nil {
+						ev.Met = *e.Args.Met
+					}
+				}
+				out = append(out, ev)
+			case strings.HasPrefix(e.Name, "guard level"):
+				ev := telemetry.Event{Kind: telemetry.KindGuardLevel, Instance: inst}
+				fmt.Sscanf(e.Name, "guard level %d→%d", &ev.Level2, &ev.Level)
+				out = append(out, ev)
+			}
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,141 @@
+package health
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Snapshot is the full state of an AnalyzerRecorder at one point in time —
+// what /health serves as JSON and what Report renders as text.
+type Snapshot struct {
+	Events    int `json:"events"`
+	Instances int `json:"instances"`
+
+	Drift    []ForkDrift `json:"drift,omitempty"`
+	SLO      SLOStatus   `json:"slo"`
+	Hotspots Hotspots    `json:"hotspots"`
+
+	Timeline        []TimelineEntry `json:"timeline,omitempty"`
+	TimelineDropped int             `json:"timeline_dropped,omitempty"`
+	Alerts          []Alert         `json:"alerts,omitempty"`
+	AlertsTotal     int             `json:"alerts_total"`
+}
+
+// levelMove renders a guard-level transition for the timeline.
+func levelMove(from, to int) string {
+	switch {
+	case to > from:
+		return fmt.Sprintf("raised %d -> %d", from, to)
+	case to < from:
+		return fmt.Sprintf("relaxed %d -> %d", from, to)
+	default:
+		return fmt.Sprintf("held at %d", to)
+	}
+}
+
+// Report renders the snapshot as the deterministic plain-text diagnosis the
+// `ctgsched analyze` subcommand prints: header, per-fork drift, SLO
+// verdicts, hotspot rankings and the decision timeline. The format is fixed
+// (%.3f / %.1f) so the output is golden-file testable.
+func (s Snapshot) Report() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "health report: %d events, %d instances, %d alerts\n",
+		s.Events, s.Instances, s.AlertsTotal)
+
+	b.WriteString("\nestimator drift\n")
+	if len(s.Drift) == 0 {
+		b.WriteString("  (no data)\n")
+	}
+	for _, f := range s.Drift {
+		state := "ok"
+		if f.Alerting {
+			state = "DRIFTING"
+		}
+		fmt.Fprintf(&b, "  fork %d: err ewma %.3f (last %.3f), %d estimates, %d alerts [%s]\n",
+			f.Fork, f.ErrEWMA, f.LastErr, f.Estimates, f.Alerts, state)
+		fmt.Fprintf(&b, "    estimate %s  realized %s\n",
+			probsString(f.Estimate), probsString(f.Realized))
+	}
+
+	b.WriteString("\nSLO\n")
+	fmt.Fprintf(&b, "  instances %d  misses %d (rate %.3f)  overruns %d  miss streak %d (max %d)\n",
+		s.SLO.Instances, s.SLO.Misses, s.SLO.MissRate, s.SLO.Overruns,
+		s.SLO.CurStreak, s.SLO.MaxStreak)
+	fmt.Fprintf(&b, "  reschedules %d (%d cache hits)  fallbacks %d (%d saved)  guard level %d (max %d)\n",
+		s.SLO.Reschedules, s.SLO.CacheHits, s.SLO.Fallbacks, s.SLO.FallbacksSaved,
+		s.SLO.GuardLevel, s.SLO.MaxGuardLevel)
+	fmt.Fprintf(&b, "  lateness p50/p95/p99/max %.3f/%.3f/%.3f/%.3f  makespan p95 %.3f  avg energy %.3f\n",
+		s.SLO.Lateness.P50, s.SLO.Lateness.P95, s.SLO.Lateness.P99, s.SLO.Lateness.Max,
+		s.SLO.Makespan.P95, s.SLO.AvgEnergy)
+	fmt.Fprintf(&b, "  miss budget burn %.2f\n", s.SLO.BudgetBurn)
+	if len(s.SLO.Verdicts) == 0 {
+		b.WriteString("  verdicts: (none configured)\n")
+	}
+	for _, v := range s.SLO.Verdicts {
+		verdict := "PASS"
+		if !v.Pass {
+			verdict = "FAIL"
+		}
+		if v.Pending {
+			verdict += " (pending)"
+		}
+		fmt.Fprintf(&b, "  verdict %-13s %.4g vs bound %.4g: %s\n",
+			v.Name, v.Actual, v.Bound, verdict)
+	}
+	if len(s.SLO.DriftTrajectory) > 0 {
+		b.WriteString("  drift trajectory:")
+		for _, p := range s.SLO.DriftTrajectory {
+			fmt.Fprintf(&b, " %d:%.3f", p.Instance, p.Drift)
+		}
+		b.WriteString("\n")
+	}
+
+	b.WriteString("\nhotspots (tasks by critical-path count)\n")
+	if len(s.Hotspots.Tasks) == 0 {
+		b.WriteString("  (no data)\n")
+	}
+	for i, t := range s.Hotspots.Tasks {
+		name := t.Name
+		if name == "" {
+			name = fmt.Sprintf("task %d", t.Task)
+		}
+		fmt.Fprintf(&b, "  %d. %-12s critical %dx  busy %.1f  energy %.1f  slices %d\n",
+			i+1, name, t.Critical, t.Busy, t.Energy, t.Slices)
+	}
+	b.WriteString("hotspots (PEs by busy time)\n")
+	if len(s.Hotspots.PEs) == 0 {
+		b.WriteString("  (no data)\n")
+	}
+	for i, p := range s.Hotspots.PEs {
+		fmt.Fprintf(&b, "  %d. PE %-2d busy %.1f  energy %.1f  slices %d\n",
+			i+1, p.PE, p.Busy, p.Energy, p.Slices)
+	}
+	b.WriteString("hotspots (links by busy time)\n")
+	if len(s.Hotspots.Links) == 0 {
+		b.WriteString("  (no data)\n")
+	}
+	for i, l := range s.Hotspots.Links {
+		fmt.Fprintf(&b, "  %d. link %d->%d  busy %.1f  energy %.1f  transfers %d\n",
+			i+1, l.From, l.To, l.Busy, l.Energy, l.Transfers)
+	}
+
+	b.WriteString("\ntimeline (reschedules, fallbacks, guard moves, alerts)\n")
+	if len(s.Timeline) == 0 {
+		b.WriteString("  (no data)\n")
+	}
+	if s.TimelineDropped > 0 {
+		fmt.Fprintf(&b, "  ... %d earlier entries dropped\n", s.TimelineDropped)
+	}
+	for _, e := range s.Timeline {
+		fmt.Fprintf(&b, "  [%4d] %-11s %s\n", e.Instance, e.Kind, e.Detail)
+	}
+	return b.String()
+}
+
+func probsString(ps []float64) string {
+	parts := make([]string, len(ps))
+	for i, p := range ps {
+		parts[i] = fmt.Sprintf("%.3f", p)
+	}
+	return "[" + strings.Join(parts, " ") + "]"
+}

@@ -1,0 +1,185 @@
+package health_test
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"ctgdvfs/internal/apps/mpeg"
+	"ctgdvfs/internal/core"
+	"ctgdvfs/internal/health"
+	"ctgdvfs/internal/telemetry"
+	"ctgdvfs/internal/trace"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// mpegEvents replays the examples/telemetry setup — the MPEG decoder
+// profiled on one movie clip and measured on the next — and returns the
+// recorded event stream. The run is deterministic, so the analysis report
+// over it is golden-file testable.
+func mpegEvents(t *testing.T, n int) []telemetry.Event {
+	t.Helper()
+	g0, p, err := mpeg.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := core.TightenDeadline(g0, p, 1.6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vec := trace.MovieClips()[0].Generate(g, 1000+n)
+	if err := trace.ApplyProfile(g, trace.AverageProbs(g, vec[:1000])); err != nil {
+		t.Fatal(err)
+	}
+	rec := telemetry.NewMemoryRecorder()
+	m, err := core.New(g, p, core.Options{Window: 20, Threshold: 0.1, Recorder: rec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Run(vec[1000:]); err != nil {
+		t.Fatal(err)
+	}
+	return rec.Events()
+}
+
+func checkGolden(t *testing.T, name, got string) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update): %v", err)
+	}
+	if got != string(want) {
+		t.Fatalf("report drifted from %s — diff:\n%s\n(re-bless with -update if intended)",
+			path, diffLines(string(want), got))
+	}
+}
+
+// diffLines renders a minimal first-divergence diff for test failure output.
+func diffLines(want, got string) string {
+	w, g := strings.Split(want, "\n"), strings.Split(got, "\n")
+	for i := 0; i < len(w) || i < len(g); i++ {
+		var lw, lg string
+		if i < len(w) {
+			lw = w[i]
+		}
+		if i < len(g) {
+			lg = g[i]
+		}
+		if lw != lg {
+			return "line " + string(rune('0'+i%10)) + ":\n-" + lw + "\n+" + lg
+		}
+	}
+	return "(no line diff?)"
+}
+
+// TestReportGoldenJSONL pins the full analyze pipeline: MPEG run → JSONL
+// roundtrip → Analyze → Report, compared byte-for-byte against the golden
+// file. This is the same path `ctgsched analyze events.jsonl` takes.
+func TestReportGoldenJSONL(t *testing.T) {
+	events := mpegEvents(t, 60)
+
+	// Roundtrip through the JSONL encoding, as the CLI would read it.
+	var buf bytes.Buffer
+	jr := telemetry.NewJSONLRecorder(&buf)
+	for _, e := range events {
+		jr.Record(e)
+	}
+	if err := jr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	loaded, format, err := health.LoadEvents(buf.Bytes(), "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if format != "jsonl" {
+		t.Fatalf("format = %q, want jsonl", format)
+	}
+	if len(loaded) != len(events) {
+		t.Fatalf("JSONL roundtrip lost events: %d vs %d", len(loaded), len(events))
+	}
+
+	s := health.Analyze(loaded, health.Options{})
+	report := s.Report()
+
+	// The acceptance floor: at least one drift measurement, one SLO verdict
+	// and one hotspot ranking must appear regardless of golden content.
+	if len(s.Drift) == 0 || s.Drift[0].Estimates == 0 {
+		t.Fatal("report carries no drift measurements")
+	}
+	if len(s.SLO.Verdicts) == 0 {
+		t.Fatal("report carries no SLO verdicts")
+	}
+	if len(s.Hotspots.Tasks) == 0 || len(s.Hotspots.PEs) == 0 {
+		t.Fatal("report carries no hotspot rankings")
+	}
+	checkGolden(t, "mpeg_report.golden", report)
+}
+
+// TestReportGoldenChrome pins the Chrome-trace ingestion path: the same run
+// exported as a trace file, converted back, analyzed. The projection is
+// lossy (no estimate or instance-summary events), so this has its own
+// golden; drift must honestly report no data while hotspots survive.
+func TestReportGoldenChrome(t *testing.T) {
+	events := mpegEvents(t, 60)
+	ct := telemetry.NewChromeTrace()
+	ct.AddRun("mpeg adaptive", 1, events)
+	var buf bytes.Buffer
+	if err := ct.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, format, err := health.LoadEvents(buf.Bytes(), "mpeg adaptive")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if format != "chrome" {
+		t.Fatalf("format = %q, want chrome", format)
+	}
+	s := health.Analyze(loaded, health.Options{})
+	if len(s.Drift) != 0 {
+		t.Fatal("chrome traces carry no estimates; drift section must be empty")
+	}
+	if s.Instances == 0 {
+		t.Fatal("instance count not reconstructed from trace boundaries")
+	}
+	if len(s.Hotspots.Tasks) == 0 || len(s.Hotspots.Links) == 0 {
+		t.Fatal("hotspots not reconstructed from trace slices")
+	}
+	checkGolden(t, "mpeg_report_chrome.golden", s.Report())
+}
+
+// TestLoadEventsErrors covers the reader's failure modes.
+func TestLoadEventsErrors(t *testing.T) {
+	if _, _, err := health.LoadEvents([]byte("not json at all"), ""); err == nil {
+		t.Fatal("garbage input must error")
+	}
+	events := mpegEvents(t, 5)
+	ct := telemetry.NewChromeTrace()
+	ct.AddRun("a", 1, events)
+	ct.AddRun("b", 2, events)
+	var buf bytes.Buffer
+	if err := ct.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := health.LoadEvents(buf.Bytes(), ""); err == nil ||
+		!strings.Contains(err.Error(), "pick one with -run") {
+		t.Fatalf("multi-run trace without -run must error, got %v", err)
+	}
+	if _, _, err := health.LoadEvents(buf.Bytes(), "nope"); err == nil ||
+		!strings.Contains(err.Error(), `run "nope" not in trace`) {
+		t.Fatalf("unknown run must error, got %v", err)
+	}
+	if evs, _, err := health.LoadEvents(buf.Bytes(), "b"); err != nil || len(evs) == 0 {
+		t.Fatalf("selecting run b failed: %d events, %v", len(evs), err)
+	}
+}

@@ -55,6 +55,11 @@ const (
 	// KindGuardLevel is one circuit-breaker level change: Instance,
 	// Level (new), Level2 (previous).
 	KindGuardLevel Kind = "guard_level"
+	// KindHealthAlert is one health-monitor alert (internal/health):
+	// Instance, Reason (alert type: "drift", "miss_streak", "slo"), Fork
+	// (drift alerts), Name (SLO verdict name), Value (observed), Threshold
+	// (configured bound).
+	KindHealthAlert Kind = "health_alert"
 )
 
 // Event is one telemetry record. A single flat struct (rather than one type
@@ -90,6 +95,15 @@ type Event struct {
 	Fork  int       `json:"fork,omitempty"`
 	Probs []float64 `json:"probs,omitempty"`
 	Drift float64   `json:"drift,omitempty"`
+	// Outcome is the realized branch outcome behind a KindEstimate event —
+	// the decision that was just shifted into the fork's window. The health
+	// layer's drift detector compares it against the estimate stream.
+	Outcome int `json:"outcome,omitempty"`
+
+	// Value and Threshold carry a KindHealthAlert's observed value and the
+	// configured bound it crossed.
+	Value     float64 `json:"value,omitempty"`
+	Threshold float64 `json:"threshold,omitempty"`
 
 	Reason      string `json:"reason,omitempty"`
 	CacheHit    bool   `json:"cache_hit,omitempty"`

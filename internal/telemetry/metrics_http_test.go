@@ -1,0 +1,65 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"testing"
+)
+
+// TestMetricsHandlerJSONShape decodes the full /metrics response and checks
+// the structured shape — counters, gauges and histogram summaries with
+// ordered quantiles — rather than substring-matching the body.
+func TestMetricsHandlerJSONShape(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("adaptive.instances").Add(7)
+	reg.Gauge("adaptive.drift").Set(0.125)
+	h := reg.Histogram("adaptive.makespan", 0, 200, 32)
+	for i := 1; i <= 100; i++ {
+		h.Observe(float64(i))
+	}
+
+	rr := httptest.NewRecorder()
+	reg.ServeHTTP(rr, httptest.NewRequest("GET", "/metrics", nil))
+	if rr.Code != 200 {
+		t.Fatalf("status %d", rr.Code)
+	}
+	if ct := rr.Header().Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("content type %q, want application/json", ct)
+	}
+
+	var snap struct {
+		Counters   map[string]int64   `json:"counters"`
+		Gauges     map[string]float64 `json:"gauges"`
+		Histograms map[string]struct {
+			Count uint64  `json:"count"`
+			Mean  float64 `json:"mean"`
+			Min   float64 `json:"min"`
+			Max   float64 `json:"max"`
+			P50   float64 `json:"p50"`
+			P95   float64 `json:"p95"`
+			P99   float64 `json:"p99"`
+		} `json:"histograms"`
+	}
+	if err := json.Unmarshal(rr.Body.Bytes(), &snap); err != nil {
+		t.Fatalf("response is not the snapshot JSON: %v\n%s", err, rr.Body.String())
+	}
+	if snap.Counters["adaptive.instances"] != 7 {
+		t.Errorf("counter = %d, want 7", snap.Counters["adaptive.instances"])
+	}
+	if snap.Gauges["adaptive.drift"] != 0.125 {
+		t.Errorf("gauge = %v, want 0.125", snap.Gauges["adaptive.drift"])
+	}
+	hs, ok := snap.Histograms["adaptive.makespan"]
+	if !ok {
+		t.Fatalf("histogram missing from snapshot:\n%s", rr.Body.String())
+	}
+	if hs.Count != 100 || hs.Min != 1 || hs.Max != 100 {
+		t.Errorf("histogram summary wrong: %+v", hs)
+	}
+	if !(hs.P50 <= hs.P95 && hs.P95 <= hs.P99) {
+		t.Errorf("quantiles unordered: %+v", hs)
+	}
+	if hs.Mean != 50.5 {
+		t.Errorf("mean = %v, want 50.5", hs.Mean)
+	}
+}

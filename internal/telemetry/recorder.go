@@ -3,6 +3,7 @@ package telemetry
 import (
 	"bufio"
 	"encoding/json"
+	"errors"
 	"io"
 	"sync"
 )
@@ -66,15 +67,25 @@ func (r *MemoryRecorder) CountByKind() map[Kind]int {
 	return m
 }
 
+// ErrRecordAfterClose is the sticky error a JSONLRecorder reports when an
+// event arrives after Close: the event was dropped, not written to a closed
+// sink.
+var ErrRecordAfterClose = errors.New("telemetry: record after close")
+
 // JSONLRecorder streams events as one JSON object per line. Writes are
 // buffered; call Close (or Flush) to drain the buffer. Encoding errors are
-// sticky and reported by Close, so the hot path never returns an error.
+// sticky — the first one is kept and reported by Err, Flush and Close — so
+// the hot path never returns an error, and nothing is silently swallowed: a
+// lossy stream always surfaces its first failure. A closed recorder drops
+// further events (recording ErrRecordAfterClose) instead of writing to the
+// closed sink.
 type JSONLRecorder struct {
-	mu  sync.Mutex
-	w   *bufio.Writer
-	c   io.Closer // non-nil when the recorder owns the underlying writer
-	enc *json.Encoder
-	err error
+	mu     sync.Mutex
+	w      *bufio.Writer
+	c      io.Closer // non-nil when the recorder owns the underlying writer
+	enc    *json.Encoder
+	err    error
+	closed bool
 }
 
 // NewJSONLRecorder wraps an io.Writer. If the writer is also an io.Closer,
@@ -88,31 +99,59 @@ func NewJSONLRecorder(w io.Writer) *JSONLRecorder {
 	return r
 }
 
-// Record encodes the event as one JSONL line.
+// Record encodes the event as one JSONL line. After the first encode/write
+// error the stream stops (the error is sticky; read it with Err); after Close
+// events are dropped and ErrRecordAfterClose recorded.
 func (r *JSONLRecorder) Record(e Event) {
 	r.mu.Lock()
-	if r.err == nil {
+	switch {
+	case r.closed:
+		if r.err == nil {
+			r.err = ErrRecordAfterClose
+		}
+	case r.err == nil:
 		r.err = r.enc.Encode(e) // Encode appends the newline
 	}
 	r.mu.Unlock()
+}
+
+// Err returns the first encode/write error seen so far (nil while the stream
+// is healthy). Check it after a run — Record itself never reports failures.
+func (r *JSONLRecorder) Err() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.err
 }
 
 // Flush drains the write buffer and returns the first error seen so far.
 func (r *JSONLRecorder) Flush() error {
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	return r.flushLocked()
+}
+
+func (r *JSONLRecorder) flushLocked() error {
 	if r.err == nil {
 		r.err = r.w.Flush()
 	}
 	return r.err
 }
 
-// Close flushes and, when the recorder owns an io.Closer, closes it.
+// Close flushes and, when the recorder owns an io.Closer, closes it. Close
+// is idempotent: later calls return the sticky error without touching the
+// underlying writer again.
 func (r *JSONLRecorder) Close() error {
-	err := r.Flush()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed {
+		return r.err
+	}
+	r.closed = true
+	err := r.flushLocked()
 	if r.c != nil {
-		if cerr := r.c.Close(); err == nil {
+		if cerr := r.c.Close(); cerr != nil && err == nil {
 			err = cerr
+			r.err = cerr
 		}
 	}
 	return err

@@ -1,0 +1,250 @@
+// Command benchgate compares a fresh benchmark run against the committed
+// BENCH_*.json baselines and fails when a benchmark's step cost regressed
+// beyond the tolerance — the bench-regression gate `make verify` runs.
+//
+//	go run ./scripts/benchgate BENCH_parallel.json BENCH_telemetry.json
+//	go run ./scripts/benchgate -tolerance 0.15 BENCH_parallel.json
+//	go run ./scripts/benchgate -update BENCH_parallel.json   # make bench-baseline
+//
+// Each baseline file names its benchmarks and the -benchtime it was recorded
+// at; benchgate re-runs exactly those benchmarks at that benchtime. A
+// benchmark regresses when its fresh ns/op exceeds baseline·(1+tolerance); to
+// keep single-core container noise from tripping the gate, a failing run is
+// retried once and the best of the two attempts is compared. Baseline
+// entries whose name is not a plain Go benchmark identifier (e.g. the
+// "baseline (7f4e4fb) ..." row recorded from a rebuilt older commit) are
+// informational and skipped.
+//
+// -update reruns the benchmarks and rewrites each file's results in place
+// (keeping description, host and commentary fields), which is how
+// `make bench-baseline` re-blesses the numbers on a new host.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"regexp"
+	"strconv"
+	"strings"
+	"time"
+)
+
+type result struct {
+	Name   string  `json:"name"`
+	Ns     float64 `json:"ns_per_op"`
+	Bytes  int64   `json:"bytes_per_op"`
+	Allocs int64   `json:"allocs_per_op"`
+	Events float64 `json:"events_per_op,omitempty"`
+}
+
+// baselineFile mirrors the BENCH_*.json schema; commentary fields ride along
+// untouched so -update preserves them.
+type baselineFile struct {
+	Description string          `json:"description"`
+	Recorded    string          `json:"recorded"`
+	Host        json.RawMessage `json:"host"`
+	Benchtime   string          `json:"benchtime"`
+	Results     []result        `json:"results"`
+
+	DisabledOverhead string `json:"disabled_overhead_vs_baseline,omitempty"`
+	EnabledOverhead  string `json:"enabled_overhead_vs_disabled,omitempty"`
+}
+
+var benchIdent = regexp.MustCompile(`^Benchmark[A-Za-z0-9_]+$`)
+
+// runBenchmarks executes the named benchmarks once and parses the `go test`
+// output into fresh results.
+func runBenchmarks(names []string, benchtime string) (map[string]result, error) {
+	pattern := "^(" + strings.Join(names, "|") + ")$"
+	cmd := exec.Command("go", "test", "-run", "^$", "-bench", pattern,
+		"-benchtime", benchtime, "-benchmem", ".")
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		return nil, fmt.Errorf("go test -bench failed: %v\n%s", err, out)
+	}
+	fresh := make(map[string]result)
+	for _, line := range strings.Split(string(out), "\n") {
+		fields := strings.Fields(line)
+		if len(fields) < 3 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		// Strip the -N GOMAXPROCS suffix go test appends to the name.
+		name := fields[0]
+		if i := strings.LastIndexByte(name, '-'); i > 0 {
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i]
+			}
+		}
+		r := result{Name: name}
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			switch fields[i+1] {
+			case "ns/op":
+				r.Ns = v
+			case "B/op":
+				r.Bytes = int64(v)
+			case "allocs/op":
+				r.Allocs = int64(v)
+			case "events/op":
+				r.Events = v
+			}
+		}
+		fresh[name] = r
+	}
+	return fresh, nil
+}
+
+// better keeps the faster attempt per benchmark.
+func better(a, b map[string]result) map[string]result {
+	out := make(map[string]result, len(a))
+	for name, r := range a {
+		if r2, ok := b[name]; ok && r2.Ns < r.Ns {
+			r = r2
+		}
+		out[name] = r
+	}
+	for name, r := range b {
+		if _, ok := out[name]; !ok {
+			out[name] = r
+		}
+	}
+	return out
+}
+
+// gateFile checks (or, with update, re-records) one baseline file. Returns
+// the number of regressions found.
+func gateFile(path string, tolerance float64, update bool) (int, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return 0, err
+	}
+	var base baselineFile
+	if err := json.Unmarshal(data, &base); err != nil {
+		return 0, fmt.Errorf("%s: %v", path, err)
+	}
+	if base.Benchtime == "" {
+		base.Benchtime = "1x"
+	}
+	var names []string
+	for _, r := range base.Results {
+		if benchIdent.MatchString(r.Name) {
+			names = append(names, r.Name)
+		}
+	}
+	if len(names) == 0 {
+		fmt.Printf("%s: no runnable benchmark entries, skipped\n", path)
+		return 0, nil
+	}
+
+	fresh, err := runBenchmarks(names, base.Benchtime)
+	if err != nil {
+		return 0, err
+	}
+
+	if update {
+		for i, r := range base.Results {
+			if f, ok := fresh[r.Name]; ok {
+				f.Events = pick(f.Events, r.Events)
+				base.Results[i] = f
+			}
+		}
+		base.Recorded = time.Now().Format("2006-01-02")
+		out, err := json.MarshalIndent(&base, "", "  ")
+		if err != nil {
+			return 0, err
+		}
+		if err := os.WriteFile(path, append(out, '\n'), 0o644); err != nil {
+			return 0, err
+		}
+		fmt.Printf("%s: re-recorded %d benchmarks at -benchtime %s\n", path, len(names), base.Benchtime)
+		return 0, nil
+	}
+
+	// Gate pass: retry once if anything regressed, keep the best attempt.
+	regressed := failures(base.Results, fresh, tolerance)
+	if len(regressed) > 0 {
+		fmt.Printf("%s: %d benchmark(s) over tolerance, retrying once to rule out noise\n",
+			path, len(regressed))
+		again, err := runBenchmarks(names, base.Benchtime)
+		if err != nil {
+			return 0, err
+		}
+		fresh = better(fresh, again)
+		regressed = failures(base.Results, fresh, tolerance)
+	}
+	for _, r := range base.Results {
+		f, ok := fresh[r.Name]
+		if !ok {
+			continue
+		}
+		delta := 100 * (f.Ns - r.Ns) / r.Ns
+		status := "ok"
+		if f.Ns > r.Ns*(1+tolerance) {
+			status = "REGRESSED"
+		}
+		fmt.Printf("  %-40s %12.0f -> %12.0f ns/op (%+.1f%%) %s\n",
+			r.Name, r.Ns, f.Ns, delta, status)
+	}
+	for _, msg := range regressed {
+		fmt.Fprintf(os.Stderr, "%s: %s\n", path, msg)
+	}
+	return len(regressed), nil
+}
+
+// failures lists the benchmarks whose fresh cost exceeds the tolerated
+// baseline, or which vanished from the run.
+func failures(baseline []result, fresh map[string]result, tolerance float64) []string {
+	var out []string
+	for _, r := range baseline {
+		if !benchIdent.MatchString(r.Name) {
+			continue
+		}
+		f, ok := fresh[r.Name]
+		if !ok {
+			out = append(out, fmt.Sprintf("%s: baseline benchmark missing from run", r.Name))
+			continue
+		}
+		if f.Ns > r.Ns*(1+tolerance) {
+			out = append(out, fmt.Sprintf("%s: %.0f ns/op vs baseline %.0f (+%.1f%%, tolerance %.0f%%)",
+				r.Name, f.Ns, r.Ns, 100*(f.Ns-r.Ns)/r.Ns, 100*tolerance))
+		}
+	}
+	return out
+}
+
+func pick(fresh, old float64) float64 {
+	if fresh != 0 {
+		return fresh
+	}
+	return old
+}
+
+func main() {
+	tolerance := flag.Float64("tolerance", 0.10, "allowed ns/op regression over baseline (0.10 = 10%)")
+	update := flag.Bool("update", false, "re-record the baselines instead of gating")
+	flag.Parse()
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "usage: benchgate [-tolerance 0.10] [-update] BENCH_*.json ...")
+		os.Exit(2)
+	}
+	total := 0
+	for _, path := range flag.Args() {
+		n, err := gateFile(path, *tolerance, *update)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		total += n
+	}
+	if total > 0 {
+		fmt.Fprintf(os.Stderr, "benchgate: %d regression(s)\n", total)
+		os.Exit(1)
+	}
+	fmt.Println("benchgate: OK")
+}

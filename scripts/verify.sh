@@ -1,9 +1,13 @@
 #!/bin/sh
 # verify.sh — the repo's full verification pipeline:
-#   vet, build, tests with the race detector, a one-iteration smoke run of
-#   every benchmark (catches bit-rot in the bench harness without paying for
-#   real measurement), a short parser fuzzing session, and a fault-campaign
-#   run of the fault-tolerance layer.
+#   vet, build, the full test suite, tests again under the race detector in
+#   short mode (the heavy exp replays honor -short; the race pass is about
+#   concurrency bugs, not numerics), a one-iteration smoke run of every
+#   benchmark (catches bit-rot in the bench harness without paying for real
+#   measurement), the bench-regression gate against the committed BENCH_*.json
+#   baselines, a short parser fuzzing session, a fault-campaign run of the
+#   fault-tolerance layer, and an end-to-end health-analyzer pass over a
+#   captured event stream.
 # Run from anywhere; operates on the repo root.
 set -eu
 
@@ -15,14 +19,20 @@ go vet ./...
 echo "== go build =="
 go build ./...
 
-# The exp suite replays every paper experiment; under the race detector on a
-# small machine that legitimately takes ~10 minutes, so raise go test's
-# default 10m per-package timeout rather than trimming coverage.
-echo "== go test -race =="
-go test -race -timeout 30m ./...
+echo "== go test =="
+go test ./...
+
+# The full exp suite under the race detector takes ~30 minutes on a small
+# machine; -short keeps the race pass focused on concurrency coverage while
+# the full-fidelity numerics ran un-instrumented above.
+echo "== go test -race -short =="
+go test -race -short -timeout 30m ./...
 
 echo "== bench smoke (1 iteration each) =="
 go test -run '^$' -bench . -benchtime 1x ./... >/dev/null
+
+echo "== bench-regression gate =="
+go run ./scripts/benchgate BENCH_parallel.json BENCH_telemetry.json
 
 echo "== fuzz smoke (parser, 5s) =="
 go test -run '^$' -fuzz FuzzRead -fuzztime 5s ./internal/ctgio >/dev/null
@@ -32,5 +42,13 @@ trace_tmp="$(mktemp)"
 go run ./cmd/experiments -exp faults -trace-out "$trace_tmp" >/dev/null
 go run ./scripts/checktrace "$trace_tmp"
 rm -f "$trace_tmp"
+
+echo "== health-analyzer smoke (capture + analyze) =="
+events_tmp="$(mktemp)"
+example_trace_tmp="$(mktemp)"
+go run ./examples/telemetry -events-out "$events_tmp" -trace-out "$example_trace_tmp" >/dev/null
+go run ./cmd/ctgsched analyze "$events_tmp" >/dev/null
+go run ./cmd/ctgsched analyze -run "mpeg adaptive" "$example_trace_tmp" >/dev/null
+rm -f "$events_tmp" "$example_trace_tmp"
 
 echo "verify: OK"
