@@ -1,6 +1,6 @@
 # Standard entry points; `make verify` is the gate a change must pass.
 
-.PHONY: build test race bench bench-parallel bench-telemetry benchgate bench-baseline fuzz-smoke fault-smoke telemetry-smoke analyze-smoke verify
+.PHONY: build test race cover bench bench-parallel bench-telemetry bench-failover benchgate bench-baseline fuzz-smoke fault-smoke failover-smoke telemetry-smoke analyze-smoke verify
 
 build:
 	go build ./...
@@ -10,6 +10,11 @@ test:
 
 race:
 	go test -race ./...
+
+# Statement-coverage floors for internal/core and internal/faults (the
+# degraded-mode re-mapping and failure-timeline code paths).
+cover:
+	sh scripts/cover.sh
 
 # Full benchmark sweep (regenerates every table/figure as a side effect).
 bench:
@@ -29,10 +34,20 @@ fuzz-smoke:
 fault-smoke:
 	go run ./cmd/experiments -exp faults
 
+# Failover campaign: adaptive re-mapping vs a static schedule under PE
+# outages, on the mpeg/wlan/cruise workloads.
+failover-smoke:
+	go run ./cmd/experiments -exp failover
+
 # Telemetry-disabled vs enabled adaptive-step cost; see BENCH_telemetry.json
 # for a recorded baseline (including the pre-telemetry runtime).
 bench-telemetry:
 	go test -run '^$$' -bench 'AdaptiveStep(MPEG|Telemetry)' -benchmem .
+
+# Timeline-off vs outage-timeline adaptive-step cost; see BENCH_failover.json
+# for a recorded baseline.
+bench-failover:
+	go test -run '^$$' -bench 'AdaptiveStepFailover' -benchmem .
 
 # Fault campaign with the Chrome trace export, validated by checktrace.
 telemetry-smoke:
@@ -42,11 +57,11 @@ telemetry-smoke:
 # Bench-regression gate: re-run the baselined benchmarks and fail on >10%
 # ns/op regressions against the committed BENCH_*.json files.
 benchgate:
-	go run ./scripts/benchgate BENCH_parallel.json BENCH_telemetry.json
+	go run ./scripts/benchgate BENCH_parallel.json BENCH_telemetry.json BENCH_failover.json
 
 # Re-bless the benchmark baselines on this host (after a deliberate change).
 bench-baseline:
-	go run ./scripts/benchgate -update BENCH_parallel.json BENCH_telemetry.json
+	go run ./scripts/benchgate -update BENCH_parallel.json BENCH_telemetry.json BENCH_failover.json
 
 # End-to-end health pipeline: capture a JSONL event stream from the telemetry
 # example, then run the offline analyzer over it.

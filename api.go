@@ -230,6 +230,31 @@ type (
 	// FaultPlan is a validated, stateless fault plan; pass it via
 	// SimConfig.Faults or AdaptiveOptions.Faults.
 	FaultPlan = faults.Plan
+	// FailureSpec parameterizes a deterministic hardware-availability
+	// timeline: stochastic permanent PE deaths, transient PE outages with
+	// repair times, link outages, and scripted events.
+	FailureSpec = faults.FailureSpec
+	// FailureEvent is one scripted availability change inside a
+	// FailureSpec (kind "pe" or "link"; Duration 0 means permanent).
+	FailureEvent = faults.FailureEvent
+	// FailureTimeline is a validated availability timeline; pass it via
+	// AdaptiveOptions.Failures to enable degraded-mode re-mapping.
+	FailureTimeline = faults.Timeline
+	// FaultSpecFile bundles a perturbation spec and a failure spec in one
+	// JSON document (cmd/experiments -faults-spec).
+	FaultSpecFile = faults.SpecFile
+	// AvailabilityMask marks which PEs and links are in service at one
+	// instance boundary.
+	AvailabilityMask = platform.Mask
+)
+
+// Scripted availability-event kinds.
+const (
+	// FailureEventPE marks a FailureEvent that takes a PE out of service.
+	FailureEventPE = faults.EventPE
+	// FailureEventLink marks a FailureEvent that takes one directed link
+	// out of service.
+	FailureEventLink = faults.EventLink
 )
 
 // Workloads (packages internal/tgff, internal/apps/*, internal/trace).
@@ -404,6 +429,42 @@ func RunStatic(s *PlanResult, vectors Vectors) (RunStats, error) {
 func RunStaticCfg(s *PlanResult, vectors Vectors, cfg SimConfig) (RunStats, error) {
 	return core.RunStaticCfg(s, vectors, cfg)
 }
+
+// RunStaticFailover replays a fixed schedule under an availability
+// timeline: instances whose active tasks or comms land on dead hardware
+// deadlock and are charged a miss with one full deadline of lateness. It is
+// the static baseline the adaptive runtime's degraded-mode re-mapping is
+// measured against (-exp failover). A nil timeline is exactly RunStaticCfg.
+func RunStaticFailover(s *PlanResult, vectors Vectors, tl *FailureTimeline, cfg SimConfig) (RunStats, error) {
+	return core.RunStaticFailover(s, vectors, tl, cfg)
+}
+
+// NewFailureTimeline validates a failure spec and derives the deterministic
+// availability timeline for a platform with numPEs processors. The timeline
+// is stateless: the mask at instance i is a pure function of (spec, i), so
+// adaptive and static runtimes face the identical outage sequence, and it
+// never takes the last surviving PE out of service.
+func NewFailureTimeline(spec FailureSpec, numPEs int) (*FailureTimeline, error) {
+	return faults.NewTimeline(spec, numPEs)
+}
+
+// LoadFaultSpecFile reads and validates a JSON fault-spec file bundling an
+// execution-time perturbation spec and/or an availability failure spec.
+func LoadFaultSpecFile(path string) (*FaultSpecFile, error) {
+	return faults.LoadSpecFile(path)
+}
+
+// RestrictPlatform returns a view of the platform with the masked-out PEs
+// and links removed from service, rejecting masks that leave no PE alive
+// with *platform.InfeasibleMaskError. Schedulers called with the view place
+// tasks only on surviving hardware.
+func RestrictPlatform(p *Platform, m AvailabilityMask) (*Platform, error) {
+	return p.Restrict(m)
+}
+
+// FullAvailability is the all-alive mask for a platform with numPEs
+// processors.
+func FullAvailability(numPEs int) AvailabilityMask { return platform.FullMask(numPEs) }
 
 // NewFaultPlan validates and builds a deterministic fault plan for a
 // workload of the given size. The plan is stateless: the factor applied to

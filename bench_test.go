@@ -568,3 +568,59 @@ func BenchmarkAdaptiveStepTelemetryMemory(b *testing.B) {
 	benchAdaptiveTelemetry(b, rec, ctgdvfs.NewMetricsRegistry())
 	b.ReportMetric(float64(rec.Len())/float64(b.N), "events/op")
 }
+
+// --- Failover benchmarks (BENCH_failover.json) ---
+
+// benchAdaptiveFailover measures the adaptive runtime's per-instance cost
+// on the MPEG decoder under an availability timeline. With a nil spec this
+// is the no-timeline path — compare against BenchmarkAdaptiveStepMPEG to
+// read the overhead of the per-boundary mask check; with outages enabled
+// the cost of degraded-mode re-mapping and recovery amortizes in.
+func benchAdaptiveFailover(b *testing.B, spec *ctgdvfs.FailureSpec) {
+	g, p, err := ctgdvfs.BuildMPEG()
+	if err != nil {
+		b.Fatal(err)
+	}
+	g, err = ctgdvfs.TightenDeadline(g, p, 1.6)
+	if err != nil {
+		b.Fatal(err)
+	}
+	vec := ctgdvfs.MovieClips()[0].Generate(g, 4096)
+	opts := ctgdvfs.AdaptiveOptions{Window: 20, Threshold: 0.1}
+	if spec != nil {
+		tl, err := ctgdvfs.NewFailureTimeline(*spec, p.NumPEs())
+		if err != nil {
+			b.Fatal(err)
+		}
+		opts.Failures = tl
+	}
+	mgr, err := ctgdvfs.NewAdaptive(g, p, opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	remapped := 0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := mgr.Step(vec[i%len(vec)])
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Remapped {
+			remapped++
+		}
+	}
+	b.ReportMetric(float64(remapped)/float64(b.N), "remaps/op")
+}
+
+// BenchmarkAdaptiveStepFailoverOff is the adaptive step with the failover
+// machinery compiled in but no timeline attached (the bit-for-bit path).
+func BenchmarkAdaptiveStepFailoverOff(b *testing.B) {
+	benchAdaptiveFailover(b, nil)
+}
+
+// BenchmarkAdaptiveStepFailover steps through a 2%-outage timeline with
+// 10-instance repairs: most boundaries only compare masks, a few percent
+// pay a degraded re-map or a cached restore.
+func BenchmarkAdaptiveStepFailover(b *testing.B) {
+	benchAdaptiveFailover(b, &ctgdvfs.FailureSpec{Seed: 42, PEFailProb: 0.02, PERepair: 10})
+}

@@ -10,6 +10,14 @@
 // fallback recovery. -faults seeds the plan, -overrun sets the per-task
 // overrun probability, -guard sets the base guard band.
 //
+// The failover campaign (-exp failover) sweeps transient PE-outage
+// probability × repair time (-fail-rates, -repairs) over the mpeg/wlan/cruise
+// workloads and prints miss rate and energy of the adaptive re-mapping
+// runtime against a static schedule that deadlocks on dead hardware.
+// -faults-spec FILE replays a JSON fault spec instead: its "perturb" section
+// replaces the -exp faults plan, its "failures" section replaces the
+// failover sweep with one scripted timeline.
+//
 // Telemetry: -trace-out FILE exports the fault campaign's guarded runtimes as
 // a Chrome trace-event file (open in chrome://tracing or
 // https://ui.perfetto.dev — one process per workload, one row per PE/link);
@@ -51,6 +59,12 @@ var (
 		"per-task execution-time overrun probability for the fault campaign")
 	faultGuard = flag.Float64("guard", exp.DefaultCampaignGuard,
 		"base guard band (fraction of slack reserved) for the fault campaign")
+	faultsSpec = flag.String("faults-spec", "",
+		"JSON spec file ({\"perturb\": {...}, \"failures\": {...}}) replacing the built-in fault plan and failover sweep")
+	failRates = flag.String("fail-rates", "",
+		"comma-separated per-PE per-instance outage probabilities for the failover campaign (default sweep when empty)")
+	failRepairs = flag.String("repairs", "",
+		"comma-separated outage repair times in instances for the failover campaign (default sweep when empty)")
 
 	traceOut = flag.String("trace-out", "",
 		"write a Chrome trace-event file of the fault campaign's guarded runtimes (use with -exp faults)")
@@ -116,7 +130,7 @@ func writeCampaignTrace(path string, tel *exp.CampaignTelemetry) error {
 
 func main() {
 	exp := flag.String("exp", "all",
-		"experiment to run: all, table1, figure4, figure5, table2, table3, table4, table5, figure6, faults, ...")
+		"experiment to run: all, table1, figure4, figure5, table2, table3, table4, table5, figure6, faults, failover, ...")
 	workers := flag.Int("workers", 0,
 		"parallel worker bound for the scenario engine (0 = GOMAXPROCS, 1 = serial)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")

@@ -1,6 +1,59 @@
 package main
 
-import "ctgdvfs/internal/exp"
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"ctgdvfs/internal/exp"
+	"ctgdvfs/internal/faults"
+)
+
+// loadSpecFile loads -faults-spec once per runner that consumes it (nil when
+// the flag is unset).
+func loadSpecFile() (*faults.SpecFile, error) {
+	if *faultsSpec == "" {
+		return nil, nil
+	}
+	sf, err := faults.LoadSpecFile(*faultsSpec)
+	if err != nil {
+		return nil, fmt.Errorf("-faults-spec: %w", err)
+	}
+	return sf, nil
+}
+
+// parseFloats and parseInts decode the comma-separated sweep flags.
+func parseFloats(flagName, s string) ([]float64, error) {
+	if s == "" {
+		return nil, nil
+	}
+	parts := strings.Split(s, ",")
+	out := make([]float64, 0, len(parts))
+	for _, p := range parts {
+		v, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if err != nil {
+			return nil, fmt.Errorf("-%s: %q is not a number", flagName, p)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func parseInts(flagName, s string) ([]int, error) {
+	if s == "" {
+		return nil, nil
+	}
+	parts := strings.Split(s, ",")
+	out := make([]int, 0, len(parts))
+	for _, p := range parts {
+		v, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil {
+			return nil, fmt.Errorf("-%s: %q is not an integer", flagName, p)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
 
 type runner struct {
 	name    string
@@ -112,6 +165,12 @@ func orderedRunners() []runner {
 			spec := exp.DefaultCampaignSpec()
 			spec.Seed = *faultSeed
 			spec.OverrunProb = *faultOverrun
+			// A spec file's perturb section replaces the flag-built plan.
+			if sf, err := loadSpecFile(); err != nil {
+				return "", err
+			} else if sf != nil && sf.Perturb != nil {
+				spec = *sf.Perturb
+			}
 			// Telemetry flags switch the campaign to observed mode: the
 			// guarded runtimes record their event streams (-trace-out),
 			// publish metrics into the served registry (-metrics-addr), and
@@ -125,6 +184,32 @@ func orderedRunners() []runner {
 				return r.Render(), nil
 			}
 			r, err := exp.FaultCampaign(spec, *faultGuard)
+			if err != nil {
+				return "", err
+			}
+			return r.Render(), nil
+		}},
+		{name: "failover", aliases: []string{"failovercampaign"}, run: func() (string, error) {
+			// A spec file's failures section replays that scripted timeline
+			// on every workload instead of sweeping rates × repairs.
+			if sf, err := loadSpecFile(); err != nil {
+				return "", err
+			} else if sf != nil && sf.Failures != nil {
+				r, err := exp.FailoverCampaignSpec(*sf.Failures)
+				if err != nil {
+					return "", err
+				}
+				return r.Render(), nil
+			}
+			probs, err := parseFloats("fail-rates", *failRates)
+			if err != nil {
+				return "", err
+			}
+			repairs, err := parseInts("repairs", *failRepairs)
+			if err != nil {
+				return "", err
+			}
+			r, err := exp.FailoverCampaign(*faultSeed, probs, repairs)
 			if err != nil {
 				return "", err
 			}

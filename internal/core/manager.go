@@ -67,6 +67,17 @@ type Options struct {
 	// once per processed instance, so a run over N vectors consumes plan
 	// instances 0..N−1 deterministically.
 	Faults *faults.Plan
+	// Failures, when non-nil, subjects the hardware itself to the
+	// timeline's availability faults: at every instance boundary the
+	// manager compares the timeline's mask against the one in force, and on
+	// any change re-maps the workload onto the survivor set (restricting
+	// the platform, rebuilding the full-speed fallback, and re-running the
+	// online algorithm under a mask-qualified cache key). When a transient
+	// outage heals, the healthy mask keys back to the pre-failure cache
+	// entries, so restoration is a cache hit. Setting Failures implies
+	// Recovery: a degraded schedule that cannot meet the deadline escalates
+	// to the full-speed fallback built for the same survivor set.
+	Failures *faults.Timeline
 	// Recovery enables the fault-tolerance layer: a precomputed full-speed
 	// worst-case fallback schedule (an instance whose primary replay
 	// misses the deadline is re-run on it), plus a miss-rate circuit
@@ -187,6 +198,17 @@ type Manager struct {
 	missCount     int
 	activations   int // fallback replays
 	missesAvoided int // fallback replays that met the deadline
+
+	// Availability state (inert unless Options.Failures set).
+	base *platform.Platform // the full, unrestricted platform
+	// healthyFallback preserves the full-topology fallback so recovering
+	// from a transient outage never recomputes it.
+	healthyFallback *sched.Schedule
+	mask            platform.Mask // availability mask in force (zero = healthy)
+	degraded        bool          // mask hides something
+	remaps          int           // availability-driven re-mapping decisions
+	degradedInsts   int           // instances executed under a degraded mask
+	topoMisses      int           // final misses on degraded instances
 }
 
 // managerMetrics holds the manager's resolved registry handles so the hot
@@ -246,6 +268,12 @@ type StepResult struct {
 	// GuardLevel is the circuit breaker's escalation level after this
 	// step (0 = base guard band).
 	GuardLevel int
+	// Degraded reports that the instance executed under an availability
+	// mask hiding part of the topology (Failures mode); Remapped reports
+	// that the mask changed at this instance's boundary and the workload
+	// was re-mapped.
+	Degraded bool
+	Remapped bool
 }
 
 // RunStats aggregates a sequence of instances.
@@ -277,6 +305,15 @@ type RunStats struct {
 	// MaxGuardLevel is the highest circuit-breaker escalation level the
 	// run reached.
 	MaxGuardLevel int
+
+	// DegradedInstances counts instances executed with part of the topology
+	// masked out (Failures mode); Remaps counts availability-driven
+	// re-mapping decisions (both degradations and restorations);
+	// TopologyMisses counts final deadline misses on degraded instances —
+	// the misses attributable to running on a diminished survivor set.
+	DegradedInstances int
+	Remaps            int
+	TopologyMisses    int
 
 	// LatenessP50/P95/P99 and MakespanP50/P95/P99 are percentile summaries
 	// of the per-instance final lateness and makespan distributions
@@ -340,7 +377,33 @@ func New(g *ctg.Graph, p *platform.Platform, opts Options) (*Manager, error) {
 	if math.IsNaN(opts.MissRateBound) || opts.MissRateBound <= 0 || opts.MissRateBound > 1 {
 		return nil, fmt.Errorf("core: miss-rate bound must be in (0,1], got %v", opts.MissRateBound)
 	}
-	m := &Manager{opts: opts, g: g.Clone(), p: p}
+	if opts.Failures != nil {
+		if opts.Failures.NumPEs() != p.NumPEs() {
+			return nil, fmt.Errorf("core: failure timeline sized for %d PEs, platform has %d",
+				opts.Failures.NumPEs(), p.NumPEs())
+		}
+		// A degraded schedule needs somewhere to escalate: availability
+		// faults imply the recovery machinery.
+		opts.Recovery = true
+	}
+	m := &Manager{opts: opts, g: g.Clone(), p: p, base: p}
+	if opts.Failures != nil {
+		// The timeline may already be degraded at instance 0: the initial
+		// schedule must target the survivor set, not hardware that was never
+		// there. No remap is recorded — there is no earlier schedule to move
+		// away from — but the PE/link loss events are emitted so the stream
+		// explains why the first schedule avoids part of the topology.
+		mask0 := opts.Failures.MaskAt(0)
+		if !mask0.IsFull() {
+			rp, err := p.Restrict(mask0)
+			if err != nil {
+				return nil, fmt.Errorf("core: initial availability mask: %w", err)
+			}
+			m.p = rp
+			m.mask = mask0
+			m.degraded = true
+		}
+	}
 	if opts.CacheSize > 0 {
 		m.cache = newScheduleCache(opts.CacheSize)
 	}
@@ -370,7 +433,13 @@ func New(g *ctg.Graph, p *platform.Platform, opts Options) (*Manager, error) {
 			return nil, err
 		}
 		m.fallback = fb
+		if !m.degraded {
+			m.healthyFallback = fb
+		}
 		m.missRing = make([]bool, opts.MissWindow)
+	}
+	if m.degraded {
+		m.emitMaskDiff(platform.Mask{}, m.mask, 0)
 	}
 	if err := m.reschedule("initial"); err != nil {
 		return nil, err
@@ -396,6 +465,108 @@ func (m *Manager) effectiveGuard() float64 {
 // GuardLevel returns the circuit breaker's current escalation level.
 func (m *Manager) GuardLevel() int { return m.guardLevel }
 
+// Degraded reports whether part of the topology is currently masked out.
+func (m *Manager) Degraded() bool { return m.degraded }
+
+// AvailabilityMask returns the availability mask currently in force (the
+// zero mask — everything available — unless Failures is configured and the
+// timeline has degraded the topology).
+func (m *Manager) AvailabilityMask() platform.Mask { return m.mask }
+
+// emitMaskDiff records the PE and link transitions between two availability
+// masks. PE deaths carry the timeline's permanence verdict; link events are
+// reported only for links whose endpoints are alive under both masks, so a
+// PE death is one pe_down event rather than a storm of implied link losses.
+func (m *Manager) emitMaskDiff(old, cur platform.Mask, instance int) {
+	if m.rec == nil {
+		return
+	}
+	n := m.base.NumPEs()
+	alive := cur.NumAlive(n)
+	for pe := 0; pe < n; pe++ {
+		was, is := old.PEAlive(pe), cur.PEAlive(pe)
+		switch {
+		case was && !is:
+			reason := "transient"
+			if m.opts.Failures != nil && m.opts.Failures.PermanentlyDead(instance, pe) {
+				reason = "permanent"
+			}
+			m.rec.Record(telemetry.Event{
+				Kind: telemetry.KindPEDown, Instance: instance,
+				PE: pe, Reason: reason, Alive: alive,
+			})
+		case !was && is:
+			m.rec.Record(telemetry.Event{
+				Kind: telemetry.KindPEUp, Instance: instance, PE: pe, Alive: alive,
+			})
+		}
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i == j || !old.PEAlive(i) || !old.PEAlive(j) || !cur.PEAlive(i) || !cur.PEAlive(j) {
+				continue
+			}
+			was, is := old.LinkUp(i, j), cur.LinkUp(i, j)
+			switch {
+			case was && !is:
+				m.rec.Record(telemetry.Event{
+					Kind: telemetry.KindLinkDown, Instance: instance, PE: i, PE2: j,
+				})
+			case !was && is:
+				m.rec.Record(telemetry.Event{
+					Kind: telemetry.KindLinkUp, Instance: instance, PE: i, PE2: j,
+				})
+			}
+		}
+	}
+}
+
+// applyTopology re-maps the runtime onto a changed survivor set: restrict
+// the platform to the new mask, rebuild the full-speed fallback for the same
+// survivors (reusing the preserved healthy fallback when the full topology
+// returns), and re-run the online algorithm under the mask-qualified cache
+// key. An infeasible mask (or an unroutable degraded topology, surfaced as
+// sched.InfeasibleError) propagates as an error: the workload cannot run on
+// what remains.
+func (m *Manager) applyTopology(cur platform.Mask, instance int) error {
+	old := m.mask
+	m.emitMaskDiff(old, cur, instance)
+	rp, err := m.base.Restrict(cur)
+	if err != nil {
+		return fmt.Errorf("core: instance %d availability mask: %w", instance, err)
+	}
+	m.p = rp
+	m.mask = cur
+	m.degraded = !cur.IsFull()
+	if m.degraded || m.healthyFallback == nil {
+		fb, err := sched.DLS(m.a, m.p, m.opts.Sched)
+		if err != nil {
+			return err
+		}
+		m.fallback = fb
+		if !m.degraded {
+			m.healthyFallback = fb
+		}
+	} else {
+		m.fallback = m.healthyFallback
+	}
+	reason := "restored"
+	if m.degraded {
+		reason = "degraded"
+	}
+	if err := m.reschedule("topology"); err != nil {
+		return err
+	}
+	m.remaps++
+	if m.rec != nil {
+		m.rec.Record(telemetry.Event{
+			Kind: telemetry.KindRemap, Instance: instance,
+			Reason: reason, Alive: m.p.NumAlivePEs(),
+		})
+	}
+	return nil
+}
+
 // Fallback returns the precomputed worst-case fallback schedule (nil unless
 // Recovery is enabled).
 func (m *Manager) Fallback() *sched.Schedule { return m.fallback }
@@ -417,6 +588,14 @@ func (m *Manager) reschedule(reason string) error {
 			// produces different speeds, and a guard-0 entry must stay
 			// bit-for-bit what the paper's runtime would reuse.
 			key += guardKey(guard)
+		}
+		if m.degraded {
+			// Degraded schedules are keyed by the availability mask too:
+			// the same probabilities on fewer PEs are a different schedule.
+			// A healthy mask keys to "" (Mask.Key's contract), so once a
+			// transient outage heals, lookups return to the pre-failure
+			// cache entries verbatim.
+			key += m.mask.Key(m.base.NumPEs())
 		}
 		if e, ok := m.cache.get(key); ok {
 			m.schedule, m.speeds = e.schedule, e.speeds
@@ -533,6 +712,19 @@ func (m *Manager) Step(decisions []int) (StepResult, error) {
 		return StepResult{}, err
 	}
 	idx := m.instances
+	remapped := false
+	if m.opts.Failures != nil {
+		// Availability changes are detected at instance boundaries: compare
+		// the timeline's mask for this instance against the one in force and
+		// re-map onto the survivor set on any difference.
+		cur := m.opts.Failures.MaskAt(idx)
+		if !cur.Equal(m.mask, m.base.NumPEs()) {
+			if err := m.applyTopology(cur, idx); err != nil {
+				return StepResult{}, err
+			}
+			remapped = true
+		}
+	}
 	if m.rec != nil {
 		m.rec.Record(telemetry.Event{Kind: telemetry.KindInstanceStart, Instance: idx, Scenario: si})
 	}
@@ -551,7 +743,7 @@ func (m *Manager) Step(decisions []int) (StepResult, error) {
 	if err != nil {
 		return StepResult{}, err
 	}
-	res := StepResult{Instance: inst}
+	res := StepResult{Instance: inst, Degraded: m.degraded, Remapped: remapped, Rescheduled: remapped}
 	primaryMiss := !inst.DeadlineMet
 	if primaryMiss && m.fallback != nil {
 		// Recovery: re-run the instance at full speed on the worst-case
@@ -677,6 +869,12 @@ func (m *Manager) Step(decisions []int) (StepResult, error) {
 	res.GuardLevel = m.guardLevel
 	m.instances++
 	m.mm.instances.Inc()
+	if m.degraded {
+		m.degradedInsts++
+		if !res.Instance.DeadlineMet {
+			m.topoMisses++
+		}
+	}
 	if !res.Instance.DeadlineMet {
 		m.mm.misses.Inc()
 	}
@@ -762,6 +960,9 @@ func (m *Manager) Run(vectors [][]int) (RunStats, error) {
 	st.FallbackActivations = m.activations
 	st.MissesAvoided = m.missesAvoided
 	st.MaxGuardLevel = m.maxLevelSeen
+	st.DegradedInstances = m.degradedInsts
+	st.Remaps = m.remaps
+	st.TopologyMisses = m.topoMisses
 	return st, nil
 }
 
@@ -810,6 +1011,82 @@ func RunStaticCfg(s *sched.Schedule, vectors [][]int, cfg sim.Config) (RunStats,
 		agg.add(inst)
 	}
 	return agg.finish(), nil
+}
+
+// RunStaticFailover replays a decision-vector sequence against a fixed
+// schedule while the hardware degrades per the failure timeline — the static
+// baseline of the failover campaign. The static runtime cannot re-map: when
+// the mask at an instance hides a PE hosting one of the scenario's active
+// tasks, or a link carrying one of its transfers, the instance deadlocks.
+// By convention a deadlocked instance counts as a deadline miss with
+// lateness equal to one full deadline (the work never completes; charging
+// exactly one period keeps the lateness totals finite and comparable) and
+// the nominal replay's energy (the dispatch is attempted, then stalls); it
+// also increments TopologyMisses. Instances whose active set happens to
+// avoid the masked hardware execute normally.
+func RunStaticFailover(s *sched.Schedule, vectors [][]int, tl *faults.Timeline, cfg sim.Config) (RunStats, error) {
+	if tl == nil {
+		return RunStaticCfg(s, vectors, cfg)
+	}
+	if tl.NumPEs() != s.P.NumPEs() {
+		return RunStats{}, fmt.Errorf("core: failure timeline sized for %d PEs, platform has %d",
+			tl.NumPEs(), s.P.NumPEs())
+	}
+	deadline := s.G.Deadline()
+	var agg runAgg
+	var degraded, topoMisses int
+	for i, v := range vectors {
+		si, err := s.A.ScenarioForDecisions(v)
+		if err != nil {
+			return agg.st, err
+		}
+		ci := cfg
+		if ci.Faults != nil {
+			ci.FaultInstance = i
+		}
+		ci.InstanceID = i
+		inst, err := sim.ReplayCfg(s, si, ci)
+		if err != nil {
+			return agg.st, err
+		}
+		mask := tl.MaskAt(i)
+		if !mask.IsFull() {
+			degraded++
+			if staticDeadlocked(s, si, mask) {
+				inst.DeadlineMet = false
+				inst.Lateness = deadline
+				inst.Makespan = deadline
+				topoMisses++
+			}
+		}
+		agg.add(inst)
+	}
+	st := agg.finish()
+	st.DegradedInstances = degraded
+	st.TopologyMisses = topoMisses
+	return st, nil
+}
+
+// staticDeadlocked reports whether the scenario's execution under the fixed
+// schedule touches masked-out hardware: an active task placed on a dead PE,
+// or an active cross-PE transfer routed over a down link.
+func staticDeadlocked(s *sched.Schedule, scenario int, mask platform.Mask) bool {
+	active := s.A.Scenario(scenario).Active
+	for t := 0; t < s.G.NumTasks(); t++ {
+		if active.Get(t) && !mask.PEAlive(s.PE[t]) {
+			return true
+		}
+	}
+	for ei, e := range s.G.Edges() {
+		if s.CommStart[ei] == sched.LocalComm {
+			continue
+		}
+		if active.Get(int(e.From)) && active.Get(int(e.To)) &&
+			!mask.LinkUp(s.PE[e.From], s.PE[e.To]) {
+			return true
+		}
+	}
+	return false
 }
 
 // TightenDeadline rebuilds the graph with deadline = factor × the nominal

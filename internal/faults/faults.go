@@ -27,30 +27,76 @@ import (
 // factor is exactly 1).
 type Spec struct {
 	// Seed selects the deterministic perturbation sequence.
-	Seed int64
+	Seed int64 `json:"seed"`
 
 	// OverrunProb is the per-task per-instance probability of an
 	// execution-time overrun; OverrunFactor (≥ 1) multiplies the execution
 	// time of an overrunning task. OverrunFactor 1.2 models the "20%
 	// overrun" setting of the fault campaign.
-	OverrunProb   float64
-	OverrunFactor float64
+	OverrunProb   float64 `json:"overrun_prob,omitempty"`
+	OverrunFactor float64 `json:"overrun_factor,omitempty"`
 
 	// HotTasks selects this many tasks (deterministically, by seed) for
 	// bursty overruns: whenever a burst is active, a hot task overruns by
 	// HotFactor (≥ 1) in every instance of the burst. BurstProb is the
 	// per-instance probability that a burst starts for a given hot task;
 	// BurstLen is the burst duration in instances.
-	HotTasks  int
-	HotFactor float64
-	BurstProb float64
-	BurstLen  int
+	HotTasks  int     `json:"hot_tasks,omitempty"`
+	HotFactor float64 `json:"hot_factor,omitempty"`
+	BurstProb float64 `json:"burst_prob,omitempty"`
+	BurstLen  int     `json:"burst_len,omitempty"`
 
 	// PESlowProb is the per-PE per-instance probability of a transient
 	// slowdown; PESlowFactor (≥ 1) multiplies the execution time of every
 	// task dispatched on a slowed PE during that instance.
-	PESlowProb   float64
-	PESlowFactor float64
+	PESlowProb   float64 `json:"pe_slow_prob,omitempty"`
+	PESlowFactor float64 `json:"pe_slow_factor,omitempty"`
+}
+
+// Validate checks the workload-independent half of the spec: probabilities in
+// [0,1], factors either unset (0) or finite and ≥ 1, burst geometry coherent.
+// New performs these checks plus the count-dependent ones (HotTasks vs the
+// task count); the JSON loading path calls Validate directly so a bad spec
+// file fails at decode time, not first use.
+func (s *Spec) Validate() error {
+	for _, pr := range []struct {
+		name string
+		v    float64
+	}{
+		{"OverrunProb", s.OverrunProb},
+		{"BurstProb", s.BurstProb},
+		{"PESlowProb", s.PESlowProb},
+	} {
+		if pr.v < 0 || pr.v > 1 || math.IsNaN(pr.v) {
+			return fmt.Errorf("faults: %s must be in [0,1], got %v", pr.name, pr.v)
+		}
+	}
+	for _, fc := range []struct {
+		name string
+		v    float64
+	}{
+		{"OverrunFactor", s.OverrunFactor},
+		{"HotFactor", s.HotFactor},
+		{"PESlowFactor", s.PESlowFactor},
+	} {
+		// 0 means "unset"; an explicit factor must be ≥ 1 and finite
+		// (factors below 1 would model tasks finishing early, which the
+		// guard-band story does not need and the recovery logic does not
+		// expect).
+		if fc.v != 0 && (fc.v < 1 || math.IsInf(fc.v, 0) || math.IsNaN(fc.v)) {
+			return fmt.Errorf("faults: %s must be ≥ 1, got %v", fc.name, fc.v)
+		}
+	}
+	if s.HotTasks < 0 {
+		return fmt.Errorf("faults: negative HotTasks %d", s.HotTasks)
+	}
+	if s.BurstLen < 0 {
+		return fmt.Errorf("faults: negative BurstLen %d", s.BurstLen)
+	}
+	if s.HotTasks > 0 && s.BurstProb > 0 && s.BurstLen == 0 {
+		return fmt.Errorf("faults: bursty hot tasks need BurstLen ≥ 1")
+	}
+	return nil
 }
 
 // Plan is a validated, seeded fault plan for a workload of a fixed task and
@@ -78,42 +124,11 @@ func New(spec Spec, numTasks, numPEs int) (*Plan, error) {
 	if numTasks <= 0 || numPEs <= 0 {
 		return nil, fmt.Errorf("faults: need positive task/PE counts, got %d/%d", numTasks, numPEs)
 	}
-	for _, pr := range []struct {
-		name string
-		v    float64
-	}{
-		{"OverrunProb", spec.OverrunProb},
-		{"BurstProb", spec.BurstProb},
-		{"PESlowProb", spec.PESlowProb},
-	} {
-		if pr.v < 0 || pr.v > 1 || math.IsNaN(pr.v) {
-			return nil, fmt.Errorf("faults: %s must be in [0,1], got %v", pr.name, pr.v)
-		}
+	if err := spec.Validate(); err != nil {
+		return nil, err
 	}
-	for _, fc := range []struct {
-		name string
-		v    float64
-	}{
-		{"OverrunFactor", spec.OverrunFactor},
-		{"HotFactor", spec.HotFactor},
-		{"PESlowFactor", spec.PESlowFactor},
-	} {
-		// 0 means "unset"; an explicit factor must be ≥ 1 and finite
-		// (factors below 1 would model tasks finishing early, which the
-		// guard-band story does not need and the recovery logic does not
-		// expect).
-		if fc.v != 0 && (fc.v < 1 || math.IsInf(fc.v, 0) || math.IsNaN(fc.v)) {
-			return nil, fmt.Errorf("faults: %s must be ≥ 1, got %v", fc.name, fc.v)
-		}
-	}
-	if spec.HotTasks < 0 || spec.HotTasks > numTasks {
+	if spec.HotTasks > numTasks {
 		return nil, fmt.Errorf("faults: HotTasks %d out of range for %d tasks", spec.HotTasks, numTasks)
-	}
-	if spec.BurstLen < 0 {
-		return nil, fmt.Errorf("faults: negative BurstLen %d", spec.BurstLen)
-	}
-	if spec.HotTasks > 0 && spec.BurstProb > 0 && spec.BurstLen == 0 {
-		return nil, fmt.Errorf("faults: bursty hot tasks need BurstLen ≥ 1")
 	}
 	if spec.OverrunFactor == 0 {
 		spec.OverrunFactor = 1

@@ -180,6 +180,7 @@ type AnalyzerRecorder struct {
 	drift  driftState
 	slo    sloState
 	hot    hotState
+	avail  availState
 
 	timeline        []TimelineEntry
 	timelineDropped int
@@ -251,6 +252,9 @@ func (a *AnalyzerRecorder) Record(e telemetry.Event) {
 	case telemetry.KindGuardLevel:
 		a.slo.observeGuard(e)
 		a.note(e.Instance, "guard_level", levelMove(e.Level2, e.Level))
+	case telemetry.KindPEDown, telemetry.KindPEUp,
+		telemetry.KindLinkDown, telemetry.KindLinkUp, telemetry.KindRemap:
+		a.avail.observe(a, e)
 	}
 }
 
@@ -301,6 +305,7 @@ func (a *AnalyzerRecorder) Health() Snapshot {
 		Drift:           a.drift.snapshot(),
 		SLO:             a.slo.snapshot(&a.opts),
 		Hotspots:        a.hot.snapshot(a.opts.Hotspots),
+		Availability:    a.avail.snapshot(),
 		Timeline:        append([]TimelineEntry(nil), a.timeline...),
 		TimelineDropped: a.timelineDropped,
 		Alerts:          append([]Alert(nil), a.alerts...),

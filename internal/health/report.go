@@ -14,6 +14,9 @@ type Snapshot struct {
 	Drift    []ForkDrift `json:"drift,omitempty"`
 	SLO      SLOStatus   `json:"slo"`
 	Hotspots Hotspots    `json:"hotspots"`
+	// Availability is nil when the stream carried no pe_down/pe_up/remap
+	// events, so healthy-run snapshots and reports are unchanged.
+	Availability *AvailabilityStatus `json:"availability,omitempty"`
 
 	Timeline        []TimelineEntry `json:"timeline,omitempty"`
 	TimelineDropped int             `json:"timeline_dropped,omitempty"`
@@ -88,6 +91,22 @@ func (s Snapshot) Report() string {
 			fmt.Fprintf(&b, " %d:%.3f", p.Instance, p.Drift)
 		}
 		b.WriteString("\n")
+	}
+
+	if s.Availability != nil {
+		b.WriteString("\nhardware availability\n")
+		fmt.Fprintf(&b, "  remaps %d (restores %d)  link outages %d\n",
+			s.Availability.Remaps, s.Availability.Restores, s.Availability.LinkDowns)
+		for _, pe := range s.Availability.PEs {
+			state := "in service"
+			if pe.Down {
+				state = "DOWN"
+			}
+			if pe.Permanent {
+				state = "DEAD (permanent)"
+			}
+			fmt.Fprintf(&b, "  PE %-2d outages %d  [%s]\n", pe.PE, pe.Outages, state)
+		}
 	}
 
 	b.WriteString("\nhotspots (tasks by critical-path count)\n")

@@ -32,6 +32,13 @@ type Platform struct {
 	txEnergy  [][]float64 // [pe][pe] energy per KB
 
 	avgWCET []float64 // [task] mean WCET across PEs (cached for DLS)
+
+	// alive and linkUp carry an availability restriction (see Restrict);
+	// both nil on a healthy platform, in which case every accessor reports
+	// full availability. avgWCET is recomputed over survivors on restricted
+	// views.
+	alive  []bool
+	linkUp [][]bool
 }
 
 // Builder assembles a Platform. A Builder is created for a fixed task and PE
@@ -92,7 +99,7 @@ func (b *Builder) SetTask(task int, wcet, energy []float64) *Builder {
 			b.err = fmt.Errorf("platform: task %d pe %d: invalid WCET %v", task, pe, wcet[pe])
 			return b
 		}
-		if wcet[pe] <= 0 || energy[pe] < 0 || math.IsNaN(energy[pe]) {
+		if energy[pe] < 0 || math.IsInf(energy[pe], 0) || math.IsNaN(energy[pe]) {
 			b.err = fmt.Errorf("platform: task %d pe %d: invalid energy %v", task, pe, energy[pe])
 			return b
 		}
@@ -128,7 +135,8 @@ func (b *Builder) SetLink(i, j int, bandwidthKBPerTU, energyPerKB float64) *Buil
 		b.err = fmt.Errorf("platform: invalid link %d->%d", i, j)
 		return b
 	}
-	if !(bandwidthKBPerTU > 0) || energyPerKB < 0 || math.IsNaN(energyPerKB) {
+	if !(bandwidthKBPerTU > 0) || math.IsInf(bandwidthKBPerTU, 0) ||
+		energyPerKB < 0 || math.IsInf(energyPerKB, 0) || math.IsNaN(energyPerKB) {
 		b.err = fmt.Errorf("platform: link %d->%d: invalid bandwidth %v or energy %v",
 			i, j, bandwidthKBPerTU, energyPerKB)
 		return b
@@ -199,11 +207,16 @@ func (p *Platform) Energy(task, pe int) float64 { return p.energy[task][pe] }
 // the *WCET(τ) of the paper's static-level formula.
 func (p *Platform) AvgWCET(task int) float64 { return p.avgWCET[task] }
 
-// BestPE returns the PE with the smallest WCET for the task.
+// BestPE returns the available PE with the smallest WCET for the task (on a
+// restricted platform dead PEs are skipped; Restrict guarantees at least one
+// survivor).
 func (p *Platform) BestPE(task int) int {
-	best := 0
-	for pe := 1; pe < p.numPEs; pe++ {
-		if p.wcet[task][pe] < p.wcet[task][best] {
+	best := -1
+	for pe := 0; pe < p.numPEs; pe++ {
+		if !p.PEAlive(pe) {
+			continue
+		}
+		if best < 0 || p.wcet[task][pe] < p.wcet[task][best] {
 			best = pe
 		}
 	}

@@ -115,7 +115,7 @@ func DLS(a *ctg.Analysis, p *platform.Platform, opts Options) (*Schedule, error)
 		dur   float64
 		scen  ctg.Bitset
 	}
-	evaluate := func(t ctg.TaskID, pe int) (at float64, plans []commPlan) {
+	evaluate := func(t ctg.TaskID, pe int) (at float64, plans []commPlan, ok bool) {
 		dataReady := 0.0
 		for _, ei := range g.Pred(t) {
 			e := g.Edge(ei)
@@ -127,6 +127,11 @@ func DLS(a *ctg.Analysis, p *platform.Platform, opts Options) (*Schedule, error)
 					dataReady = finish
 				}
 				continue
+			}
+			// A cross-PE dependency that must traverse a down link makes
+			// this placement infeasible on the degraded topology.
+			if !p.LinkUp(s.PE[from], pe) {
+				return 0, nil, false
 			}
 			link := [2]int{s.PE[from], pe}
 			scen := a.ActivationSet(from).Clone()
@@ -144,7 +149,7 @@ func DLS(a *ctg.Analysis, p *platform.Platform, opts Options) (*Schedule, error)
 			}
 		}
 		at = peTL[pe].earliestFit(dataReady, p.WCET(int(t), pe), scenOf(t))
-		return at, plans
+		return at, plans, true
 	}
 
 	// Mean per-task energy across PEs, for the optional energy term.
@@ -166,7 +171,13 @@ func DLS(a *ctg.Analysis, p *platform.Platform, opts Options) (*Schedule, error)
 		bestIdx, bestPE := -1, -1
 		for ri, t := range ready {
 			for pe := 0; pe < p.NumPEs(); pe++ {
-				at, plans := evaluate(t, pe)
+				if !p.PEAlive(pe) {
+					continue
+				}
+				at, plans, feasible := evaluate(t, pe)
+				if !feasible {
+					continue
+				}
 				delta := p.AvgWCET(int(t)) - p.WCET(int(t), pe)
 				dl := sl[t] - at + delta
 				if opts.EnergyWeight != 0 {
@@ -178,6 +189,12 @@ func DLS(a *ctg.Analysis, p *platform.Platform, opts Options) (*Schedule, error)
 					bestIdx, bestPE = ri, pe
 				}
 			}
+		}
+		if bestIdx < 0 {
+			// Every (ready task, alive PE) pair was ruled out by link
+			// outages — the restricted topology cannot route the graph.
+			return nil, &InfeasibleError{Task: int(ready[0]),
+				Reason: "no alive PE can receive the task's dependencies over surviving links"}
 		}
 		t := ready[bestIdx]
 

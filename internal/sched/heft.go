@@ -28,23 +28,29 @@ func HEFT(a *ctg.Analysis, p *platform.Platform) (*Schedule, error) {
 		return nil, fmt.Errorf("sched: platform sized for %d tasks, graph has %d", p.NumTasks(), n)
 	}
 
-	// Mean communication cost per edge over distinct PE pairs.
+	// Mean communication cost per edge over distinct usable PE pairs (alive
+	// endpoints, link up) — identical to the all-pairs mean on a healthy
+	// platform.
+	alive := p.NumAlivePEs()
 	meanComm := func(kb float64) float64 {
-		if kb == 0 || p.NumPEs() == 1 {
+		if kb == 0 || alive <= 1 {
 			return 0
 		}
 		sum := 0.0
 		pairs := 0
 		for i := 0; i < p.NumPEs(); i++ {
 			for j := 0; j < p.NumPEs(); j++ {
-				if i != j {
+				if i != j && p.PEAlive(i) && p.PEAlive(j) && p.LinkUp(i, j) {
 					sum += p.CommTime(kb, i, j)
 					pairs++
 				}
 			}
 		}
+		if pairs == 0 {
+			return 0
+		}
 		// Off-diagonal mean scaled by the chance the endpoints differ.
-		frac := float64(p.NumPEs()-1) / float64(p.NumPEs())
+		frac := float64(alive-1) / float64(alive)
 		return sum / float64(pairs) * frac
 	}
 
@@ -119,6 +125,9 @@ func HEFT(a *ctg.Analysis, p *platform.Platform) (*Schedule, error) {
 		bestPE := -1
 		var bestPlans []plan
 		for pe := 0; pe < p.NumPEs(); pe++ {
+			if !p.PEAlive(pe) {
+				continue
+			}
 			dataReady := 0.0
 			var plans []plan
 			feasible := true
@@ -135,6 +144,10 @@ func HEFT(a *ctg.Analysis, p *platform.Platform) (*Schedule, error) {
 						dataReady = finish
 					}
 					continue
+				}
+				if !p.LinkUp(s.PE[e.From], pe) {
+					feasible = false // dependency cannot be routed to this PE
+					break
 				}
 				scen := a.ActivationSet(e.From).Clone()
 				scen.IntersectWith(a.ActivationSet(t))
@@ -154,7 +167,8 @@ func HEFT(a *ctg.Analysis, p *platform.Platform) (*Schedule, error) {
 			}
 		}
 		if bestPE < 0 {
-			return nil, fmt.Errorf("sched: HEFT could not place task %d", t)
+			return nil, &InfeasibleError{Task: int(t),
+				Reason: "no alive PE can receive the task's dependencies over surviving links"}
 		}
 		s.PE[t] = bestPE
 		s.Start[t] = bestStart

@@ -1,0 +1,19 @@
+package sched
+
+import "fmt"
+
+// InfeasibleError is the typed failure of a list scheduler that ran out of
+// hardware: on a restricted platform (dead PEs, down links) some ready task
+// had no placement whose dependencies could be routed. The adaptive manager
+// detects it with errors.As to distinguish "this degraded topology cannot
+// host the workload" from a programming error, and escalates accordingly.
+type InfeasibleError struct {
+	// Task is the task that could not be placed.
+	Task int
+	// Reason describes what made every placement infeasible.
+	Reason string
+}
+
+func (e *InfeasibleError) Error() string {
+	return fmt.Sprintf("sched: no feasible placement for task %d: %s", e.Task, e.Reason)
+}

@@ -88,6 +88,14 @@ func ReplayCfg(s *sched.Schedule, scenario int, cfg Config) (Instance, error) {
 	var acts []activity
 	for t := 0; t < s.G.NumTasks(); t++ {
 		if active.Get(t) {
+			// On a restricted platform the dispatcher refuses masked-out
+			// hardware: a schedule that places an active task on a dead PE is
+			// a scheduler bug, caught here at replay rather than silently
+			// "executing" on hardware that no longer exists.
+			if !s.P.PEAlive(s.PE[t]) {
+				return Instance{}, fmt.Errorf("sim: scenario %d dispatches task %d on dead PE %d",
+					scenario, t, s.PE[t])
+			}
 			acts = append(acts, activity{nominal: s.Start[t], id: t})
 		}
 	}
@@ -96,6 +104,10 @@ func ReplayCfg(s *sched.Schedule, scenario int, cfg Config) (Instance, error) {
 			continue
 		}
 		if active.Get(int(e.From)) && active.Get(int(e.To)) {
+			if !s.P.LinkUp(s.PE[e.From], s.PE[e.To]) {
+				return Instance{}, fmt.Errorf("sim: scenario %d routes edge %d->%d over down link %d->%d",
+					scenario, e.From, e.To, s.PE[e.From], s.PE[e.To])
+			}
 			acts = append(acts, activity{nominal: s.CommStart[ei], isComm: true, id: ei})
 		}
 	}

@@ -60,6 +60,23 @@ const (
 	// (drift alerts), Name (SLO verdict name), Value (observed), Threshold
 	// (configured bound).
 	KindHealthAlert Kind = "health_alert"
+	// KindPEDown marks a processing element leaving the survivor set at an
+	// instance boundary: Instance, PE, Reason ("permanent" or "transient"),
+	// Alive (survivor count after the loss).
+	KindPEDown Kind = "pe_down"
+	// KindPEUp marks a transient PE returning to service: Instance, PE,
+	// Alive (survivor count after the repair).
+	KindPEUp Kind = "pe_up"
+	// KindLinkDown marks a directed link outage: Instance, PE (from), PE2
+	// (to).
+	KindLinkDown Kind = "link_down"
+	// KindLinkUp marks a directed link repair: Instance, PE (from), PE2
+	// (to).
+	KindLinkUp Kind = "link_up"
+	// KindRemap is one availability-driven re-mapping decision: Instance,
+	// Reason ("degraded" when hardware was lost, "restored" when the full
+	// topology returned), Alive (survivor count the new schedule targets).
+	KindRemap Kind = "remap"
 )
 
 // Event is one telemetry record. A single flat struct (rather than one type
@@ -117,6 +134,10 @@ type Event struct {
 
 	Level  int `json:"level,omitempty"`
 	Level2 int `json:"level2,omitempty"`
+
+	// Alive is the surviving-PE count carried by availability events
+	// (KindPEDown, KindPEUp, KindRemap).
+	Alive int `json:"alive,omitempty"`
 
 	// Phase distinguishes replay passes within one instance: "" is the
 	// primary replay, PhaseFallback the worst-case fallback re-run.

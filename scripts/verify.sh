@@ -2,12 +2,13 @@
 # verify.sh — the repo's full verification pipeline:
 #   vet, build, the full test suite, tests again under the race detector in
 #   short mode (the heavy exp replays honor -short; the race pass is about
-#   concurrency bugs, not numerics), a one-iteration smoke run of every
+#   concurrency bugs, not numerics), per-package coverage floors for the
+#   adaptive manager and the fault layer, a one-iteration smoke run of every
 #   benchmark (catches bit-rot in the bench harness without paying for real
 #   measurement), the bench-regression gate against the committed BENCH_*.json
-#   baselines, a short parser fuzzing session, a fault-campaign run of the
-#   fault-tolerance layer, and an end-to-end health-analyzer pass over a
-#   captured event stream.
+#   baselines, a short parser fuzzing session, a fault-campaign and a
+#   failover-campaign run of the fault-tolerance layer, and an end-to-end
+#   health-analyzer pass over a captured event stream.
 # Run from anywhere; operates on the repo root.
 set -eu
 
@@ -28,11 +29,14 @@ go test ./...
 echo "== go test -race -short =="
 go test -race -short -timeout 30m ./...
 
+echo "== coverage floors (internal/core, internal/faults) =="
+sh scripts/cover.sh
+
 echo "== bench smoke (1 iteration each) =="
 go test -run '^$' -bench . -benchtime 1x ./... >/dev/null
 
 echo "== bench-regression gate =="
-go run ./scripts/benchgate BENCH_parallel.json BENCH_telemetry.json
+go run ./scripts/benchgate BENCH_parallel.json BENCH_telemetry.json BENCH_failover.json
 
 echo "== fuzz smoke (parser, 5s) =="
 go test -run '^$' -fuzz FuzzRead -fuzztime 5s ./internal/ctgio >/dev/null
@@ -42,6 +46,9 @@ trace_tmp="$(mktemp)"
 go run ./cmd/experiments -exp faults -trace-out "$trace_tmp" >/dev/null
 go run ./scripts/checktrace "$trace_tmp"
 rm -f "$trace_tmp"
+
+echo "== failover-campaign smoke =="
+go run ./cmd/experiments -exp failover >/dev/null
 
 echo "== health-analyzer smoke (capture + analyze) =="
 events_tmp="$(mktemp)"
