@@ -1,6 +1,6 @@
 # Standard entry points; `make verify` is the gate a change must pass.
 
-.PHONY: build test race cover bench bench-parallel bench-telemetry bench-failover benchgate bench-baseline fuzz-smoke fault-smoke failover-smoke telemetry-smoke analyze-smoke verify
+.PHONY: build test race cover bench bench-parallel bench-telemetry bench-failover bench-scale benchgate bench-baseline fuzz-smoke fault-smoke failover-smoke scale-smoke telemetry-smoke analyze-smoke verify
 
 build:
 	go build ./...
@@ -49,6 +49,15 @@ bench-telemetry:
 bench-failover:
 	go test -run '^$$' -bench 'AdaptiveStepFailover' -benchmem .
 
+# Large-scale tier: full vs warm-started reschedule on a 10^3-task CTG; see
+# BENCH_scale.json for a recorded baseline (the warm entry is alloc-gated).
+bench-scale:
+	go test -run '^$$' -bench 'BenchmarkScale' -benchmem .
+
+# Bounded run of the scaling campaign (one 10^3-task cell, warm vs full).
+scale-smoke:
+	go run ./cmd/experiments -exp scale -scale-tasks 1000 -scale-pes 16 -scale-instances 24
+
 # Fault campaign with the Chrome trace export, validated by checktrace.
 telemetry-smoke:
 	go run ./cmd/experiments -exp faults -trace-out /tmp/ctgdvfs_trace.json
@@ -57,11 +66,11 @@ telemetry-smoke:
 # Bench-regression gate: re-run the baselined benchmarks and fail on >10%
 # ns/op regressions against the committed BENCH_*.json files.
 benchgate:
-	go run ./scripts/benchgate BENCH_parallel.json BENCH_telemetry.json BENCH_failover.json
+	go run ./scripts/benchgate BENCH_parallel.json BENCH_telemetry.json BENCH_failover.json BENCH_scale.json
 
 # Re-bless the benchmark baselines on this host (after a deliberate change).
 bench-baseline:
-	go run ./scripts/benchgate -update BENCH_parallel.json BENCH_telemetry.json BENCH_failover.json
+	go run ./scripts/benchgate -update BENCH_parallel.json BENCH_telemetry.json BENCH_failover.json BENCH_scale.json
 
 # End-to-end health pipeline: capture a JSONL event stream from the telemetry
 # example, then run the offline analyzer over it.

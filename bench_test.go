@@ -10,7 +10,10 @@ import (
 	"testing"
 
 	"ctgdvfs"
+	"ctgdvfs/internal/core"
 	"ctgdvfs/internal/exp"
+	"ctgdvfs/internal/sched"
+	"ctgdvfs/internal/stretch"
 )
 
 // BenchmarkTable1 regenerates Table 1: online heuristic vs reference
@@ -623,4 +626,96 @@ func BenchmarkAdaptiveStepFailoverOff(b *testing.B) {
 // pay a degraded re-map or a cached restore.
 func BenchmarkAdaptiveStepFailover(b *testing.B) {
 	benchAdaptiveFailover(b, &ctgdvfs.FailureSpec{Seed: 42, PEFailProb: 0.02, PERepair: 10})
+}
+
+// --- Large-scale tier benchmarks (BENCH_scale.json) ---
+//
+// The scale tier measures the rescheduling pipeline on a 10³-task CTG over
+// 16 PEs — the regime where the warm-start path earns its keep. The
+// Full/Warm pair is the committed speedup claim: a small-drift update (one
+// fork's probabilities changed) served by the incremental path versus a full
+// DLS + stretch recompute. The warm benchmark is alloc-gated: its steady
+// state reuses every buffer, and a new per-call allocation on this path is a
+// regression by design.
+
+func benchScale1k(b *testing.B) (*ctgdvfs.Graph, *ctgdvfs.Platform, *ctgdvfs.Analysis) {
+	b.Helper()
+	g0, p, err := exp.ScaleWorkload(exp.ScaleConfig{Tasks: 1000, PEs: 16, Forks: 5})
+	if err != nil {
+		b.Fatal(err)
+	}
+	g, err := ctgdvfs.TightenDeadline(g0, p, 2.0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	a, err := ctgdvfs.Analyze(g)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return g, p, a
+}
+
+// BenchmarkScaleDLS1k measures the modified DLS mapper alone at 10³ tasks on
+// 16 PEs (with a reused workspace, as the adaptive manager runs it).
+func BenchmarkScaleDLS1k(b *testing.B) {
+	_, p, a := benchScale1k(b)
+	ws := sched.NewWorkspace()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sched.DLSInto(a, p, sched.Modified(), ws); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkScaleRescheduleFull1k measures a full adaptive reschedule (DLS +
+// stretching heuristic) at 10³ tasks — the cost every drift pays without
+// warm-starting.
+func BenchmarkScaleRescheduleFull1k(b *testing.B) {
+	_, p, a := benchScale1k(b)
+	ws := sched.NewWorkspace()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s, err := sched.DLSInto(a, p, sched.Modified(), ws)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := stretch.HeuristicGuarded(s, ctgdvfs.ContinuousDVFS(), 0, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkScaleRescheduleWarm1k measures the incremental reschedule for the
+// same workload under a small drift (fork 0 changed): copy the incumbent
+// skeleton into a reused buffer and re-stretch only the affected conditional
+// arms. The ratio to BenchmarkScaleRescheduleFull1k is the committed
+// warm-start speedup.
+func BenchmarkScaleRescheduleWarm1k(b *testing.B) {
+	_, p, a := benchScale1k(b)
+	s, err := sched.DLS(a, p, sched.Modified())
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := stretch.HeuristicGuarded(s, ctgdvfs.ContinuousDVFS(), 0, 0); err != nil {
+		b.Fatal(err)
+	}
+	affected := core.AffectedByDrift(a, []int{0})
+	warm := sched.NewWarmState()
+	ws := stretch.NewWorkspace()
+	// Fill both double buffers and bind the workspace outside the timer.
+	for i := 0; i < 2; i++ {
+		target := warm.Start(s)
+		ws.Rebind(target)
+		if _, err := stretch.HeuristicPartial(target, ctgdvfs.ContinuousDVFS(), 0, affected, ws); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		target := warm.Start(s)
+		if _, err := stretch.HeuristicPartial(target, ctgdvfs.ContinuousDVFS(), 0, affected, ws); err != nil {
+			b.Fatal(err)
+		}
+	}
 }

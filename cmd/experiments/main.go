@@ -66,6 +66,14 @@ var (
 	failRepairs = flag.String("repairs", "",
 		"comma-separated outage repair times in instances for the failover campaign (default sweep when empty)")
 
+	// Scale-campaign knobs (-exp scale): the quick tier is one 10³-task cell;
+	// -scale-full sweeps the committed curve up to 10⁴ tasks on 64 PEs;
+	// -scale-tasks/-scale-pes measure one custom cell instead.
+	scaleFull      = flag.Bool("scale-full", false, "run the full scaling curve (10³–10⁴ tasks, minutes) instead of the quick tier")
+	scaleTasks     = flag.Int("scale-tasks", 0, "custom scale-campaign cell: task count (with -scale-pes)")
+	scalePEs       = flag.Int("scale-pes", 0, "custom scale-campaign cell: PE count (with -scale-tasks)")
+	scaleInstances = flag.Int("scale-instances", 45, "instances replayed per custom scale-campaign cell")
+
 	traceOut = flag.String("trace-out", "",
 		"write a Chrome trace-event file of the fault campaign's guarded runtimes (use with -exp faults)")
 	metricsAddr = flag.String("metrics-addr", "",
@@ -130,7 +138,7 @@ func writeCampaignTrace(path string, tel *exp.CampaignTelemetry) error {
 
 func main() {
 	exp := flag.String("exp", "all",
-		"experiment to run: all, table1, figure4, figure5, table2, table3, table4, table5, figure6, faults, failover, ...")
+		"experiment to run: all, table1, figure4, figure5, table2, table3, table4, table5, figure6, faults, failover, scale, ...")
 	workers := flag.Int("workers", 0,
 		"parallel worker bound for the scenario engine (0 = GOMAXPROCS, 1 = serial)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")

@@ -189,6 +189,28 @@ func orderedRunners() []runner {
 			}
 			return r.Render(), nil
 		}},
+		{name: "scale", aliases: []string{"scaling"}, run: func() (string, error) {
+			if *scaleFull {
+				r, err := exp.ScaleCampaignFull()
+				if err != nil {
+					return "", err
+				}
+				return r.Render(), nil
+			}
+			if *scaleTasks != 0 || *scalePEs != 0 {
+				cfg := exp.ScaleConfig{Tasks: *scaleTasks, PEs: *scalePEs}
+				r, err := exp.ScaleCampaign([]exp.ScaleConfig{cfg}, *scaleInstances)
+				if err != nil {
+					return "", err
+				}
+				return r.Render(), nil
+			}
+			r, err := exp.ScaleCampaignQuick()
+			if err != nil {
+				return "", err
+			}
+			return r.Render(), nil
+		}},
 		{name: "failover", aliases: []string{"failovercampaign"}, run: func() (string, error) {
 			// A spec file's failures section replays that scripted timeline
 			// on every workload instead of sweeping rates × repairs.

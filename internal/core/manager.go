@@ -58,6 +58,23 @@ type Options struct {
 	// energies or call counts — only the per-decision overhead.
 	CacheSize int
 
+	// WarmStart enables incremental rescheduling: when a drift-triggered
+	// reschedule changes only a few forks' probabilities, the incumbent
+	// task→PE mapping and ordering are kept and only the affected sub-DAG's
+	// speeds are recomputed (stretch.HeuristicPartial), falling back to the
+	// full DLS + stretch pipeline when the diff is too large or the warm
+	// result fails validation. Warm results stay within the incumbent's
+	// deadline guarantee unconditionally; their speeds approximate (to first
+	// order) what a full recompute would assign. See internal/core
+	// warmstart.go and DESIGN.md.
+	WarmStart bool
+	// WarmMaxForks bounds how many forks may drift in one reschedule for the
+	// warm path to engage; zero selects DefaultWarmMaxForks.
+	WarmMaxForks int
+	// WarmMaxAffected bounds the affected fraction of the task set; zero
+	// selects DefaultWarmMaxAffected.
+	WarmMaxAffected float64
+
 	// GuardBand ∈ [0,1] reserves that fraction of every task's slack as
 	// overrun margin during stretching (stretch.HeuristicGuarded /
 	// PerScenarioGuarded). Zero reproduces the paper's stretching exactly.
@@ -152,6 +169,12 @@ func (o *Options) applyDefaults() {
 	if o.MissRateBound == 0 {
 		o.MissRateBound = DefaultMissRateBound
 	}
+	if o.WarmMaxForks == 0 {
+		o.WarmMaxForks = DefaultWarmMaxForks
+	}
+	if o.WarmMaxAffected == 0 {
+		o.WarmMaxAffected = DefaultWarmMaxAffected
+	}
 }
 
 // Manager is the runtime of the adaptive framework: it owns the current
@@ -176,6 +199,17 @@ type Manager struct {
 
 	calls     int // re-scheduling invocations (the paper's "# of calls")
 	instances int // processed instances; doubles as the telemetry instance id
+
+	// Warm-start state (see warmstart.go) plus the reusable hot-path
+	// buffers of the reschedule pipeline: the DLS workspace, a mapping
+	// generation counter (bumped whenever the adopted schedule may carry a
+	// different mapping — full recomputes and cache hits — so the stretch
+	// workspace knows when to rebind), and a probability scratch slice for
+	// the drift-update loop.
+	warm     warmState
+	mapGen   int
+	dlsWS    *sched.Workspace
+	probsBuf []float64
 
 	// Telemetry (inert unless Options.Recorder / Metrics set — rec nil
 	// means no events; metrics always points at a registry, private by
@@ -217,6 +251,7 @@ type managerMetrics struct {
 	instances, misses, overruns   *telemetry.Counter
 	calls, cacheHits, cacheMisses *telemetry.Counter
 	fallbacks, missesAvoided      *telemetry.Counter
+	warmStarts, warmFallbacks     *telemetry.Counter
 	guardLevel, maxGuardLevel     *telemetry.Gauge
 	drift                         *telemetry.Gauge
 	lateness, makespan            *telemetry.HistogramMetric
@@ -242,6 +277,8 @@ func (m *Manager) resolveMetrics(reg *telemetry.Registry) {
 		cacheMisses:   reg.Counter("adaptive.cache_misses"),
 		fallbacks:     reg.Counter("adaptive.fallback_activations"),
 		missesAvoided: reg.Counter("adaptive.misses_avoided"),
+		warmStarts:    reg.Counter("adaptive.warm_starts"),
+		warmFallbacks: reg.Counter("adaptive.warm_fallbacks"),
 		guardLevel:    reg.Gauge("adaptive.guard_level"),
 		maxGuardLevel: reg.Gauge("adaptive.max_guard_level"),
 		drift:         reg.Gauge("adaptive.drift"),
@@ -290,6 +327,11 @@ type RunStats struct {
 	// initial schedule) were served from the memoized schedule cache
 	// versus computed fresh. Zero when caching is disabled.
 	CacheHits, CacheMisses int
+	// WarmStarts counts reschedules served incrementally from the incumbent
+	// schedule (Options.WarmStart); WarmFallbacks counts eligible warm
+	// attempts that fell back to a full recompute (diff too large, or the
+	// warm result failed validation). Both zero when warm-starting is off.
+	WarmStarts, WarmFallbacks int
 
 	// FallbackActivations counts instances re-run on the full-speed
 	// fallback schedule after a primary-schedule miss (Recovery mode).
@@ -422,6 +464,8 @@ func New(g *ctg.Graph, p *platform.Platform, opts Options) (*Manager, error) {
 	if err != nil {
 		return nil, err
 	}
+	m.initWarm()
+	m.dlsWS = sched.NewWorkspace()
 	if opts.Recovery {
 		// The worst-case fallback: plain full-speed DLS, never stretched,
 		// built once and bypassing the probability-keyed cache entirely (it
@@ -599,15 +643,27 @@ func (m *Manager) reschedule(reason string) error {
 		}
 		if e, ok := m.cache.get(key); ok {
 			m.schedule, m.speeds = e.schedule, e.speeds
+			// The cached mapping may differ from the incumbent's: bump the
+			// generation so the warm path rebinds its DAG model before the
+			// next partial stretch.
+			m.mapGen++
 			m.calls++
 			m.mm.calls.Inc()
 			m.mm.cacheHits.Inc()
-			m.emitReschedule(reason, key, true)
+			m.noteScheduleState(guard)
+			m.emitReschedule(reason, key, true, false)
 			return nil
 		}
 		m.mm.cacheMisses.Inc()
 	}
-	s, err := sched.DLS(m.a, m.p, m.opts.Sched)
+	// Cache miss (or caching off): try the incremental path before paying
+	// for a full DLS + stretch pipeline.
+	if ok, err := m.tryWarmStart(reason, guard); err != nil {
+		return err
+	} else if ok {
+		return nil
+	}
+	s, err := sched.DLSInto(m.a, m.p, m.opts.Sched, m.dlsWS)
 	if err != nil {
 		return err
 	}
@@ -643,16 +699,18 @@ func (m *Manager) reschedule(reason string) error {
 	if m.cache != nil {
 		m.cache.put(key, s, m.speeds)
 	}
+	m.mapGen++
 	m.calls++
 	m.mm.calls.Inc()
-	m.emitReschedule(reason, key, false)
+	m.noteScheduleState(guard)
+	m.emitReschedule(reason, key, false, false)
 	return nil
 }
 
 // emitReschedule records the re-scheduling decision event. The hex rendering
 // of the cache key (raw probability bits) is only materialized when a
 // recorder is listening.
-func (m *Manager) emitReschedule(reason, key string, hit bool) {
+func (m *Manager) emitReschedule(reason, key string, hit, warm bool) {
 	if m.rec == nil {
 		return
 	}
@@ -661,6 +719,7 @@ func (m *Manager) emitReschedule(reason, key string, hit bool) {
 		Instance: m.instances,
 		Reason:   reason,
 		CacheHit: hit,
+		Warm:     warm,
 		Calls:    m.calls,
 	}
 	if key != "" {
@@ -830,11 +889,9 @@ func (m *Manager) Step(decisions []int) (StepResult, error) {
 	// see FilteredSeries for why "crosses" must admit equality.
 	updated := false
 	for fi, fork := range m.g.Forks() {
-		cur := m.g.BranchProbs(fork)
-		est := m.profiler.Estimate(fi)
 		crossed := false
-		for k := range cur {
-			d := est[k] - cur[k]
+		for k := 0; k < m.profiler.NumOutcomes(fi); k++ {
+			d := m.profiler.EstimateAt(fi, k) - m.g.BranchProb(fork, k)
 			if d < 0 {
 				d = -d
 			}
@@ -844,7 +901,8 @@ func (m *Manager) Step(decisions []int) (StepResult, error) {
 			}
 		}
 		if crossed {
-			if err := m.g.SetBranchProbs(fork, m.profiler.SmoothedEstimate(fi)); err != nil {
+			m.probsBuf = m.profiler.SmoothedEstimateInto(fi, m.probsBuf[:0])
+			if err := m.g.SetBranchProbs(fork, m.probsBuf); err != nil {
 				return StepResult{}, err
 			}
 			updated = true
@@ -957,6 +1015,7 @@ func (m *Manager) Run(vectors [][]int) (RunStats, error) {
 	st.Calls = m.calls
 	cs := m.CacheStats()
 	st.CacheHits, st.CacheMisses = cs.Hits, cs.Misses
+	st.WarmStarts, st.WarmFallbacks = m.warm.starts, m.warm.fallbacks
 	st.FallbackActivations = m.activations
 	st.MissesAvoided = m.missesAvoided
 	st.MaxGuardLevel = m.maxLevelSeen

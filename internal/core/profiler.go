@@ -113,6 +113,27 @@ func (p *Profiler) Estimate(forkIdx int) []float64 {
 	return out
 }
 
+// NumOutcomes returns the number of outcomes tracked for the fork (dense
+// fork index).
+func (p *Profiler) NumOutcomes(forkIdx int) int { return len(p.counts[forkIdx]) }
+
+// EstimateAt returns one outcome's windowed probability estimate without
+// materialising the whole vector — the allocation-free counterpart of
+// Estimate for hot-path drift checks.
+func (p *Profiler) EstimateAt(forkIdx, outcome int) float64 {
+	return float64(p.counts[forkIdx][outcome]) / float64(p.window)
+}
+
+// EstimateInto appends the windowed estimate of the fork to out and returns
+// the extended slice; pass out[:0] of a retained buffer to avoid
+// allocations.
+func (p *Profiler) EstimateInto(forkIdx int, out []float64) []float64 {
+	for _, c := range p.counts[forkIdx] {
+		out = append(out, float64(c)/float64(p.window))
+	}
+	return out
+}
+
 // SmoothedEstimate returns the Laplace-smoothed (add-one) windowed
 // estimate: (count+1)/(window+outcomes). A raw window easily reports an
 // outcome probability of exactly 0 or 1, and a scheduler fed certainty
@@ -120,10 +141,16 @@ func (p *Profiler) Estimate(forkIdx int) []float64 {
 // speed whenever it does occur. Smoothing keeps every outcome minimally
 // provisioned.
 func (p *Profiler) SmoothedEstimate(forkIdx int) []float64 {
+	return p.SmoothedEstimateInto(forkIdx, make([]float64, 0, len(p.counts[forkIdx])))
+}
+
+// SmoothedEstimateInto appends the Laplace-smoothed estimate of the fork to
+// out and returns the extended slice; pass out[:0] of a retained buffer to
+// avoid allocations.
+func (p *Profiler) SmoothedEstimateInto(forkIdx int, out []float64) []float64 {
 	k := len(p.counts[forkIdx])
-	out := make([]float64, k)
-	for i, c := range p.counts[forkIdx] {
-		out[i] = (float64(c) + 1) / (float64(p.window) + float64(k))
+	for _, c := range p.counts[forkIdx] {
+		out = append(out, (float64(c)+1)/(float64(p.window)+float64(k)))
 	}
 	return out
 }
@@ -134,10 +161,8 @@ func (p *Profiler) SmoothedEstimate(forkIdx int) []float64 {
 func (p *Profiler) MaxDrift() float64 {
 	maxD := 0.0
 	for fi, fork := range p.g.Forks() {
-		cur := p.g.BranchProbs(fork)
-		est := p.Estimate(fi)
-		for k := range cur {
-			d := est[k] - cur[k]
+		for k := range p.counts[fi] {
+			d := p.EstimateAt(fi, k) - p.g.BranchProb(fork, k)
 			if d < 0 {
 				d = -d
 			}

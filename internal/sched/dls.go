@@ -41,17 +41,124 @@ func Modified() Options { return Options{Probabilistic: true, MEOverlap: true, C
 // worst-case levels, no ME overlap, contention-blind communication.
 func Plain() Options { return Options{} }
 
+// commPlan is one planned link transfer of a candidate placement: the edge,
+// the directed link, the scheduled transfer window and the scenario set it
+// occupies.
+type commPlan struct {
+	edge  int
+	link  [2]int
+	start float64
+	dur   float64
+	scen  ctg.Bitset
+}
+
+// Workspace holds the reusable buffers of repeated DLS invocations — the
+// adaptive manager re-runs DLS at every full reschedule, and without buffer
+// reuse each run pays O(tasks) slice allocations plus one activation-set
+// clone per (candidate task, PE, incoming edge) evaluation. The workspace is
+// not safe for concurrent use; one per manager (or per worker) is the
+// intended pattern.
+type Workspace struct {
+	sl           []float64
+	scheduled    []bool
+	unschedPreds []int
+	ready        []ctg.TaskID
+	avgEnergy    []float64
+
+	peTL   []timeline
+	linkTL map[[2]int]*timeline
+
+	// fullSet and edgeScen are probability-independent per analysis:
+	// fullSet is the all-scenarios set, edgeScen caches per real edge the
+	// intersection of the endpoint activation sets (the scenario set in
+	// which the transfer happens). The cache is keyed to the analysis and
+	// rebuilt when a different one shows up.
+	fullSet  ctg.Bitset
+	edgeScen []ctg.Bitset
+	scenFor  *ctg.Analysis
+
+	// plans/bestPlans are the double-buffered candidate transfer plans of
+	// the selection loop: evaluate fills plans, a new best swaps the
+	// buffers so the winner survives while the loser becomes scratch.
+	plans, bestPlans []commPlan
+}
+
+// NewWorkspace returns an empty DLS workspace.
+func NewWorkspace() *Workspace { return &Workspace{} }
+
+// prep sizes the workspace for one DLS run.
+func (ws *Workspace) prep(a *ctg.Analysis, p *platform.Platform, n int) {
+	if cap(ws.sl) < n {
+		ws.sl = make([]float64, n)
+		ws.scheduled = make([]bool, n)
+		ws.unschedPreds = make([]int, n)
+	}
+	ws.sl = ws.sl[:n]
+	ws.scheduled = ws.scheduled[:n]
+	ws.unschedPreds = ws.unschedPreds[:n]
+	for t := 0; t < n; t++ {
+		ws.scheduled[t] = false
+	}
+	ws.ready = ws.ready[:0]
+	if cap(ws.peTL) < p.NumPEs() {
+		ws.peTL = make([]timeline, p.NumPEs())
+	}
+	ws.peTL = ws.peTL[:p.NumPEs()]
+	for pe := range ws.peTL {
+		ws.peTL[pe].reset()
+	}
+	if ws.linkTL == nil {
+		ws.linkTL = make(map[[2]int]*timeline)
+	}
+	for _, tl := range ws.linkTL {
+		tl.reset()
+	}
+	if ws.scenFor != a {
+		ws.scenFor = a
+		ws.fullSet = ctg.NewBitset(a.NumScenarios())
+		for i := 0; i < a.NumScenarios(); i++ {
+			ws.fullSet.Set(i)
+		}
+		ws.edgeScen = make([]ctg.Bitset, a.Graph().NumEdges())
+	}
+}
+
+// edgeScenOf returns (lazily computing) the scenario set in which real edge
+// ei transfers: both endpoints active. Activation sets are
+// probability-independent, so the cache stays valid across reschedules.
+func (ws *Workspace) edgeScenOf(a *ctg.Analysis, ei int) ctg.Bitset {
+	if ws.edgeScen[ei].Len() == 0 {
+		e := a.Graph().Edge(ei)
+		set := a.ActivationSet(e.From).Clone()
+		set.IntersectWith(a.ActivationSet(e.To))
+		ws.edgeScen[ei] = set
+	}
+	return ws.edgeScen[ei]
+}
+
 // DLS maps and orders the tasks of g on platform p using dynamic-level list
 // scheduling. The returned schedule has all speeds at 1; run a stretching
 // pass (package stretch) to assign DVFS speeds.
 func DLS(a *ctg.Analysis, p *platform.Platform, opts Options) (*Schedule, error) {
+	return DLSInto(a, p, opts, nil)
+}
+
+// DLSInto is DLS reusing a Workspace across calls; the returned Schedule is
+// still freshly allocated (callers retain schedules — caches, fallbacks — so
+// only the transient scheduling state is pooled). A nil workspace allocates
+// a private one, making DLSInto(a, p, opts, nil) exactly DLS.
+func DLSInto(a *ctg.Analysis, p *platform.Platform, opts Options, ws *Workspace) (*Schedule, error) {
 	g := a.Graph()
 	n := g.NumTasks()
 	if p.NumTasks() != n {
 		return nil, fmt.Errorf("sched: platform sized for %d tasks, graph has %d", p.NumTasks(), n)
 	}
+	if ws == nil {
+		ws = NewWorkspace()
+	}
+	ws.prep(a, p, n)
 
-	sl := staticLevels(g, p, opts.Probabilistic)
+	sl := staticLevelsInto(g, p, opts.Probabilistic, ws.sl)
 
 	s := &Schedule{
 		G:         g,
@@ -71,35 +178,30 @@ func DLS(a *ctg.Analysis, p *platform.Platform, opts Options) (*Schedule, error)
 		s.CommStart[ei] = LocalComm
 	}
 
-	peTL := make([]timeline, p.NumPEs())
-	linkTL := make(map[[2]int]*timeline)
+	peTL := ws.peTL
 	tlFor := func(i, j int) *timeline {
 		key := [2]int{i, j}
-		tl, ok := linkTL[key]
+		tl, ok := ws.linkTL[key]
 		if !ok {
 			tl = &timeline{}
-			linkTL[key] = tl
+			ws.linkTL[key] = tl
 		}
 		return tl
 	}
 
-	fullSet := ctg.NewBitset(a.NumScenarios())
-	for i := 0; i < a.NumScenarios(); i++ {
-		fullSet.Set(i)
-	}
 	scenOf := func(t ctg.TaskID) ctg.Bitset {
 		if opts.MEOverlap {
 			return a.ActivationSet(t)
 		}
-		return fullSet
+		return ws.fullSet
 	}
 
-	scheduled := make([]bool, n)
-	unschedPreds := make([]int, n)
+	scheduled := ws.scheduled
+	unschedPreds := ws.unschedPreds
 	for t := 0; t < n; t++ {
 		unschedPreds[t] = len(g.Pred(ctg.TaskID(t)))
 	}
-	ready := make([]ctg.TaskID, 0, n)
+	ready := ws.ready
 	for t := 0; t < n; t++ {
 		if unschedPreds[t] == 0 {
 			ready = append(ready, ctg.TaskID(t))
@@ -107,15 +209,10 @@ func DLS(a *ctg.Analysis, p *platform.Platform, opts Options) (*Schedule, error)
 	}
 
 	// placement evaluates AT(τ, pe): transfer start per incoming cross-PE
-	// edge, data-ready time, and the earliest PE fit.
-	type commPlan struct {
-		edge  int
-		link  [2]int
-		start float64
-		dur   float64
-		scen  ctg.Bitset
-	}
-	evaluate := func(t ctg.TaskID, pe int) (at float64, plans []commPlan, ok bool) {
+	// edge, data-ready time, and the earliest PE fit. The transfer plans
+	// land in ws.plans (overwritten per candidate).
+	evaluate := func(t ctg.TaskID, pe int) (at float64, ok bool) {
+		ws.plans = ws.plans[:0]
 		dataReady := 0.0
 		for _, ei := range g.Pred(t) {
 			e := g.Edge(ei)
@@ -131,30 +228,33 @@ func DLS(a *ctg.Analysis, p *platform.Platform, opts Options) (*Schedule, error)
 			// A cross-PE dependency that must traverse a down link makes
 			// this placement infeasible on the degraded topology.
 			if !p.LinkUp(s.PE[from], pe) {
-				return 0, nil, false
+				return 0, false
 			}
 			link := [2]int{s.PE[from], pe}
-			scen := a.ActivationSet(from).Clone()
-			scen.IntersectWith(a.ActivationSet(t))
+			scen := ws.edgeScenOf(a, ei)
 			if !opts.MEOverlap {
-				scen = fullSet
+				scen = ws.fullSet
 			}
 			cs := finish
 			if opts.CommAware {
 				cs = tlFor(link[0], link[1]).earliestFit(finish, ct, scen)
 			}
-			plans = append(plans, commPlan{edge: ei, link: link, start: cs, dur: ct, scen: scen})
+			ws.plans = append(ws.plans, commPlan{edge: ei, link: link, start: cs, dur: ct, scen: scen})
 			if arr := cs + ct; arr > dataReady {
 				dataReady = arr
 			}
 		}
 		at = peTL[pe].earliestFit(dataReady, p.WCET(int(t), pe), scenOf(t))
-		return at, plans, true
+		return at, true
 	}
 
 	// Mean per-task energy across PEs, for the optional energy term.
-	avgEnergy := make([]float64, n)
+	var avgEnergy []float64
 	if opts.EnergyWeight != 0 {
+		if cap(ws.avgEnergy) < n {
+			ws.avgEnergy = make([]float64, n)
+		}
+		avgEnergy = ws.avgEnergy[:n]
 		for t := 0; t < n; t++ {
 			sum := 0.0
 			for pe := 0; pe < p.NumPEs(); pe++ {
@@ -167,14 +267,14 @@ func DLS(a *ctg.Analysis, p *platform.Platform, opts Options) (*Schedule, error)
 	for len(ready) > 0 {
 		bestDL := math.Inf(-1)
 		bestAT := 0.0
-		var bestPlans []commPlan
+		ws.bestPlans = ws.bestPlans[:0]
 		bestIdx, bestPE := -1, -1
 		for ri, t := range ready {
 			for pe := 0; pe < p.NumPEs(); pe++ {
 				if !p.PEAlive(pe) {
 					continue
 				}
-				at, plans, feasible := evaluate(t, pe)
+				at, feasible := evaluate(t, pe)
 				if !feasible {
 					continue
 				}
@@ -185,8 +285,11 @@ func DLS(a *ctg.Analysis, p *platform.Platform, opts Options) (*Schedule, error)
 						(avgEnergy[t] - p.Energy(int(t), pe))
 				}
 				if dl > bestDL+1e-12 {
-					bestDL, bestAT, bestPlans = dl, at, plans
+					bestDL, bestAT = dl, at
 					bestIdx, bestPE = ri, pe
+					// Keep the winning plans; the displaced buffer becomes
+					// the next candidate's scratch.
+					ws.plans, ws.bestPlans = ws.bestPlans, ws.plans
 				}
 			}
 		}
@@ -202,7 +305,7 @@ func DLS(a *ctg.Analysis, p *platform.Platform, opts Options) (*Schedule, error)
 		s.PE[t] = bestPE
 		s.Start[t] = bestAT
 		peTL[bestPE].add(bestAT, p.WCET(int(t), bestPE), scenOf(t))
-		for _, cp := range bestPlans {
+		for _, cp := range ws.bestPlans {
 			s.CommStart[cp.edge] = cp.start
 			s.LinkOrder[cp.link] = append(s.LinkOrder[cp.link], cp.edge)
 			tlFor(cp.link[0], cp.link[1]).add(cp.start, cp.dur, cp.scen)
@@ -221,6 +324,7 @@ func DLS(a *ctg.Analysis, p *platform.Platform, opts Options) (*Schedule, error)
 		}
 	}
 
+	ws.ready = ready[:0] // hand the (possibly grown) buffer back for reuse
 	for t := 0; t < n; t++ {
 		if !scheduled[t] {
 			return nil, fmt.Errorf("sched: task %d never became ready (graph inconsistency)", t)
@@ -241,8 +345,13 @@ func DLS(a *ctg.Analysis, p *platform.Platform, opts Options) (*Schedule, error)
 // by the probability of the guarding condition and summed, matching the
 // paper's formula SL(τi) = *WCET(τi) + Σ prob(c_ij)·SL(τj).
 func staticLevels(g *ctg.Graph, p *platform.Platform, probabilistic bool) []float64 {
+	return staticLevelsInto(g, p, probabilistic, make([]float64, g.NumTasks()))
+}
+
+// staticLevelsInto is staticLevels writing into a caller-provided buffer of
+// length NumTasks (the "priority buffer" of the reschedule hot path).
+func staticLevelsInto(g *ctg.Graph, p *platform.Platform, probabilistic bool, sl []float64) []float64 {
 	n := g.NumTasks()
-	sl := make([]float64, n)
 	topo := g.Topo()
 	for i := n - 1; i >= 0; i-- {
 		t := topo[i]

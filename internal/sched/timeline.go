@@ -23,6 +23,10 @@ type timeline struct {
 	ivals []interval
 }
 
+// reset empties the timeline, retaining capacity for reuse across DLS calls
+// (see Workspace).
+func (tl *timeline) reset() { tl.ivals = tl.ivals[:0] }
+
 // conflictsAt reports whether placing an activity over [t, t+dur) with the
 // given scenario set would overlap a reservation active in a shared
 // scenario.

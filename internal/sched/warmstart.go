@@ -1,0 +1,106 @@
+package sched
+
+import (
+	"fmt"
+
+	"ctgdvfs/internal/ctg"
+)
+
+// This file is the warm-start entry point of the mapping stage. An adaptive
+// re-schedule triggered by a small probability drift does not need a new
+// mapping: given a fixed task→PE assignment and resource order, the nominal
+// start times, communication starts and pseudo edges are all
+// probability-independent (they follow from WCETs, the platform and the
+// resource orders alone). Branch probabilities only influence which mapping
+// DLS *selects* and how the stretching stage weights slack. The warm path
+// therefore reuses the incumbent schedule skeleton wholesale — copied into a
+// reusable buffer so the incumbent (possibly shared with the schedule cache)
+// is never mutated — and leaves only the speed assignment to be recomputed
+// by stretch.HeuristicPartial.
+
+// CopyInto deep-copies s into dst, reusing dst's backing storage where the
+// capacity allows. dst may be nil (a fresh Schedule is allocated). When dst
+// was last used for a schedule of the same shape — the steady state of the
+// warm-start loop, which alternates between two buffers of one mapping — the
+// copy allocates nothing.
+func (s *Schedule) CopyInto(dst *Schedule) *Schedule {
+	if dst == nil {
+		dst = &Schedule{}
+	}
+	dst.G, dst.A, dst.P = s.G, s.A, s.P
+	dst.PE = append(dst.PE[:0], s.PE...)
+	dst.Start = append(dst.Start[:0], s.Start...)
+	dst.Speed = append(dst.Speed[:0], s.Speed...)
+	dst.Order = append(dst.Order[:0], s.Order...)
+	if cap(dst.PEOrder) < len(s.PEOrder) {
+		dst.PEOrder = make([][]ctg.TaskID, len(s.PEOrder))
+	}
+	dst.PEOrder = dst.PEOrder[:len(s.PEOrder)]
+	for pe := range s.PEOrder {
+		dst.PEOrder[pe] = append(dst.PEOrder[pe][:0], s.PEOrder[pe]...)
+	}
+	dst.CommStart = append(dst.CommStart[:0], s.CommStart...)
+	if dst.LinkOrder == nil {
+		dst.LinkOrder = make(map[[2]int][]int, len(s.LinkOrder))
+	}
+	for k, v := range dst.LinkOrder {
+		if _, ok := s.LinkOrder[k]; !ok {
+			delete(dst.LinkOrder, k)
+		} else {
+			dst.LinkOrder[k] = v[:0]
+		}
+	}
+	for k, v := range s.LinkOrder {
+		dst.LinkOrder[k] = append(dst.LinkOrder[k][:0], v...)
+	}
+	dst.Pseudo = append(dst.Pseudo[:0], s.Pseudo...)
+	dst.Makespan = s.Makespan
+	return dst
+}
+
+// WarmState double-buffers the schedule copies of the warm-start path. Start
+// always copies the incumbent into the buffer the incumbent does *not*
+// occupy, so a warm-started schedule handed to the runtime stays immutable
+// while the next warm start builds its successor — the same
+// never-mutate-a-published-schedule discipline the schedule cache relies on.
+type WarmState struct {
+	bufs [2]*Schedule
+	cur  int
+}
+
+// NewWarmState returns an empty warm-start buffer pair.
+func NewWarmState() *WarmState { return &WarmState{} }
+
+// Start copies the incumbent schedule into the alternate buffer and returns
+// it. The returned schedule shares the immutable graph/analysis/platform and
+// is safe to mutate (speeds) without touching the incumbent. After the first
+// two calls on one mapping, Start allocates nothing.
+func (w *WarmState) Start(incumbent *Schedule) *Schedule {
+	w.cur = 1 - w.cur
+	if w.bufs[w.cur] == incumbent {
+		// The caller handed us our own buffer out of order; take the other
+		// one rather than self-copying.
+		w.cur = 1 - w.cur
+	}
+	w.bufs[w.cur] = incumbent.CopyInto(w.bufs[w.cur])
+	return w.bufs[w.cur]
+}
+
+// QuickValidate is the O(tasks + edges) consistency check of the warm-start
+// path: placement, speed ranges, and precedence-plus-communication
+// inequalities. It is Validate without the quadratic per-PE exclusivity scan
+// — warm starts never move tasks between PEs, so exclusivity is inherited
+// from the (fully validated) incumbent mapping.
+func (s *Schedule) QuickValidate() error {
+	n := s.G.NumTasks()
+	if len(s.PE) != n || len(s.Start) != n || len(s.Speed) != n {
+		return fmt.Errorf("sched: schedule arrays sized %d/%d/%d, want %d",
+			len(s.PE), len(s.Start), len(s.Speed), n)
+	}
+	for t := 0; t < n; t++ {
+		if err := s.validTask(t); err != nil {
+			return err
+		}
+	}
+	return s.validEdges()
+}

@@ -310,18 +310,33 @@ func (r *dpResult) walkCritical(d *dagModel, v ctg.TaskID, class byte,
 // verification on hash hits, so dedup semantics are identical to string
 // comparison with zero steady-state allocation.
 type pathSet struct {
-	arena []int32               // all interned sequences, concatenated
-	spans map[uint64][][2]int32 // hash -> [start, end) offsets in arena
-	buf   []int32               // scratch for the sequence being tested
+	arena []int32 // all interned sequences, concatenated
+	// entries hold the interned [start, end) spans as hash-chained nodes:
+	// heads maps a hash to the 1-based index of its newest entry and each
+	// entry links to the previous one with the same hash. Chaining through a
+	// flat slice (instead of map[hash][]span) keeps the steady state
+	// allocation-free: reset truncates the slice and clears the map, and
+	// re-populating an already-sized map and slice allocates nothing.
+	entries []pathSpan
+	heads   map[uint64]int32 // hash -> 1-based index into entries (0 = none)
+	buf     []int32          // scratch for the sequence being tested
+}
+
+// pathSpan is one interned sequence: [start, end) in the arena plus the
+// 1-based index of the previous entry with the same hash.
+type pathSpan struct {
+	start, end int32
+	prev       int32
 }
 
 // reset clears the set, retaining capacity.
 func (p *pathSet) reset() {
 	p.arena = p.arena[:0]
-	if p.spans == nil {
-		p.spans = make(map[uint64][][2]int32)
+	p.entries = p.entries[:0]
+	if p.heads == nil {
+		p.heads = make(map[uint64]int32)
 	} else {
-		clear(p.spans)
+		clear(p.heads)
 	}
 }
 
@@ -347,12 +362,14 @@ func (p *pathSet) addCritical(r *dpResult, d *dagModel, v ctg.TaskID, class byte
 		p.buf = append(p.buf, int32(u))
 	}, func(int) {})
 	h := fnv1a(p.buf)
-	for _, span := range p.spans[h] {
-		if int(span[1]-span[0]) != len(p.buf) {
+	for idx := p.heads[h]; idx != 0; {
+		span := p.entries[idx-1]
+		idx = span.prev
+		if int(span.end-span.start) != len(p.buf) {
 			continue
 		}
 		match := true
-		for i, u := range p.arena[span[0]:span[1]] {
+		for i, u := range p.arena[span.start:span.end] {
 			if u != p.buf[i] {
 				match = false
 				break
@@ -364,7 +381,8 @@ func (p *pathSet) addCritical(r *dpResult, d *dagModel, v ctg.TaskID, class byte
 	}
 	start := int32(len(p.arena))
 	p.arena = append(p.arena, p.buf...)
-	p.spans[h] = append(p.spans[h], [2]int32{start, int32(len(p.arena))})
+	p.entries = append(p.entries, pathSpan{start: start, end: int32(len(p.arena)), prev: p.heads[h]})
+	p.heads[h] = int32(len(p.entries))
 	return true
 }
 

@@ -37,8 +37,8 @@ const (
 	// instance's decisions were observed: Instance, Fork, Probs, Drift.
 	KindEstimate Kind = "window_estimate"
 	// KindReschedule is one re-scheduling decision: Instance, Reason
-	// ("drift", "breaker", "initial"), CacheHit, Key (hex cache key),
-	// Calls so far.
+	// ("drift", "breaker", "initial"), CacheHit, Warm (served incrementally
+	// from the incumbent schedule), Key (hex cache key), Calls so far.
 	KindReschedule Kind = "reschedule"
 	// KindStretch summarizes one stretching pass: Instance, Stretched
 	// task count (Tasks), SlackFound, SlackUsed, Energy (expected,
@@ -124,6 +124,7 @@ type Event struct {
 
 	Reason      string `json:"reason,omitempty"`
 	CacheHit    bool   `json:"cache_hit,omitempty"`
+	Warm        bool   `json:"warm,omitempty"`
 	Key         string `json:"key,omitempty"`
 	Calls       int    `json:"calls,omitempty"`
 	Rescheduled bool   `json:"rescheduled,omitempty"`

@@ -27,6 +27,7 @@ import (
 	"os"
 	"os/exec"
 	"regexp"
+	"runtime"
 	"strconv"
 	"strings"
 	"time"
@@ -38,6 +39,12 @@ type result struct {
 	Bytes  int64   `json:"bytes_per_op"`
 	Allocs int64   `json:"allocs_per_op"`
 	Events float64 `json:"events_per_op,omitempty"`
+	// GateAllocs opts this benchmark into allocation gating: a fresh run
+	// whose allocs/op exceed the baseline's (beyond -alloc-tolerance, with
+	// zero-alloc baselines admitting no allocation at all) fails the gate.
+	// Used for the reschedule hot path, whose zero-allocation property is a
+	// deliberate design invariant rather than a happenstance measurement.
+	GateAllocs bool `json:"gate_allocs,omitempty"`
 }
 
 // baselineFile mirrors the BENCH_*.json schema; commentary fields ride along
@@ -119,7 +126,7 @@ func better(a, b map[string]result) map[string]result {
 
 // gateFile checks (or, with update, re-records) one baseline file. Returns
 // the number of regressions found.
-func gateFile(path string, tolerance float64, update bool) (int, error) {
+func gateFile(path string, tolerance, allocTolerance float64, update bool) (int, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return 0, err
@@ -151,10 +158,14 @@ func gateFile(path string, tolerance float64, update bool) (int, error) {
 		for i, r := range base.Results {
 			if f, ok := fresh[r.Name]; ok {
 				f.Events = pick(f.Events, r.Events)
+				f.GateAllocs = r.GateAllocs
 				base.Results[i] = f
 			}
 		}
 		base.Recorded = time.Now().Format("2006-01-02")
+		if host, err := stampHost(base.Host); err == nil {
+			base.Host = host
+		}
 		out, err := json.MarshalIndent(&base, "", "  ")
 		if err != nil {
 			return 0, err
@@ -167,7 +178,7 @@ func gateFile(path string, tolerance float64, update bool) (int, error) {
 	}
 
 	// Gate pass: retry once if anything regressed, keep the best attempt.
-	regressed := failures(base.Results, fresh, tolerance)
+	regressed := failures(base.Results, fresh, tolerance, allocTolerance)
 	if len(regressed) > 0 {
 		fmt.Printf("%s: %d benchmark(s) over tolerance, retrying once to rule out noise\n",
 			path, len(regressed))
@@ -176,7 +187,7 @@ func gateFile(path string, tolerance float64, update bool) (int, error) {
 			return 0, err
 		}
 		fresh = better(fresh, again)
-		regressed = failures(base.Results, fresh, tolerance)
+		regressed = failures(base.Results, fresh, tolerance, allocTolerance)
 	}
 	for _, r := range base.Results {
 		f, ok := fresh[r.Name]
@@ -188,8 +199,15 @@ func gateFile(path string, tolerance float64, update bool) (int, error) {
 		if f.Ns > r.Ns*(1+tolerance) {
 			status = "REGRESSED"
 		}
-		fmt.Printf("  %-40s %12.0f -> %12.0f ns/op (%+.1f%%) %s\n",
-			r.Name, r.Ns, f.Ns, delta, status)
+		gate := ""
+		if r.GateAllocs {
+			gate = " [gated]"
+			if allocsRegressed(r.Allocs, f.Allocs, allocTolerance) {
+				status = "ALLOC-REGRESSED"
+			}
+		}
+		fmt.Printf("  %-40s %12.0f -> %12.0f ns/op (%+.1f%%)  %d -> %d allocs/op%s %s\n",
+			r.Name, r.Ns, f.Ns, delta, r.Allocs, f.Allocs, gate, status)
 	}
 	for _, msg := range regressed {
 		fmt.Fprintf(os.Stderr, "%s: %s\n", path, msg)
@@ -198,8 +216,9 @@ func gateFile(path string, tolerance float64, update bool) (int, error) {
 }
 
 // failures lists the benchmarks whose fresh cost exceeds the tolerated
-// baseline, or which vanished from the run.
-func failures(baseline []result, fresh map[string]result, tolerance float64) []string {
+// baseline, whose gated allocation count regressed, or which vanished from
+// the run.
+func failures(baseline []result, fresh map[string]result, tolerance, allocTolerance float64) []string {
 	var out []string
 	for _, r := range baseline {
 		if !benchIdent.MatchString(r.Name) {
@@ -214,8 +233,41 @@ func failures(baseline []result, fresh map[string]result, tolerance float64) []s
 			out = append(out, fmt.Sprintf("%s: %.0f ns/op vs baseline %.0f (+%.1f%%, tolerance %.0f%%)",
 				r.Name, f.Ns, r.Ns, 100*(f.Ns-r.Ns)/r.Ns, 100*tolerance))
 		}
+		if r.GateAllocs && allocsRegressed(r.Allocs, f.Allocs, allocTolerance) {
+			out = append(out, fmt.Sprintf("%s: %d allocs/op vs baseline %d (alloc-gated, tolerance %.0f%%)",
+				r.Name, f.Allocs, r.Allocs, 100*allocTolerance))
+		}
 	}
 	return out
+}
+
+// allocsRegressed applies the allocation gate: a zero-alloc baseline admits
+// no allocation at all; otherwise the fresh count may exceed the baseline by
+// the tolerance fraction (rounded up by the integer comparison).
+func allocsRegressed(base, fresh int64, tolerance float64) bool {
+	if base == 0 {
+		return fresh > 0
+	}
+	return float64(fresh) > float64(base)*(1+tolerance)
+}
+
+// stampHost merges the recording machine's identity into the baseline's host
+// commentary object, preserving hand-written fields and recording the CPU
+// count the numbers were measured at (single-core container timings are not
+// comparable to multi-core ones).
+func stampHost(raw json.RawMessage) (json.RawMessage, error) {
+	host := map[string]any{}
+	if len(raw) > 0 {
+		if err := json.Unmarshal(raw, &host); err != nil {
+			// Host was a plain string or other shape: keep it under "note".
+			host = map[string]any{"note": strings.Trim(string(raw), "\"")}
+		}
+	}
+	host["cores"] = runtime.NumCPU()
+	host["go"] = runtime.Version()
+	host["goos"] = runtime.GOOS
+	host["goarch"] = runtime.GOARCH
+	return json.Marshal(host)
 }
 
 func pick(fresh, old float64) float64 {
@@ -227,6 +279,8 @@ func pick(fresh, old float64) float64 {
 
 func main() {
 	tolerance := flag.Float64("tolerance", 0.10, "allowed ns/op regression over baseline (0.10 = 10%)")
+	allocTolerance := flag.Float64("alloc-tolerance", 0.10,
+		"allowed allocs/op regression for alloc-gated entries (zero-alloc baselines admit none)")
 	update := flag.Bool("update", false, "re-record the baselines instead of gating")
 	flag.Parse()
 	if flag.NArg() == 0 {
@@ -235,7 +289,7 @@ func main() {
 	}
 	total := 0
 	for _, path := range flag.Args() {
-		n, err := gateFile(path, *tolerance, *update)
+		n, err := gateFile(path, *tolerance, *allocTolerance, *update)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)

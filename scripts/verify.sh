@@ -7,7 +7,8 @@
 #   benchmark (catches bit-rot in the bench harness without paying for real
 #   measurement), the bench-regression gate against the committed BENCH_*.json
 #   baselines, a short parser fuzzing session, a fault-campaign and a
-#   failover-campaign run of the fault-tolerance layer, and an end-to-end
+#   failover-campaign run of the fault-tolerance layer, a bounded run of the
+#   large-scale warm-start tier (one 10^3-task cell), and an end-to-end
 #   health-analyzer pass over a captured event stream.
 # Run from anywhere; operates on the repo root.
 set -eu
@@ -36,7 +37,7 @@ echo "== bench smoke (1 iteration each) =="
 go test -run '^$' -bench . -benchtime 1x ./... >/dev/null
 
 echo "== bench-regression gate =="
-go run ./scripts/benchgate BENCH_parallel.json BENCH_telemetry.json BENCH_failover.json
+go run ./scripts/benchgate BENCH_parallel.json BENCH_telemetry.json BENCH_failover.json BENCH_scale.json
 
 echo "== fuzz smoke (parser, 5s) =="
 go test -run '^$' -fuzz FuzzRead -fuzztime 5s ./internal/ctgio >/dev/null
@@ -49,6 +50,9 @@ rm -f "$trace_tmp"
 
 echo "== failover-campaign smoke =="
 go run ./cmd/experiments -exp failover >/dev/null
+
+echo "== scale-tier smoke (10^3-task cell, warm vs full) =="
+go run ./cmd/experiments -exp scale -scale-tasks 1000 -scale-pes 16 -scale-instances 24 >/dev/null
 
 echo "== health-analyzer smoke (capture + analyze) =="
 events_tmp="$(mktemp)"
