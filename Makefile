@@ -1,6 +1,6 @@
 # Standard entry points; `make verify` is the gate a change must pass.
 
-.PHONY: build test race cover bench bench-parallel bench-telemetry bench-failover bench-scale benchgate bench-baseline fuzz-smoke fault-smoke failover-smoke scale-smoke telemetry-smoke analyze-smoke verify
+.PHONY: build test race cover bench bench-parallel bench-telemetry bench-failover bench-scale bench-consolidation benchgate bench-baseline fuzz-smoke fault-smoke failover-smoke consolidation-smoke scale-smoke telemetry-smoke analyze-smoke verify
 
 build:
 	go build ./...
@@ -39,6 +39,11 @@ fault-smoke:
 failover-smoke:
 	go run ./cmd/experiments -exp failover
 
+# Consolidation campaign: multiple applications on one shared fabric under a
+# chip power cap — budget governor vs ungoverned baseline (bounded rounds).
+consolidation-smoke:
+	go run ./cmd/experiments -exp consolidation -consolidation-rounds 80
+
 # Telemetry-disabled vs enabled adaptive-step cost; see BENCH_telemetry.json
 # for a recorded baseline (including the pre-telemetry runtime).
 bench-telemetry:
@@ -54,6 +59,11 @@ bench-failover:
 bench-scale:
 	go test -run '^$$' -bench 'BenchmarkScale' -benchmem .
 
+# Ungoverned-metering vs governed consolidated-round cost; see
+# BENCH_consolidation.json for a recorded baseline.
+bench-consolidation:
+	go test -run '^$$' -bench 'FleetStep(Ungoverned|Governed)' -benchmem .
+
 # Bounded run of the scaling campaign (one 10^3-task cell, warm vs full).
 scale-smoke:
 	go run ./cmd/experiments -exp scale -scale-tasks 1000 -scale-pes 16 -scale-instances 24
@@ -66,11 +76,11 @@ telemetry-smoke:
 # Bench-regression gate: re-run the baselined benchmarks and fail on >10%
 # ns/op regressions against the committed BENCH_*.json files.
 benchgate:
-	go run ./scripts/benchgate BENCH_parallel.json BENCH_telemetry.json BENCH_failover.json BENCH_scale.json
+	go run ./scripts/benchgate BENCH_parallel.json BENCH_telemetry.json BENCH_failover.json BENCH_scale.json BENCH_consolidation.json
 
 # Re-bless the benchmark baselines on this host (after a deliberate change).
 bench-baseline:
-	go run ./scripts/benchgate -update BENCH_parallel.json BENCH_telemetry.json BENCH_failover.json BENCH_scale.json
+	go run ./scripts/benchgate -update BENCH_parallel.json BENCH_telemetry.json BENCH_failover.json BENCH_scale.json BENCH_consolidation.json
 
 # End-to-end health pipeline: capture a JSONL event stream from the telemetry
 # example, then run the offline analyzer over it.

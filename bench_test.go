@@ -719,3 +719,49 @@ func BenchmarkScaleRescheduleWarm1k(b *testing.B) {
 		}
 	}
 }
+
+// --- Consolidation-fleet benchmarks (BENCH_consolidation.json) ---
+//
+// The fleet tier measures one consolidated round — every tenant's adaptive
+// step plus the chip-power accounting — on the two-tenant mpeg>cruise mix
+// over the shared 8-PE fabric, with the cap at 85% of the mix's measured
+// ungoverned peak. The Ungoverned/Governed pair is the committed cost of
+// budget governance: the ungoverned arm only meters the cap, the governed
+// arm runs the full degradation ladder (its setup predicts every rung's
+// power, and the tight cap keeps the governor escalating and restoring in
+// steady state).
+
+func benchFleetStep(b *testing.B, ungoverned bool) {
+	f, vectors, err := exp.NewConsolidationBenchFleet(ungoverned)
+	if err != nil {
+		b.Fatal(err)
+	}
+	n := len(vectors[0])
+	for _, vs := range vectors {
+		if len(vs) < n {
+			n = len(vs)
+		}
+	}
+	step := make([][]int, len(vectors))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for t := range vectors {
+			step[t] = vectors[t][i%n]
+		}
+		if err := f.Step(step); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	if p := f.Result().Power; p != nil {
+		b.ReportMetric(float64(p.MaxLevel), "max-level")
+		b.ReportMetric(float64(p.WindowsOverCap)/float64(b.N), "over-windows/op")
+	}
+}
+
+// BenchmarkFleetStepUngoverned is the consolidated round with metering only.
+func BenchmarkFleetStepUngoverned(b *testing.B) { benchFleetStep(b, true) }
+
+// BenchmarkFleetStepGoverned runs the full budget governor under a cap the
+// undegraded mix cannot hold.
+func BenchmarkFleetStepGoverned(b *testing.B) { benchFleetStep(b, false) }

@@ -16,7 +16,15 @@
 // runtime against a static schedule that deadlocks on dead hardware.
 // -faults-spec FILE replays a JSON fault spec instead: its "perturb" section
 // replaces the -exp faults plan, its "failures" section replaces the
-// failover sweep with one scripted timeline.
+// failover sweep with one scripted timeline, and its "power" section sets
+// the consolidation campaign's chip budget.
+//
+// The consolidation campaign (-exp consolidation) hosts multiple
+// applications on one shared fabric under a chip power cap and contrasts the
+// budget governor's criticality-ordered graceful degradation against an
+// ungoverned baseline. -consolidation-rounds bounds each fleet run;
+// -power-cap/-power-window (or a -faults-spec power section) replace the
+// default cap sweep with one absolute budget.
 //
 // Telemetry: -trace-out FILE exports the fault campaign's guarded runtimes as
 // a Chrome trace-event file (open in chrome://tracing or
@@ -52,6 +60,11 @@ import (
 	"ctgdvfs/internal/telemetry"
 )
 
+// tracedExperiments names every experiment that populates campaignTel when
+// the telemetry flags are set — the list the -trace-out and -health error
+// hints print. Keep it in sync with the runners that call campaignTel.Store.
+const tracedExperiments = "-exp faults, -exp consolidation"
+
 // Fault-campaign knobs, shared with the runner table.
 var (
 	faultSeed    = flag.Int64("faults", exp.DefaultCampaignSpec().Seed, "fault-plan seed for the fault campaign")
@@ -74,8 +87,19 @@ var (
 	scalePEs       = flag.Int("scale-pes", 0, "custom scale-campaign cell: PE count (with -scale-tasks)")
 	scaleInstances = flag.Int("scale-instances", 45, "instances replayed per custom scale-campaign cell")
 
+	// Consolidation-campaign knobs (-exp consolidation): rounds per fleet
+	// run, and an absolute chip budget replacing the default P0-relative cap
+	// sweep. The flags are merged over a -faults-spec power section
+	// (field-by-field, flags win) and validated through power.Budget.
+	consolidationRounds = flag.Int("consolidation-rounds", 0,
+		"rounds replayed per consolidation fleet run (0 = default)")
+	powerCap = flag.Float64("power-cap", 0,
+		"absolute chip power cap for the consolidation campaign (0 = sweep fractions of each mix's measured peak)")
+	powerWindow = flag.Int("power-window", 0,
+		"power-measurement window in rounds for the consolidation campaign (0 = default)")
+
 	traceOut = flag.String("trace-out", "",
-		"write a Chrome trace-event file of the fault campaign's guarded runtimes (use with -exp faults)")
+		"write a Chrome trace-event file of a traced experiment's event streams (traced: "+tracedExperiments+")")
 	metricsAddr = flag.String("metrics-addr", "",
 		"serve the live metrics registry over HTTP at this address (/metrics JSON, /debug/vars expvar, /health snapshots)")
 	pprofFlag = flag.Bool("pprof", false,
@@ -83,7 +107,7 @@ var (
 	serveFlag = flag.Bool("serve", false,
 		"keep the -metrics-addr server running after the experiments finish (until interrupted)")
 	healthFlag = flag.Bool("health", false,
-		"attach the streaming health monitor to the fault campaign and print per-workload diagnosis reports")
+		"attach the streaming health monitor to a traced experiment ("+tracedExperiments+") and print per-stream diagnosis reports")
 
 	// metricsReg is the registry served at -metrics-addr and fed by the
 	// observed fault campaign; campaignTel keeps the recorded event streams
@@ -138,7 +162,7 @@ func writeCampaignTrace(path string, tel *exp.CampaignTelemetry) error {
 
 func main() {
 	exp := flag.String("exp", "all",
-		"experiment to run: all, table1, figure4, figure5, table2, table3, table4, table5, figure6, faults, failover, scale, ...")
+		"experiment to run: all, table1, figure4, figure5, table2, table3, table4, table5, figure6, faults, failover, consolidation, scale, ...")
 	workers := flag.Int("workers", 0,
 		"parallel worker bound for the scenario engine (0 = GOMAXPROCS, 1 = serial)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
@@ -216,7 +240,7 @@ func main() {
 	if *traceOut != "" {
 		tel := campaignTel.Load()
 		if tel == nil {
-			fmt.Fprintln(os.Stderr, "-trace-out: no traced experiment ran (use -exp faults)")
+			fmt.Fprintf(os.Stderr, "-trace-out: no traced experiment ran (traced: %s)\n", tracedExperiments)
 			os.Exit(1)
 		}
 		if err := writeCampaignTrace(*traceOut, tel); err != nil {
@@ -229,7 +253,7 @@ func main() {
 	if *healthFlag {
 		tel := campaignTel.Load()
 		if tel == nil {
-			fmt.Fprintln(os.Stderr, "-health: no monitored experiment ran (use -exp faults)")
+			fmt.Fprintf(os.Stderr, "-health: no monitored experiment ran (traced: %s)\n", tracedExperiments)
 			os.Exit(1)
 		}
 		names := make([]string, 0, len(tel.Health))

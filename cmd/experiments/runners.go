@@ -7,6 +7,7 @@ import (
 
 	"ctgdvfs/internal/exp"
 	"ctgdvfs/internal/faults"
+	"ctgdvfs/internal/power"
 )
 
 // loadSpecFile loads -faults-spec once per runner that consumes it (nil when
@@ -206,6 +207,52 @@ func orderedRunners() []runner {
 				return r.Render(), nil
 			}
 			r, err := exp.ScaleCampaignQuick()
+			if err != nil {
+				return "", err
+			}
+			return r.Render(), nil
+		}},
+		{name: "consolidation", aliases: []string{"fleet"}, run: func() (string, error) {
+			// The budget spec comes from -faults-spec's power section and/or
+			// the -power-cap/-power-window flags (flags win field-by-field);
+			// either way it is validated up front so a garbage cap fails with
+			// a typed *power.SpecError instead of a mid-campaign surprise.
+			var override *power.Budget
+			if sf, err := loadSpecFile(); err != nil {
+				return "", err
+			} else if sf != nil && sf.Power != nil {
+				override = sf.Power
+			}
+			if *powerCap > 0 || *powerWindow > 0 {
+				if override == nil {
+					override = &power.Budget{}
+				}
+				if *powerCap > 0 {
+					override.Cap = *powerCap
+				}
+				if *powerWindow > 0 {
+					override.Window = *powerWindow
+				}
+				if err := override.Validate(); err != nil {
+					return "", fmt.Errorf("-power-cap/-power-window: %w", err)
+				}
+			}
+			if *traceOut != "" || *metricsAddr != "" || *healthFlag {
+				r, tel, err := exp.ConsolidationCampaignObserved(*consolidationRounds, override, metricsReg)
+				if err != nil {
+					return "", err
+				}
+				campaignTel.Store(tel)
+				return r.Render(), nil
+			}
+			if override != nil {
+				r, err := exp.ConsolidationCampaignBudget(*consolidationRounds, *override)
+				if err != nil {
+					return "", err
+				}
+				return r.Render(), nil
+			}
+			r, err := exp.ConsolidationCampaign(*consolidationRounds)
 			if err != nil {
 				return "", err
 			}

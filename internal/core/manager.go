@@ -424,11 +424,24 @@ func New(g *ctg.Graph, p *platform.Platform, opts Options) (*Manager, error) {
 			return nil, fmt.Errorf("core: failure timeline sized for %d PEs, platform has %d",
 				opts.Failures.NumPEs(), p.NumPEs())
 		}
+		if p.Restricted() {
+			// A timeline's masks replace the platform's availability state
+			// wholesale, which would silently resurrect the masked-out part
+			// of a pre-restricted base (e.g. a consolidation partition).
+			return nil, fmt.Errorf("core: a failure timeline requires an unrestricted base platform")
+		}
 		// A degraded schedule needs somewhere to escalate: availability
 		// faults imply the recovery machinery.
 		opts.Recovery = true
 	}
 	m := &Manager{opts: opts, g: g.Clone(), p: p, base: p}
+	if p.Restricted() {
+		// A pre-restricted base platform (a consolidation partition) is this
+		// manager's healthy state: record it as the mask in force so the
+		// first external ApplyAvailability diffs against the partition, not
+		// against a full topology the manager never had.
+		m.mask = p.AvailabilityMask()
+	}
 	if opts.Failures != nil {
 		// The timeline may already be degraded at instance 0: the initial
 		// schedule must target the survivor set, not hardware that was never
@@ -581,18 +594,26 @@ func (m *Manager) applyTopology(cur platform.Mask, instance int) error {
 	}
 	m.p = rp
 	m.mask = cur
-	m.degraded = !cur.IsFull()
-	if m.degraded || m.healthyFallback == nil {
-		fb, err := sched.DLS(m.a, m.p, m.opts.Sched)
-		if err != nil {
-			return err
+	// Degraded is measured against the base platform's own availability —
+	// identical to !cur.IsFull() for the unrestricted bases of the failover
+	// path, but a partition-restricted base (consolidation) is healthy at
+	// its partition mask, not at the full fabric it never owned.
+	m.degraded = !cur.Equal(m.base.AvailabilityMask(), m.base.NumPEs())
+	if m.opts.Recovery {
+		// Only the recovery machinery keeps a fallback; rebuilding one for a
+		// manager that never had it would silently enable fallback replays.
+		if m.degraded || m.healthyFallback == nil {
+			fb, err := sched.DLS(m.a, m.p, m.opts.Sched)
+			if err != nil {
+				return err
+			}
+			m.fallback = fb
+			if !m.degraded {
+				m.healthyFallback = fb
+			}
+		} else {
+			m.fallback = m.healthyFallback
 		}
-		m.fallback = fb
-		if !m.degraded {
-			m.healthyFallback = fb
-		}
-	} else {
-		m.fallback = m.healthyFallback
 	}
 	reason := "restored"
 	if m.degraded {
@@ -614,6 +635,47 @@ func (m *Manager) applyTopology(cur platform.Mask, instance int) error {
 // Fallback returns the precomputed worst-case fallback schedule (nil unless
 // Recovery is enabled).
 func (m *Manager) Fallback() *sched.Schedule { return m.fallback }
+
+// ApplyAvailability re-maps the runtime onto an externally imposed
+// availability mask — the entry point of PE arbitration by a consolidation
+// layer (a budget-revoked PE is a masked PE), complementing the Failures
+// timeline that drives the same machinery from seeded outage plans. The mask
+// is expressed over the base platform's PE indices; callers layering
+// restrictions (a partition plus a revocation, say) compose them with
+// platform.Mask.Intersect first, because the mask replaces the availability
+// state wholesale. A mask equal to the one in force is a no-op. It returns
+// an error when the manager is driven by a Failures timeline (two mask
+// authorities would fight over the topology) or when the mask is infeasible.
+func (m *Manager) ApplyAvailability(mask platform.Mask) error {
+	if m.opts.Failures != nil {
+		return fmt.Errorf("core: ApplyAvailability conflicts with a Failures timeline")
+	}
+	if mask.Equal(m.mask, m.base.NumPEs()) {
+		return nil
+	}
+	return m.applyTopology(mask, m.instances)
+}
+
+// SetGuardBand replaces the base guard band and re-stretches the incumbent
+// schedule at the new effective guard. Releasing the guard (toward 0) lets
+// stretching spend the reserved slack on deeper slowdowns — lower speeds,
+// lower power, less overrun margin — which is the first rung of the power
+// governor's degradation ladder; raising it restores the margin. A value
+// equal to the current base guard is a no-op.
+func (m *Manager) SetGuardBand(g float64) error {
+	if math.IsNaN(g) || g < 0 || g > 1 {
+		return fmt.Errorf("core: guard band must be in [0,1], got %v", g)
+	}
+	if g == m.opts.GuardBand {
+		return nil
+	}
+	m.opts.GuardBand = g
+	return m.reschedule("guard")
+}
+
+// GuardBand returns the current base guard band (before circuit-breaker
+// escalation).
+func (m *Manager) GuardBand() float64 { return m.opts.GuardBand }
 
 // reschedule runs the online algorithm (DLS + stretching) with the graph's
 // current probability estimates, consulting the schedule cache first: if the

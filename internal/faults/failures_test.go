@@ -1,8 +1,11 @@
 package faults
 
 import (
+	"errors"
 	"strings"
 	"testing"
+
+	"ctgdvfs/internal/power"
 )
 
 func TestTimelineValidation(t *testing.T) {
@@ -273,11 +276,33 @@ func TestSpecFileRejectsGarbage(t *testing.T) {
 		{"invalid event kind", `{"failures": {"events": [{"kind": "gpu"}]}}`},
 		{"trailing data", `{"failures": {}} {"failures": {}}`},
 		{"not json", `pe_death_prob = 0.5`},
+		{"missing power cap", `{"power": {}}`},
+		{"zero power cap", `{"power": {"cap": 0}}`},
+		{"negative power cap", `{"power": {"cap": -4}}`},
+		{"negative power window", `{"power": {"cap": 10, "window": -2}}`},
+		{"bad restore margin", `{"power": {"cap": 10, "restore_margin": 1.5}}`},
+		{"negative thermal limit", `{"power": {"cap": 10, "thermal_limit": -1}}`},
+		{"negative idle power", `{"power": {"cap": 10, "model": {"idle_pe_power": -0.1}}}`},
+		{"unknown power field", `{"power": {"cap": 10, "capacitance": 3}}`},
 	}
 	for _, tc := range cases {
 		if _, err := DecodeSpecFile([]byte(tc.data)); err == nil {
 			t.Errorf("%s: accepted", tc.name)
 		}
+	}
+	// A bad power spec surfaces the typed error, naming the field.
+	var se *power.SpecError
+	_, err := DecodeSpecFile([]byte(`{"power": {"cap": -4}}`))
+	if !errors.As(err, &se) || se.Field != "cap" {
+		t.Fatalf("want *power.SpecError for cap, got %v", err)
+	}
+	// A valid power section round-trips.
+	f, err := DecodeSpecFile([]byte(`{"power": {"cap": 12.5, "window": 16, "model": {"idle_pe_power": 0.2}}}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Power == nil || f.Power.Cap != 12.5 || f.Power.Window != 16 || f.Power.Model.IdlePEPower != 0.2 {
+		t.Fatalf("power section did not decode: %+v", f.Power)
 	}
 }
 

@@ -181,6 +181,7 @@ type AnalyzerRecorder struct {
 	slo    sloState
 	hot    hotState
 	avail  availState
+	power  powerState
 
 	timeline        []TimelineEntry
 	timelineDropped int
@@ -255,6 +256,9 @@ func (a *AnalyzerRecorder) Record(e telemetry.Event) {
 	case telemetry.KindPEDown, telemetry.KindPEUp,
 		telemetry.KindLinkDown, telemetry.KindLinkUp, telemetry.KindRemap:
 		a.avail.observe(a, e)
+	case telemetry.KindBudgetExceeded, telemetry.KindPERevoked,
+		telemetry.KindTenantDegraded, telemetry.KindTenantRestored:
+		a.power.observe(a, e)
 	}
 }
 
@@ -306,6 +310,7 @@ func (a *AnalyzerRecorder) Health() Snapshot {
 		SLO:             a.slo.snapshot(&a.opts),
 		Hotspots:        a.hot.snapshot(a.opts.Hotspots),
 		Availability:    a.avail.snapshot(),
+		Power:           a.power.snapshot(),
 		Timeline:        append([]TimelineEntry(nil), a.timeline...),
 		TimelineDropped: a.timelineDropped,
 		Alerts:          append([]Alert(nil), a.alerts...),

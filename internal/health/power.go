@@ -1,0 +1,152 @@
+package health
+
+import (
+	"fmt"
+	"sort"
+
+	"ctgdvfs/internal/telemetry"
+)
+
+// powerState tracks the power-budget governor from the budget_exceeded/
+// pe_revoked/tenant_degraded/tenant_restored event kinds a consolidation
+// fleet emits. The cap-violation alert latches: the first exceeded window
+// raises it, and it re-arms only when the fleet reports a restoration — a
+// sustained violation is one alert, not one per rolling window.
+type powerState struct {
+	seen     bool
+	alerting bool
+
+	cap         float64
+	overWindows int
+	maxWindow   float64
+	level       int
+	maxLevel    int
+	revocations int
+	degrades    int
+	restores    int
+	sheds       int
+	shedTenants map[string]bool // tenants currently shed
+}
+
+// PowerStatus summarizes the power-budget history of a run. It is nil
+// (omitted from JSON and the text report) when the stream carried no budget
+// events at all, keeping unbudgeted-run output unchanged.
+type PowerStatus struct {
+	// Cap is the configured chip power cap (every budget event carries it
+	// as its threshold).
+	Cap float64 `json:"cap,omitempty"`
+	// OverWindows counts full measurement windows whose mean exceeded the
+	// cap; MaxWindowMean is the worst offending mean observed.
+	OverWindows   int     `json:"over_windows"`
+	MaxWindowMean float64 `json:"max_window_mean,omitempty"`
+	// Level and MaxLevel are the degradation-ladder level last reported and
+	// the deepest level seen.
+	Level    int `json:"level"`
+	MaxLevel int `json:"max_level"`
+	// Revocations, Degrades, Restores and Sheds count the ladder moves.
+	Revocations int `json:"revocations"`
+	Degrades    int `json:"degrades"`
+	Restores    int `json:"restores"`
+	Sheds       int `json:"sheds"`
+	// ShedTenants lists tenants still shed at snapshot time.
+	ShedTenants []string `json:"shed_tenants,omitempty"`
+}
+
+func (ps *powerState) observe(a *AnalyzerRecorder, e telemetry.Event) {
+	if ps.shedTenants == nil {
+		ps.shedTenants = map[string]bool{}
+	}
+	ps.seen = true
+	ps.trackLevel(e.Level)
+	// Every fleet budget event carries the configured cap as its threshold,
+	// so the snapshot knows the cap even when priming kept all windows under
+	// it and no budget_exceeded was ever emitted.
+	if e.Threshold > 0 {
+		ps.cap = e.Threshold
+	}
+	switch e.Kind {
+	case telemetry.KindBudgetExceeded:
+		ps.overWindows++
+		ps.cap = e.Threshold
+		if e.Value > ps.maxWindow {
+			ps.maxWindow = e.Value
+		}
+		a.note(e.Instance, "budget", fmt.Sprintf("window mean %.3f over cap %.3f (level %d)",
+			e.Value, e.Threshold, e.Level))
+		if !ps.alerting {
+			ps.alerting = true
+			a.raise(Alert{
+				Type:      "power",
+				Instance:  e.Instance,
+				Fork:      -1,
+				Name:      "budget",
+				Value:     e.Value,
+				Threshold: e.Threshold,
+				Message: fmt.Sprintf("chip power %.3f exceeded cap %.3f at ladder level %d",
+					e.Value, e.Threshold, e.Level),
+			})
+		}
+	case telemetry.KindPERevoked:
+		ps.revocations++
+		a.note(e.Instance, "pe_revoked", fmt.Sprintf("PE %d from %s, %d held (level %d)",
+			e.PE, e.Name, e.Alive, e.Level))
+	case telemetry.KindTenantDegraded:
+		ps.degrades++
+		if e.Reason == "shed" {
+			ps.sheds++
+			ps.shedTenants[e.Name] = true
+		}
+		a.note(e.Instance, "degraded", powerRungDetail(e))
+	case telemetry.KindTenantRestored:
+		ps.restores++
+		if e.Reason == "shed" {
+			delete(ps.shedTenants, e.Name)
+		}
+		// Re-arm the latch: the fleet found headroom to climb back down, so
+		// a later violation is a new incident.
+		ps.alerting = false
+		a.note(e.Instance, "restored", powerRungDetail(e))
+	}
+}
+
+// trackLevel follows the ladder level carried by every budget event.
+func (ps *powerState) trackLevel(level int) {
+	ps.level = level
+	if level > ps.maxLevel {
+		ps.maxLevel = level
+	}
+}
+
+// powerRungDetail renders one ladder rung for the timeline.
+func powerRungDetail(e telemetry.Event) string {
+	switch e.Reason {
+	case "guard":
+		return fmt.Sprintf("guard scale %.2g fleet-wide (level %d)", e.Value, e.Level)
+	case "shed":
+		return fmt.Sprintf("tenant %s shed (level %d)", e.Name, e.Level)
+	default:
+		return fmt.Sprintf("tenant %s %s (level %d)", e.Name, e.Reason, e.Level)
+	}
+}
+
+func (ps *powerState) snapshot() *PowerStatus {
+	if !ps.seen {
+		return nil
+	}
+	st := &PowerStatus{
+		Cap:           ps.cap,
+		OverWindows:   ps.overWindows,
+		MaxWindowMean: ps.maxWindow,
+		Level:         ps.level,
+		MaxLevel:      ps.maxLevel,
+		Revocations:   ps.revocations,
+		Degrades:      ps.degrades,
+		Restores:      ps.restores,
+		Sheds:         ps.sheds,
+	}
+	for name := range ps.shedTenants {
+		st.ShedTenants = append(st.ShedTenants, name)
+	}
+	sort.Strings(st.ShedTenants)
+	return st
+}

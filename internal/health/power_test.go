@@ -1,0 +1,87 @@
+package health
+
+import (
+	"strings"
+	"testing"
+
+	"ctgdvfs/internal/telemetry"
+)
+
+func TestPowerBudgetAlertLatchesUntilRestore(t *testing.T) {
+	a := New(Options{})
+	exceeded := func(inst, level int, mean, cap float64) {
+		a.Record(telemetry.Event{Kind: telemetry.KindBudgetExceeded, Instance: inst,
+			Value: mean, Threshold: cap, Level: level})
+	}
+
+	exceeded(8, 0, 12.5, 10)
+	exceeded(9, 0, 12.1, 10) // still violating: latched, no second alert
+	a.Record(telemetry.Event{Kind: telemetry.KindPERevoked, Instance: 10,
+		PE: 3, Name: "decoder", Level: 2, Alive: 1})
+	a.Record(telemetry.Event{Kind: telemetry.KindTenantDegraded, Instance: 18,
+		Name: "decoder", Reason: "shed", Level: 3})
+	a.Record(telemetry.Event{Kind: telemetry.KindTenantRestored, Instance: 40,
+		Name: "decoder", Reason: "shed", Level: 2})
+	exceeded(55, 2, 11.0, 10) // re-armed by the restore: alerts again
+
+	s := a.Health()
+	if s.AlertsTotal != 2 {
+		t.Fatalf("AlertsTotal = %d, want 2 (latched until restore)", s.AlertsTotal)
+	}
+	for _, al := range s.Alerts {
+		if al.Type != "power" {
+			t.Fatalf("alert type %q, want power", al.Type)
+		}
+	}
+	ps := s.Power
+	if ps == nil {
+		t.Fatal("Power missing from snapshot")
+	}
+	if ps.OverWindows != 3 || ps.Cap != 10 || ps.MaxWindowMean != 12.5 {
+		t.Fatalf("power status = %+v", ps)
+	}
+	if ps.Revocations != 1 || ps.Sheds != 1 || ps.Degrades != 1 || ps.Restores != 1 {
+		t.Fatalf("ladder counts = %+v", ps)
+	}
+	if ps.MaxLevel != 3 || ps.Level != 2 {
+		t.Fatalf("levels = %+v", ps)
+	}
+	if len(ps.ShedTenants) != 0 {
+		t.Fatalf("restored tenant still listed as shed: %v", ps.ShedTenants)
+	}
+	report := s.Report()
+	if !strings.Contains(report, "power budget") ||
+		!strings.Contains(report, "over-cap windows 3") {
+		t.Fatalf("report missing power section:\n%s", report)
+	}
+}
+
+func TestPowerShedTenantsListedUntilRestored(t *testing.T) {
+	a := New(Options{})
+	a.Record(telemetry.Event{Kind: telemetry.KindTenantDegraded, Instance: 5,
+		Name: "wlan", Reason: "shed", Level: 4})
+	a.Record(telemetry.Event{Kind: telemetry.KindTenantDegraded, Instance: 12,
+		Name: "cruise", Reason: "shed", Level: 5})
+	a.Record(telemetry.Event{Kind: telemetry.KindTenantRestored, Instance: 30,
+		Name: "cruise", Reason: "shed", Level: 4})
+
+	ps := a.Health().Power
+	if ps == nil || len(ps.ShedTenants) != 1 || ps.ShedTenants[0] != "wlan" {
+		t.Fatalf("shed tenants = %+v", ps)
+	}
+	if !strings.Contains(a.Health().Report(), "[SHED]") {
+		t.Fatal("report missing shed-tenant marker")
+	}
+}
+
+func TestUnbudgetedStreamOmitsPower(t *testing.T) {
+	a := New(Options{})
+	a.Record(telemetry.Event{Kind: telemetry.KindInstanceFinish, Instance: 0, Met: true})
+	s := a.Health()
+	if s.Power != nil {
+		t.Fatal("power section present without budget events")
+	}
+	if strings.Contains(s.Report(), "power budget") {
+		t.Fatal("report renders power section without data")
+	}
+}

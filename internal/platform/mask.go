@@ -93,6 +93,27 @@ func (m Mask) LinkUp(i, j int) bool {
 	return m.Links[i][j]
 }
 
+// Intersect returns the mask under which a PE is alive (and a link up) only
+// when both m and o agree, for a platform with numPEs processing elements.
+// It is the composition law for independent restrictions — a consolidation
+// partition and a power-budget revocation, say — which Platform.Restrict
+// alone cannot express: Restrict replaces the availability state wholesale,
+// so callers layering masks must intersect them first.
+func (m Mask) Intersect(o Mask, numPEs int) Mask {
+	out := FullMask(numPEs)
+	for pe := range out.PEs {
+		out.PEs[pe] = m.PEAlive(pe) && o.PEAlive(pe)
+	}
+	for i := range out.Links {
+		for j := range out.Links[i] {
+			if i != j {
+				out.Links[i][j] = m.LinkUp(i, j) && o.LinkUp(i, j)
+			}
+		}
+	}
+	return out
+}
+
 // Equal reports whether two masks describe the same availability state for a
 // platform with numPEs processing elements (nil and explicit all-true
 // representations compare equal).

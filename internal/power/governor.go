@@ -1,0 +1,186 @@
+package power
+
+import (
+	"fmt"
+	"math"
+)
+
+// Decision is the governor's verdict after one observed round.
+type Decision int
+
+const (
+	// Hold keeps the ladder where it is.
+	Hold Decision = iota
+	// Escalate moves one level up the degradation ladder (more degraded).
+	Escalate
+	// Restore moves one level back down (less degraded).
+	Restore
+)
+
+func (d Decision) String() string {
+	switch d {
+	case Escalate:
+		return "escalate"
+	case Restore:
+		return "restore"
+	default:
+		return "hold"
+	}
+}
+
+// Governor tracks rolling-window chip power against a Budget and walks a
+// deterministic degradation ladder with hysteresis. The ladder itself (what
+// each level *does* — guard release, PE revocation, tenant shedding) belongs
+// to the consolidation layer; the governor only owns the decision:
+//
+//   - Escalate when a full measurement window's mean power exceeds the cap,
+//     or the thermal accumulator exceeds its limit, and a higher level
+//     exists.
+//   - Restore when a full window shows the configured headroom below the
+//     cap, the accumulator has cooled, and the *predicted* power of the
+//     level below fits under the cap with the prime margin — so the governor
+//     never descends into a configuration it expects to bounce out of.
+//   - Every move clears the measurement window: a fresh window must fill
+//     before the next move, which is the no-flap invariant (at least Window
+//     rounds between any two moves, in either direction).
+//
+// Prime seeds the initial level from the same predicted-power table, so a
+// cap that the full-power configuration cannot satisfy is respected from
+// round zero instead of after a first measured violation.
+type Governor struct {
+	b         Budget
+	meter     *Meter
+	predicted []float64 // predicted chip power per ladder level
+
+	level    int
+	heat     float64
+	lastMove int     // sample index of the last level move (-1 = never)
+	lastMean float64 // windowed mean at the last observation (survives clears)
+
+	escalations int
+	restores    int
+	maxLevel    int
+}
+
+// NewGovernor builds a governor for a budget and a per-level predicted-power
+// table (predicted[0] is the undegraded configuration; higher indices are
+// deeper degradation rungs, and the table length fixes the ladder height).
+// The budget is validated as a spec, except that Cap = +Inf is admitted: an
+// unbounded governor never escalates, which is the overhead-pinning
+// configuration the equivalence tests rely on.
+func NewGovernor(b Budget, predicted []float64) (*Governor, error) {
+	b = b.withDefaults()
+	if err := b.validate(true); err != nil {
+		return nil, err
+	}
+	if len(predicted) == 0 {
+		return nil, fmt.Errorf("power: governor needs a non-empty predicted-power table")
+	}
+	for i, p := range predicted {
+		if math.IsNaN(p) || math.IsInf(p, 0) || p < 0 {
+			return nil, fmt.Errorf("power: predicted power for level %d is invalid: %v", i, p)
+		}
+	}
+	var meter *Meter
+	if !math.IsInf(b.Cap, 1) {
+		m, err := NewMeter(b.Cap, b.Window)
+		if err != nil {
+			return nil, err
+		}
+		meter = m
+	} else {
+		// An infinite cap still measures (the stats are free and useful),
+		// against a cap no mean can exceed.
+		meter = &Meter{cap: math.MaxFloat64, ring: make([]float64, b.Window)}
+	}
+	return &Governor{b: b, meter: meter, predicted: predicted, lastMove: -1}, nil
+}
+
+// Prime selects the initial ladder level: the lowest level whose predicted
+// chip power fits under cap·(1−PrimeMargin), or the top level when none
+// does. It returns the chosen level; callers apply the corresponding ladder
+// configuration before the first round executes.
+func (g *Governor) Prime() int {
+	bound := g.b.Cap * (1 - g.b.PrimeMargin)
+	g.level = len(g.predicted) - 1
+	for l, p := range g.predicted {
+		if p <= bound {
+			g.level = l
+			break
+		}
+	}
+	if g.level > g.maxLevel {
+		g.maxLevel = g.level
+	}
+	return g.level
+}
+
+// Observe accounts one scheduling round — measured chip power p sustained
+// for duration d — and returns the ladder decision. On Escalate/Restore the
+// governor's Level has already moved; the caller applies the new level's
+// configuration before the next round.
+func (g *Governor) Observe(p, d float64) Decision {
+	// The thermal accumulator integrates the excursion above the cap and
+	// never goes negative: power under the cap cools it at the same rate it
+	// heats, to a floor of zero.
+	g.heat += (p - g.b.Cap) * d
+	if g.heat < 0 {
+		g.heat = 0
+	}
+	mean, full := g.meter.Observe(p)
+	g.lastMean = mean
+	if !full {
+		// Moves happen only on full windows; with the window cleared on
+		// every move, this is what guarantees ≥ Window rounds between moves.
+		return Hold
+	}
+	overHeat := g.b.ThermalLimit > 0 && g.heat > g.b.ThermalLimit
+	if (mean > g.b.Cap || overHeat) && g.level < len(g.predicted)-1 {
+		g.level++
+		g.escalations++
+		if g.level > g.maxLevel {
+			g.maxLevel = g.level
+		}
+		g.lastMove = g.meter.samples
+		g.meter.clear()
+		return Escalate
+	}
+	if g.level > 0 &&
+		mean <= g.b.Cap*(1-g.b.RestoreMargin) &&
+		(g.b.ThermalLimit == 0 || g.heat <= g.b.ThermalLimit/2) &&
+		g.predicted[g.level-1] <= g.b.Cap*(1-g.b.PrimeMargin) {
+		g.level--
+		g.restores++
+		g.lastMove = g.meter.samples
+		g.meter.clear()
+		return Restore
+	}
+	return Hold
+}
+
+// Level returns the current ladder level (0 = undegraded).
+func (g *Governor) Level() int { return g.level }
+
+// MaxLevel returns the deepest level the governor has reached.
+func (g *Governor) MaxLevel() int { return g.maxLevel }
+
+// Levels returns the ladder height (length of the predicted table).
+func (g *Governor) Levels() int { return len(g.predicted) }
+
+// Heat returns the thermal accumulator's current value.
+func (g *Governor) Heat() float64 { return g.heat }
+
+// LastMean returns the windowed mean as of the last observation. Unlike
+// Meter().Mean() it survives the window clear a move performs, so callers can
+// report the mean that triggered a decision.
+func (g *Governor) LastMean() float64 { return g.lastMean }
+
+// Escalations and Restores return the move counts.
+func (g *Governor) Escalations() int { return g.escalations }
+func (g *Governor) Restores() int    { return g.restores }
+
+// Meter exposes the governor's measurement window (read-only use).
+func (g *Governor) Meter() *Meter { return g.meter }
+
+// Predicted returns the predicted chip power of one ladder level.
+func (g *Governor) Predicted(level int) float64 { return g.predicted[level] }

@@ -1,0 +1,251 @@
+// Package power models chip-level power for a consolidated MPSoC and
+// enforces a configurable power/thermal budget over it.
+//
+// The dynamic term comes straight from the paper's DVFS model (unit load
+// capacitance, voltage proportional to frequency): a task at normalized
+// speed s takes WCET/s time and consumes E·s² energy, so while it executes
+// it draws instantaneous power E·s²/(WCET/s) = E·s³/WCET. Averaged over a
+// scheduling round, the chip's dynamic power is the energy of the round's
+// instances divided by the round duration. On top of that sit static terms:
+// every powered-on PE draws IdlePEPower whether or not it is executing, and
+// every up link among powered PEs draws IdleLinkPower. A power-gated PE — one
+// revoked by the budget governor, or belonging to a shed tenant — draws
+// nothing, which is what makes PE revocation and tenant shedding effective
+// budget levers at all.
+//
+// Budget is the declarative spec (cap, rolling window, thermal accumulator
+// limit, restore/prime margins, idle model); Governor is the runtime that
+// tracks measured chip power against it and decides when a consolidated
+// fleet must climb or descend its degradation ladder. Meter is the shared
+// rolling-window measurement both the governor and an ungoverned baseline
+// use, so "what would the cap have seen" is answerable without enforcement.
+package power
+
+import (
+	"fmt"
+	"math"
+)
+
+// Model holds the static terms of the chip power model. The zero value is a
+// purely dynamic model (no idle draw), under which revoking an idle PE saves
+// nothing — set IdlePEPower to make the governor's revocation rungs bite.
+type Model struct {
+	// IdlePEPower is the static power drawn by one powered-on PE,
+	// independent of utilization. Power-gated PEs draw nothing.
+	IdlePEPower float64 `json:"idle_pe_power,omitempty"`
+	// IdleLinkPower is the static power drawn by one up directed link whose
+	// endpoints are both powered.
+	IdleLinkPower float64 `json:"idle_link_power,omitempty"`
+}
+
+// TaskPower returns the instantaneous power of a task with nominal energy e
+// and full-speed WCET w executing at normalized speed s: E·s³/WCET. Zero
+// WCET (a degenerate task) draws nothing.
+func TaskPower(e, w, s float64) float64 {
+	if !(w > 0) {
+		return 0
+	}
+	return e * s * s * s / w
+}
+
+// Idle returns the model's static chip power with pes powered PEs and links
+// up directed links among them.
+func (m Model) Idle(pes, links int) float64 {
+	return m.IdlePEPower*float64(pes) + m.IdleLinkPower*float64(links)
+}
+
+// validate checks the model's fields (part of Budget.Validate).
+func (m Model) validate() error {
+	if math.IsNaN(m.IdlePEPower) || math.IsInf(m.IdlePEPower, 0) || m.IdlePEPower < 0 {
+		return &SpecError{Field: "model.idle_pe_power", Value: m.IdlePEPower,
+			Reason: "must be a finite non-negative power"}
+	}
+	if math.IsNaN(m.IdleLinkPower) || math.IsInf(m.IdleLinkPower, 0) || m.IdleLinkPower < 0 {
+		return &SpecError{Field: "model.idle_link_power", Value: m.IdleLinkPower,
+			Reason: "must be a finite non-negative power"}
+	}
+	return nil
+}
+
+// Default margins; see Budget.
+const (
+	DefaultRestoreMargin = 0.10
+	DefaultPrimeMargin   = 0.05
+	DefaultWindow        = 8
+)
+
+// Budget is the declarative chip power budget: what the governor enforces,
+// and the schema behind the fault-spec file's "power" section and the
+// experiments CLI's -power-cap/-power-window flags.
+type Budget struct {
+	// Cap is the chip power cap the rolling-window mean must stay under.
+	// Specs require a positive finite cap; an infinite cap (a governor that
+	// is present but never binds) is only constructible programmatically via
+	// NewGovernor, for overhead pinning.
+	Cap float64 `json:"cap"`
+	// Window is the rolling measurement window in scheduling rounds. The
+	// governor evaluates (and moves at most one ladder level) only on full
+	// windows, and clears the window on every move — the hysteresis that
+	// keeps the ladder from flapping. Zero selects DefaultWindow.
+	Window int `json:"window,omitempty"`
+	// RestoreMargin is the fractional headroom below the cap the windowed
+	// mean must show before the governor descends a level: restore requires
+	// mean ≤ cap·(1−RestoreMargin). Zero selects DefaultRestoreMargin.
+	RestoreMargin float64 `json:"restore_margin,omitempty"`
+	// PrimeMargin is the safety fraction applied to the ladder's predicted
+	// power table, both when priming the initial level and when gating a
+	// restore: a level is admissible only if its predicted chip power is
+	// ≤ cap·(1−PrimeMargin). Zero selects DefaultPrimeMargin.
+	PrimeMargin float64 `json:"prime_margin,omitempty"`
+	// ThermalLimit bounds the thermal accumulator: heat integrates
+	// max(0, power − cap) over time and escalates the ladder when it exceeds
+	// the limit, catching sustained just-under-window excursions a windowed
+	// mean alone would forgive slowly. Zero disables the accumulator.
+	ThermalLimit float64 `json:"thermal_limit,omitempty"`
+	// Model supplies the static (idle) power terms.
+	Model Model `json:"model,omitempty"`
+}
+
+// SpecError is the typed rejection of an invalid power-budget spec. Callers
+// detect it with errors.As to distinguish a bad configuration from runtime
+// failures, mirroring the fault-spec and workload-parser hardening.
+type SpecError struct {
+	// Field names the offending budget field (JSON name).
+	Field string
+	// Value is the rejected value.
+	Value float64
+	// Reason describes the constraint it violated.
+	Reason string
+}
+
+func (e *SpecError) Error() string {
+	return fmt.Sprintf("power: budget field %q = %v: %s", e.Field, e.Value, e.Reason)
+}
+
+// Validate rejects non-finite, zero or negative caps and windows, and any
+// other field outside its domain. This is the strict form used for JSON
+// specs and CLI flags; NewGovernor alone additionally admits Cap = +Inf.
+func (b *Budget) Validate() error { return b.validate(false) }
+
+func (b *Budget) validate(allowInfCap bool) error {
+	capOK := b.Cap > 0 && !math.IsNaN(b.Cap) &&
+		(!math.IsInf(b.Cap, 1) || allowInfCap) && !math.IsInf(b.Cap, -1)
+	if !capOK {
+		return &SpecError{Field: "cap", Value: b.Cap, Reason: "must be a positive finite power"}
+	}
+	if b.Window < 0 {
+		return &SpecError{Field: "window", Value: float64(b.Window), Reason: "must be ≥ 1 rounds"}
+	}
+	if math.IsNaN(b.RestoreMargin) || b.RestoreMargin < 0 || b.RestoreMargin >= 1 {
+		return &SpecError{Field: "restore_margin", Value: b.RestoreMargin, Reason: "must be in [0,1)"}
+	}
+	if math.IsNaN(b.PrimeMargin) || b.PrimeMargin < 0 || b.PrimeMargin >= 1 {
+		return &SpecError{Field: "prime_margin", Value: b.PrimeMargin, Reason: "must be in [0,1)"}
+	}
+	if math.IsNaN(b.ThermalLimit) || math.IsInf(b.ThermalLimit, 0) || b.ThermalLimit < 0 {
+		return &SpecError{Field: "thermal_limit", Value: b.ThermalLimit, Reason: "must be finite and ≥ 0 (0 disables)"}
+	}
+	return b.Model.validate()
+}
+
+// withDefaults returns the budget with zero-valued knobs replaced by their
+// defaults.
+func (b Budget) withDefaults() Budget {
+	if b.Window == 0 {
+		b.Window = DefaultWindow
+	}
+	if b.RestoreMargin == 0 {
+		b.RestoreMargin = DefaultRestoreMargin
+	}
+	if b.PrimeMargin == 0 {
+		b.PrimeMargin = DefaultPrimeMargin
+	}
+	return b
+}
+
+// Meter is the rolling-window chip-power measurement: every scheduling round
+// contributes one power sample, and full windows are scored against the cap.
+// The governor embeds one; an ungoverned baseline uses one directly, so the
+// campaign can report what the cap would have seen without enforcing it.
+type Meter struct {
+	cap  float64
+	ring []float64
+	fill int
+	cur  int
+	sum  float64
+
+	samples   int
+	maxSample float64
+	maxWindow float64
+	overCap   int
+}
+
+// NewMeter builds a meter over the given cap and window length.
+func NewMeter(cap float64, window int) (*Meter, error) {
+	if window < 1 {
+		return nil, &SpecError{Field: "window", Value: float64(window), Reason: "must be ≥ 1 rounds"}
+	}
+	if math.IsNaN(cap) || cap <= 0 {
+		return nil, &SpecError{Field: "cap", Value: cap, Reason: "must be a positive power"}
+	}
+	return &Meter{cap: cap, ring: make([]float64, window)}, nil
+}
+
+// Observe shifts one round's chip power into the window. It returns the
+// windowed mean and whether the window is full (the mean of a partial window
+// is reported but never acted on).
+func (t *Meter) Observe(p float64) (mean float64, full bool) {
+	t.samples++
+	if p > t.maxSample {
+		t.maxSample = p
+	}
+	if t.fill == len(t.ring) {
+		t.sum -= t.ring[t.cur]
+	} else {
+		t.fill++
+	}
+	t.ring[t.cur] = p
+	t.sum += p
+	t.cur = (t.cur + 1) % len(t.ring)
+	mean = t.sum / float64(t.fill)
+	if t.fill < len(t.ring) {
+		return mean, false
+	}
+	if mean > t.maxWindow {
+		t.maxWindow = mean
+	}
+	if mean > t.cap {
+		t.overCap++
+	}
+	return mean, true
+}
+
+// clear empties the window (the governor's move hysteresis).
+func (t *Meter) clear() {
+	t.fill, t.cur, t.sum = 0, 0, 0
+	for i := range t.ring {
+		t.ring[i] = 0
+	}
+}
+
+// Samples returns the number of rounds observed.
+func (t *Meter) Samples() int { return t.samples }
+
+// Mean returns the current (possibly partial) window mean, zero when the
+// window is empty.
+func (t *Meter) Mean() float64 {
+	if t.fill == 0 {
+		return 0
+	}
+	return t.sum / float64(t.fill)
+}
+
+// MaxRoundPower returns the highest single-round power observed.
+func (t *Meter) MaxRoundPower() float64 { return t.maxSample }
+
+// MaxWindowPower returns the highest full-window mean observed (zero until
+// the first window fills).
+func (t *Meter) MaxWindowPower() float64 { return t.maxWindow }
+
+// WindowsOverCap returns how many full-window means exceeded the cap.
+func (t *Meter) WindowsOverCap() int { return t.overCap }

@@ -1,0 +1,373 @@
+package power
+
+import (
+	"errors"
+	"math"
+	"strings"
+	"testing"
+)
+
+func validBudget() Budget {
+	return Budget{Cap: 10, Window: 4, Model: Model{IdlePEPower: 0.5, IdleLinkPower: 0.01}}
+}
+
+func TestBudgetValidateRejectsBadSpecs(t *testing.T) {
+	cases := []struct {
+		name  string
+		mut   func(*Budget)
+		field string
+	}{
+		{"zero cap", func(b *Budget) { b.Cap = 0 }, "cap"},
+		{"negative cap", func(b *Budget) { b.Cap = -3 }, "cap"},
+		{"nan cap", func(b *Budget) { b.Cap = math.NaN() }, "cap"},
+		{"inf cap", func(b *Budget) { b.Cap = math.Inf(1) }, "cap"},
+		{"neg inf cap", func(b *Budget) { b.Cap = math.Inf(-1) }, "cap"},
+		{"negative window", func(b *Budget) { b.Window = -1 }, "window"},
+		{"nan restore margin", func(b *Budget) { b.RestoreMargin = math.NaN() }, "restore_margin"},
+		{"restore margin one", func(b *Budget) { b.RestoreMargin = 1 }, "restore_margin"},
+		{"negative prime margin", func(b *Budget) { b.PrimeMargin = -0.1 }, "prime_margin"},
+		{"nan thermal limit", func(b *Budget) { b.ThermalLimit = math.NaN() }, "thermal_limit"},
+		{"inf thermal limit", func(b *Budget) { b.ThermalLimit = math.Inf(1) }, "thermal_limit"},
+		{"negative thermal limit", func(b *Budget) { b.ThermalLimit = -1 }, "thermal_limit"},
+		{"negative idle pe power", func(b *Budget) { b.Model.IdlePEPower = -1 }, "model.idle_pe_power"},
+		{"nan idle link power", func(b *Budget) { b.Model.IdleLinkPower = math.NaN() }, "model.idle_link_power"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			b := validBudget()
+			tc.mut(&b)
+			err := b.Validate()
+			if err == nil {
+				t.Fatalf("Validate accepted %+v", b)
+			}
+			var se *SpecError
+			if !errors.As(err, &se) {
+				t.Fatalf("want *SpecError, got %T: %v", err, err)
+			}
+			if se.Field != tc.field {
+				t.Fatalf("want field %q, got %q (%v)", tc.field, se.Field, err)
+			}
+		})
+	}
+	b := validBudget()
+	if err := b.Validate(); err != nil {
+		t.Fatalf("valid budget rejected: %v", err)
+	}
+}
+
+func TestNewGovernorAdmitsInfiniteCapOnly(t *testing.T) {
+	b := validBudget()
+	b.Cap = math.Inf(1)
+	if err := b.Validate(); err == nil {
+		t.Fatal("spec validation must reject an infinite cap")
+	}
+	g, err := NewGovernor(b, []float64{5, 3})
+	if err != nil {
+		t.Fatalf("NewGovernor must admit +Inf cap: %v", err)
+	}
+	if lvl := g.Prime(); lvl != 0 {
+		t.Fatalf("infinite cap primes to level %d, want 0", lvl)
+	}
+	for i := 0; i < 100; i++ {
+		if d := g.Observe(1e18, 1); d != Hold {
+			t.Fatalf("infinite-cap governor moved (%v) at round %d", d, i)
+		}
+	}
+	// The other invalid caps stay rejected even programmatically.
+	b.Cap = -1
+	if _, err := NewGovernor(b, []float64{5}); err == nil {
+		t.Fatal("NewGovernor accepted a negative cap")
+	}
+}
+
+func TestNewGovernorRejectsBadPredictedTable(t *testing.T) {
+	b := validBudget()
+	if _, err := NewGovernor(b, nil); err == nil {
+		t.Fatal("accepted an empty predicted table")
+	}
+	if _, err := NewGovernor(b, []float64{3, math.NaN()}); err == nil {
+		t.Fatal("accepted a NaN predicted entry")
+	}
+}
+
+func TestTaskPower(t *testing.T) {
+	// E=8, WCET=2, s=0.5: energy at s is 8·0.25 = 2 over time 2/0.5 = 4,
+	// so power 0.5 — and E·s³/WCET = 8·0.125/2 = 0.5.
+	if got := TaskPower(8, 2, 0.5); math.Abs(got-0.5) > 1e-12 {
+		t.Fatalf("TaskPower = %v, want 0.5", got)
+	}
+	if got := TaskPower(8, 2, 1); got != 4 {
+		t.Fatalf("full-speed TaskPower = %v, want 4", got)
+	}
+	if got := TaskPower(8, 0, 1); got != 0 {
+		t.Fatalf("zero-WCET TaskPower = %v, want 0", got)
+	}
+}
+
+func TestModelIdle(t *testing.T) {
+	m := Model{IdlePEPower: 2, IdleLinkPower: 0.5}
+	if got := m.Idle(3, 6); got != 9 {
+		t.Fatalf("Idle(3,6) = %v, want 9", got)
+	}
+}
+
+func TestMeterWindowStats(t *testing.T) {
+	mt, err := NewMeter(10, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, full := mt.Observe(6); full {
+		t.Fatal("window full after one sample")
+	}
+	mt.Observe(6)
+	mean, full := mt.Observe(18) // window [6 6 18] mean 10: at cap, not over
+	if !full || mean != 10 {
+		t.Fatalf("mean %v full %v, want 10 true", mean, full)
+	}
+	if mt.WindowsOverCap() != 0 {
+		t.Fatalf("mean == cap counted as over-cap")
+	}
+	mean, _ = mt.Observe(12) // window [6 18 12] mean 12: over
+	if mean != 12 || mt.WindowsOverCap() != 1 {
+		t.Fatalf("mean %v over %d, want 12 1", mean, mt.WindowsOverCap())
+	}
+	if mt.MaxWindowPower() != 12 || mt.MaxRoundPower() != 18 || mt.Samples() != 4 {
+		t.Fatalf("stats maxW %v maxR %v n %d", mt.MaxWindowPower(), mt.MaxRoundPower(), mt.Samples())
+	}
+	if _, err := NewMeter(10, 0); err == nil {
+		t.Fatal("NewMeter accepted window 0")
+	}
+	if _, err := NewMeter(math.NaN(), 3); err == nil {
+		t.Fatal("NewMeter accepted NaN cap")
+	}
+}
+
+func TestGovernorPrime(t *testing.T) {
+	b := Budget{Cap: 10, Window: 4, PrimeMargin: 0.1}
+	// Admissible bound is 9: level 2 is the first level fitting.
+	g, err := NewGovernor(b, []float64{12, 9.5, 8.9, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lvl := g.Prime(); lvl != 2 {
+		t.Fatalf("primed to %d, want 2", lvl)
+	}
+	// No level fits: prime to the top.
+	g2, _ := NewGovernor(b, []float64{12, 11, 10})
+	if lvl := g2.Prime(); lvl != 2 {
+		t.Fatalf("primed to %d, want top level 2", lvl)
+	}
+}
+
+func TestGovernorEscalatesAndRestores(t *testing.T) {
+	b := Budget{Cap: 10, Window: 4, RestoreMargin: 0.2, PrimeMargin: 0.05}
+	g, err := NewGovernor(b, []float64{12, 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Over-cap rounds: escalation exactly when the 4-round window fills.
+	for i := 0; i < 3; i++ {
+		if d := g.Observe(14, 1); d != Hold {
+			t.Fatalf("moved (%v) on partial window, round %d", d, i)
+		}
+	}
+	if d := g.Observe(14, 1); d != Escalate {
+		t.Fatalf("want Escalate on full over-cap window, got %v", d)
+	}
+	if g.Level() != 1 || g.Escalations() != 1 {
+		t.Fatalf("level %d escalations %d", g.Level(), g.Escalations())
+	}
+	// At the top level an over-cap window has nowhere to go.
+	for i := 0; i < 8; i++ {
+		if d := g.Observe(14, 1); d != Hold {
+			t.Fatalf("top-level escalation attempt (%v)", d)
+		}
+	}
+	// Cooling: restore needs mean ≤ 8 (cap·0.8) and predicted[0]=12 ≤ 9.5 —
+	// which fails, so the governor must hold even with full headroom.
+	for i := 0; i < 8; i++ {
+		if d := g.Observe(1, 1); d != Hold {
+			t.Fatalf("restored into an inadmissible level (%v)", d)
+		}
+	}
+
+	// With an admissible lower level the same cooling restores.
+	g2, _ := NewGovernor(b, []float64{7, 6})
+	g2.level = 1
+	for i := 0; i < 3; i++ {
+		g2.Observe(1, 1)
+	}
+	if d := g2.Observe(1, 1); d != Restore {
+		t.Fatalf("want Restore, got %v", d)
+	}
+	if g2.Level() != 0 || g2.Restores() != 1 {
+		t.Fatalf("level %d restores %d", g2.Level(), g2.Restores())
+	}
+}
+
+func TestGovernorThermalAccumulator(t *testing.T) {
+	// The accumulator catches what the windowed mean forgives: its cooling
+	// is floored at zero, so a cold round before a hot burst is wasted while
+	// the burst's heat survives to the window's evaluation point. The
+	// pattern 5,13,13,8 under cap 10 has mean 9.75 ≤ cap, but heat runs
+	// 0 → 3 → 6 → 4, and 4 exceeds the limit of 3 when the window fills.
+	b := Budget{Cap: 10, Window: 4, ThermalLimit: 3}
+	g, err := NewGovernor(b, []float64{5, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var d Decision
+	for _, p := range []float64{5, 13, 13, 8} {
+		d = g.Observe(p, 1)
+	}
+	if d != Escalate {
+		t.Fatalf("want thermal Escalate (heat %v), got %v", g.Heat(), d)
+	}
+	if g.Level() != 1 {
+		t.Fatalf("level %d after thermal trip, want 1", g.Level())
+	}
+
+	// A milder alternation (12 then 5: +2 then −5 per pair) keeps the heat
+	// peak under the limit and the mean under the cap: never trips.
+	g2, _ := NewGovernor(b, []float64{5, 4})
+	for i := 0; i < 20; i++ {
+		if d := g2.Observe(12, 1); d != Hold {
+			t.Fatalf("mild excursion tripped at pair %d (heat %v)", i, g2.Heat())
+		}
+		if d := g2.Observe(5, 1); d != Hold {
+			t.Fatalf("mild excursion tripped at pair %d (heat %v)", i, g2.Heat())
+		}
+	}
+}
+
+// TestGovernorNeverFlaps is the hysteresis property test: under any input —
+// a steady workload hovering exactly at the cap, and an adversarial
+// generator — two ladder moves are always at least one full window apart, so
+// a revoke→restore→revoke cycle within one window is impossible.
+func TestGovernorNeverFlaps(t *testing.T) {
+	const window = 6
+	b := Budget{Cap: 10, Window: window, RestoreMargin: 0.1, PrimeMargin: 0.05}
+	pred := []float64{11, 8, 6, 4}
+
+	check := func(t *testing.T, name string, next func(i int) float64) {
+		g, err := NewGovernor(b, pred)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g.Prime()
+		lastMove := -1
+		prevLevel := g.Level()
+		for i := 0; i < 5000; i++ {
+			d := g.Observe(next(i), 1)
+			if d == Hold {
+				if g.Level() != prevLevel {
+					t.Fatalf("%s: level moved without a decision at round %d", name, i)
+				}
+				continue
+			}
+			if lastMove >= 0 && i-lastMove < window {
+				t.Fatalf("%s: moves %d rounds apart (rounds %d and %d), window is %d",
+					name, i-lastMove, lastMove, i, window)
+			}
+			lastMove = i
+			prevLevel = g.Level()
+		}
+	}
+
+	// Steady workload at the cap boundary: hovers within ±1% of the cap.
+	check(t, "steady", func(i int) float64 {
+		if i%2 == 0 {
+			return 10.1
+		}
+		return 9.9
+	})
+	// Steady over-cap: monotone climb, then hold at the top.
+	check(t, "hot", func(i int) float64 { return 14 })
+	// Steady under-cap with admissible lower levels: monotone descent.
+	check(t, "cold", func(i int) float64 { return 2 })
+	// Adversarial: a deterministic LCG swinging across the whole range.
+	seed := uint64(1)
+	check(t, "adversarial", func(i int) float64 {
+		seed = seed*6364136223846793005 + 1442695040888963407
+		return 20 * float64(seed>>40) / float64(1<<24)
+	})
+}
+
+// TestGovernorSteadyMonotone pins the stronger steady-state property: with a
+// constant input the ladder moves in one direction only and settles — it
+// never reverses (no revoke→restore→revoke at any distance).
+func TestGovernorSteadyMonotone(t *testing.T) {
+	b := Budget{Cap: 10, Window: 4, RestoreMargin: 0.1, PrimeMargin: 0.05}
+	pred := []float64{12, 8, 6}
+	for _, tc := range []struct {
+		name  string
+		p     float64
+		start int
+	}{
+		{"hot from 0", 15, 0},
+		{"cold from top", 2, 2},
+		{"at cap from 1", 10, 1},
+	} {
+		g, err := NewGovernor(b, pred)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g.level = tc.start
+		dir := 0 // +1 escalating, −1 restoring
+		for i := 0; i < 400; i++ {
+			switch g.Observe(tc.p, 1) {
+			case Escalate:
+				if dir < 0 {
+					t.Fatalf("%s: reversed restore→escalate at round %d", tc.name, i)
+				}
+				dir = 1
+			case Restore:
+				if dir > 0 {
+					t.Fatalf("%s: reversed escalate→restore at round %d", tc.name, i)
+				}
+				dir = -1
+			}
+		}
+	}
+}
+
+// TestGovernorAccessors pins the diagnostic surface the fleet and the
+// campaign tables read: decision names, level/heat/mean accessors, the
+// prediction table and the typed spec error's message.
+func TestGovernorAccessors(t *testing.T) {
+	for d, want := range map[Decision]string{Hold: "hold", Escalate: "escalate", Restore: "restore"} {
+		if d.String() != want {
+			t.Fatalf("Decision(%d).String() = %q, want %q", d, d.String(), want)
+		}
+	}
+
+	b := Budget{Cap: 10, Window: 2}
+	g, err := NewGovernor(b, []float64{8, 5, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Levels() != 3 || g.MaxLevel() != 0 || g.Heat() != 0 {
+		t.Fatalf("fresh governor: levels %d max %d heat %v", g.Levels(), g.MaxLevel(), g.Heat())
+	}
+	if g.Predicted(1) != 5 {
+		t.Fatalf("Predicted(1) = %v", g.Predicted(1))
+	}
+	g.Observe(12, 1)
+	if g.LastMean() != 12 {
+		t.Fatalf("LastMean = %v after one observation of 12", g.LastMean())
+	}
+	if m := g.Meter(); m == nil || m.Mean() != 12 {
+		t.Fatalf("meter mean = %v", g.Meter().Mean())
+	}
+
+	var empty Meter
+	if empty.Mean() != 0 {
+		t.Fatalf("empty meter mean = %v", empty.Mean())
+	}
+
+	se := &SpecError{Field: "cap", Value: -1, Reason: "must be positive and finite"}
+	msg := se.Error()
+	if !strings.Contains(msg, "cap") || !strings.Contains(msg, "must be positive and finite") {
+		t.Fatalf("SpecError message %q", msg)
+	}
+}

@@ -77,6 +77,23 @@ const (
 	// Reason ("degraded" when hardware was lost, "restored" when the full
 	// topology returned), Alive (survivor count the new schedule targets).
 	KindRemap Kind = "remap"
+	// KindBudgetExceeded marks one full measurement window whose mean chip
+	// power exceeded the configured cap: Instance (fleet round), Value
+	// (window mean), Threshold (cap), Level (degradation-ladder level in
+	// force when it was measured).
+	KindBudgetExceeded Kind = "budget_exceeded"
+	// KindPERevoked marks a PE revoked from a tenant by the power governor
+	// (a budget-revoked PE is a masked PE): Instance (fleet round), PE, Name
+	// (tenant), Level (ladder level), Alive (PEs the tenant keeps).
+	KindPERevoked Kind = "pe_revoked"
+	// KindTenantDegraded is one degradation-ladder rung applied to a tenant:
+	// Instance (fleet round), Name (tenant, "" for fleet-wide guard rungs),
+	// Reason ("guard", "revoke", "shed"), Level (ladder level now in force),
+	// Value (the new guard band on guard rungs).
+	KindTenantDegraded Kind = "tenant_degraded"
+	// KindTenantRestored is one degradation-ladder rung released: the same
+	// fields as KindTenantDegraded, with Level the level restored *to*.
+	KindTenantRestored Kind = "tenant_restored"
 )
 
 // Event is one telemetry record. A single flat struct (rather than one type

@@ -8,8 +8,9 @@
 #   measurement), the bench-regression gate against the committed BENCH_*.json
 #   baselines, a short parser fuzzing session, a fault-campaign and a
 #   failover-campaign run of the fault-tolerance layer, a bounded run of the
-#   large-scale warm-start tier (one 10^3-task cell), and an end-to-end
-#   health-analyzer pass over a captured event stream.
+#   consolidation campaign (power-budget governor vs ungoverned baseline), a
+#   bounded run of the large-scale warm-start tier (one 10^3-task cell), and
+#   an end-to-end health-analyzer pass over a captured event stream.
 # Run from anywhere; operates on the repo root.
 set -eu
 
@@ -30,14 +31,14 @@ go test ./...
 echo "== go test -race -short =="
 go test -race -short -timeout 30m ./...
 
-echo "== coverage floors (internal/core, internal/faults) =="
+echo "== coverage floors (internal/core, internal/faults, internal/power) =="
 sh scripts/cover.sh
 
 echo "== bench smoke (1 iteration each) =="
 go test -run '^$' -bench . -benchtime 1x ./... >/dev/null
 
 echo "== bench-regression gate =="
-go run ./scripts/benchgate BENCH_parallel.json BENCH_telemetry.json BENCH_failover.json BENCH_scale.json
+go run ./scripts/benchgate BENCH_parallel.json BENCH_telemetry.json BENCH_failover.json BENCH_scale.json BENCH_consolidation.json
 
 echo "== fuzz smoke (parser, 5s) =="
 go test -run '^$' -fuzz FuzzRead -fuzztime 5s ./internal/ctgio >/dev/null
@@ -50,6 +51,9 @@ rm -f "$trace_tmp"
 
 echo "== failover-campaign smoke =="
 go run ./cmd/experiments -exp failover >/dev/null
+
+echo "== consolidation-campaign smoke (80 rounds, health attached) =="
+go run ./cmd/experiments -exp consolidation -consolidation-rounds 80 -health >/dev/null
 
 echo "== scale-tier smoke (10^3-task cell, warm vs full) =="
 go run ./cmd/experiments -exp scale -scale-tasks 1000 -scale-pes 16 -scale-instances 24 >/dev/null
