@@ -1,6 +1,6 @@
 # Standard entry points; `make verify` is the gate a change must pass.
 
-.PHONY: build test race cover bench bench-parallel bench-telemetry bench-failover bench-scale bench-consolidation benchgate bench-baseline fuzz-smoke fault-smoke failover-smoke consolidation-smoke scale-smoke telemetry-smoke analyze-smoke verify
+.PHONY: build test race cover bench bench-parallel bench-telemetry bench-failover bench-scale bench-consolidation bench-provenance benchgate bench-baseline fuzz-smoke fault-smoke failover-smoke consolidation-smoke scale-smoke telemetry-smoke analyze-smoke explain-smoke verify
 
 build:
 	go build ./...
@@ -64,6 +64,11 @@ bench-scale:
 bench-consolidation:
 	go test -run '^$$' -bench 'FleetStep(Ungoverned|Governed)' -benchmem .
 
+# Flight-recorder steady state / disabled path (both alloc-gated at zero) and
+# the adaptive step with the black box on; see BENCH_provenance.json.
+bench-provenance:
+	go test -run '^$$' -bench 'FlightRecorder(Record|Disabled)|AdaptiveStepFlight' -benchmem .
+
 # Bounded run of the scaling campaign (one 10^3-task cell, warm vs full).
 scale-smoke:
 	go run ./cmd/experiments -exp scale -scale-tasks 1000 -scale-pes 16 -scale-instances 24
@@ -76,17 +81,25 @@ telemetry-smoke:
 # Bench-regression gate: re-run the baselined benchmarks and fail on >10%
 # ns/op regressions against the committed BENCH_*.json files.
 benchgate:
-	go run ./scripts/benchgate BENCH_parallel.json BENCH_telemetry.json BENCH_failover.json BENCH_scale.json BENCH_consolidation.json
+	go run ./scripts/benchgate BENCH_parallel.json BENCH_telemetry.json BENCH_failover.json BENCH_scale.json BENCH_consolidation.json BENCH_provenance.json
 
 # Re-bless the benchmark baselines on this host (after a deliberate change).
 bench-baseline:
-	go run ./scripts/benchgate -update BENCH_parallel.json BENCH_telemetry.json BENCH_failover.json BENCH_scale.json BENCH_consolidation.json
+	go run ./scripts/benchgate -update BENCH_parallel.json BENCH_telemetry.json BENCH_failover.json BENCH_scale.json BENCH_consolidation.json BENCH_provenance.json
 
 # End-to-end health pipeline: capture a JSONL event stream from the telemetry
 # example, then run the offline analyzer over it.
 analyze-smoke:
 	go run ./examples/telemetry -events-out /tmp/ctgdvfs_events.jsonl -trace-out /tmp/ctgdvfs_example_trace.json >/dev/null
 	go run ./cmd/ctgsched analyze /tmp/ctgdvfs_events.jsonl
+
+# End-to-end provenance pipeline: capture the fault campaign's event streams
+# and flight-recorder dumps, then reconstruct causal chains from both.
+explain-smoke:
+	go run ./cmd/experiments -exp faults -events-out /tmp/ctgdvfs_prov -flight-out /tmp/ctgdvfs_flight >/dev/null
+	go run ./cmd/ctgsched explain -list /tmp/ctgdvfs_prov-mpeg.jsonl
+	go run ./cmd/ctgsched explain -kind reschedule /tmp/ctgdvfs_prov-mpeg.jsonl
+	go run ./cmd/ctgsched explain /tmp/ctgdvfs_flight-mpeg-1.jsonl
 
 verify:
 	sh scripts/verify.sh

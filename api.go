@@ -139,6 +139,17 @@ type (
 	// ChromeTrace exports recorded runs as Chrome trace-event JSON
 	// (chrome://tracing, Perfetto).
 	ChromeTrace = telemetry.ChromeTrace
+	// FlightRecorder is the fixed-capacity ring-buffer recorder — the
+	// runtime's black box. Steady-state recording allocates nothing; armed
+	// trigger kinds dump the current window as JSONL through the sink.
+	FlightRecorder = telemetry.FlightRecorder
+	// FlightRecorderOptions configures a FlightRecorder (capacity, trigger
+	// kinds, dump sink, cooldown).
+	FlightRecorderOptions = telemetry.FlightRecorderOptions
+	// Sequencer hands out the monotonic per-stream sequence ids behind event
+	// provenance (Event.Seq / Event.Cause). Standalone runtimes make their
+	// own; share one across runtimes only when they share a recorder.
+	Sequencer = telemetry.Sequencer
 	// Histogram is the fixed-bucket distribution summary behind the
 	// registry and the RunStats percentiles.
 	Histogram = stats.Histogram
@@ -159,6 +170,16 @@ const (
 	KindFallback       = telemetry.KindFallback
 	KindGuardLevel     = telemetry.KindGuardLevel
 	KindHealthAlert    = telemetry.KindHealthAlert
+	KindPEDown         = telemetry.KindPEDown
+	KindPEUp           = telemetry.KindPEUp
+	KindLinkDown       = telemetry.KindLinkDown
+	KindLinkUp         = telemetry.KindLinkUp
+	KindRemap          = telemetry.KindRemap
+	KindBudgetExceeded = telemetry.KindBudgetExceeded
+	KindPERevoked      = telemetry.KindPERevoked
+	KindTenantDegraded = telemetry.KindTenantDegraded
+	KindTenantRestored = telemetry.KindTenantRestored
+	KindSpan           = telemetry.KindSpan
 )
 
 // NewMemoryRecorder returns an empty in-memory event sink.
@@ -176,6 +197,17 @@ func NewMetricsRegistry() *MetricsRegistry { return telemetry.NewRegistry() }
 
 // NewChromeTrace returns an empty Chrome trace-event exporter.
 func NewChromeTrace() *ChromeTrace { return telemetry.NewChromeTrace() }
+
+// NewFlightRecorder builds a flight recorder (zero-value opts = 256-slot
+// black box with default triggers and no automatic dumps).
+func NewFlightRecorder(opts FlightRecorderOptions) *FlightRecorder {
+	return telemetry.NewFlightRecorder(opts)
+}
+
+// NewSequencer returns a sequencer whose first id is 1. Install it via
+// AdaptiveOptions.Sequencer to stamp Seq/Cause provenance ids on the event
+// stream; FleetOptions-built runtimes share one automatically.
+func NewSequencer() *Sequencer { return telemetry.NewSequencer() }
 
 // Health monitoring (package internal/health): streaming analyzers over the
 // telemetry event stream — estimator drift detection, SLO tracking, hotspot
@@ -195,6 +227,19 @@ type (
 	HealthSnapshot = health.Snapshot
 	// HealthAlert is one raised drift/miss-streak/SLO alert.
 	HealthAlert = health.Alert
+	// ExplainQuery selects the decision `ctgsched explain` reconstructs: an
+	// exact seq id, or kind/instance/tenant filters (last match wins).
+	ExplainQuery = health.ExplainQuery
+	// Explanation is one reconstructed causal chain: the decision, its
+	// trigger chain root-first, and its recorded downstream effects.
+	Explanation = health.Explanation
+	// ExplainEffect is one downstream event of an explained decision, with
+	// its depth in the cause tree.
+	ExplainEffect = health.ExplainEffect
+	// TruncatedTailError reports a JSONL capture whose final line is torn (a
+	// recorder killed mid-write); LoadTelemetry returns it alongside the
+	// intact prefix — treat it as a warning, not a failure.
+	TruncatedTailError = health.TruncatedTailError
 )
 
 // NewHealthAnalyzer builds a streaming health monitor.
@@ -212,6 +257,23 @@ func AnalyzeTelemetry(events []TelemetryEvent, opts HealthOptions) HealthSnapsho
 func LoadTelemetry(data []byte, run string) ([]TelemetryEvent, string, error) {
 	return health.LoadEvents(data, run)
 }
+
+// ExplainTelemetry reconstructs the causal provenance of one decision in a
+// recorded event stream — the engine behind `ctgsched explain`. The stream
+// must carry seq ids (recorded with a Sequencer installed).
+func ExplainTelemetry(events []TelemetryEvent, q ExplainQuery) (*Explanation, error) {
+	return health.Explain(events, q)
+}
+
+// TelemetryDecisions lists the stream's explainable decision events in order
+// — the menu behind `ctgsched explain -list`.
+func TelemetryDecisions(events []TelemetryEvent) []TelemetryEvent {
+	return health.Decisions(events)
+}
+
+// DescribeTelemetryEvent renders one event as the one-line description the
+// explain output uses.
+func DescribeTelemetryEvent(e TelemetryEvent) string { return health.Describe(e) }
 
 // NewHistogram builds a fixed-bucket histogram over [lo, hi].
 func NewHistogram(lo, hi float64, buckets int) (*Histogram, error) {

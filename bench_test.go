@@ -572,6 +572,50 @@ func BenchmarkAdaptiveStepTelemetryMemory(b *testing.B) {
 	b.ReportMetric(float64(rec.Len())/float64(b.N), "events/op")
 }
 
+// --- Provenance benchmarks (BENCH_provenance.json) ---
+
+// flightBenchEvent is a representative non-trigger event: the ring stores it
+// without firing a dump, which is the recorder's steady state.
+var flightBenchEvent = ctgdvfs.TelemetryEvent{
+	Kind: ctgdvfs.KindTaskSlice, Instance: 7, Seq: 42, Cause: 41,
+	Task: 3, PE: 1, Start: 10, End: 12, Speed: 0.8, Energy: 1.6,
+}
+
+// BenchmarkFlightRecorderRecord measures the flight recorder's steady-state
+// ring write. Zero allocs/op is the design invariant that makes the black
+// box safe to leave always on (gated by benchgate).
+func BenchmarkFlightRecorderRecord(b *testing.B) {
+	fr := ctgdvfs.NewFlightRecorder(ctgdvfs.FlightRecorderOptions{})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fr.Record(flightBenchEvent)
+	}
+}
+
+// BenchmarkFlightRecorderDisabled measures the nil-receiver path — "flight
+// recorder not installed" must cost one branch and zero allocations.
+func BenchmarkFlightRecorderDisabled(b *testing.B) {
+	var fr *ctgdvfs.FlightRecorder
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fr.Record(flightBenchEvent)
+	}
+}
+
+// BenchmarkAdaptiveStepFlight is the adaptive step with an always-on flight
+// recorder in pure black-box mode (no dump sink). Compare against
+// BenchmarkAdaptiveStepTelemetryOff (nil recorder) for the cost of keeping
+// the black box running, and BenchmarkAdaptiveStepTelemetryMemory for the
+// cost of unbounded capture; sequencing (Seq/Cause stamping) is active in
+// both recorded configurations.
+func BenchmarkAdaptiveStepFlight(b *testing.B) {
+	fr := ctgdvfs.NewFlightRecorder(ctgdvfs.FlightRecorderOptions{})
+	benchAdaptiveTelemetry(b, fr, nil)
+	b.ReportMetric(float64(fr.Total())/float64(b.N), "events/op")
+}
+
 // --- Failover benchmarks (BENCH_failover.json) ---
 
 // benchAdaptiveFailover measures the adaptive runtime's per-instance cost

@@ -2,6 +2,7 @@ package main
 
 import (
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
@@ -48,7 +49,11 @@ func runAnalyze(args []string) {
 	}
 	events, format, err := ctgdvfs.LoadTelemetry(data, *run)
 	if err != nil {
-		log.Fatal(err)
+		var tail *ctgdvfs.TruncatedTailError
+		if !errors.As(err, &tail) {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "warning: %v\n", err)
 	}
 	snap := ctgdvfs.AnalyzeTelemetry(events, ctgdvfs.HealthOptions{
 		DriftThreshold: *driftThreshold,

@@ -13,6 +13,12 @@
 //
 //	ctgsched analyze events.jsonl
 //	ctgsched analyze -run "mpeg adaptive" trace.json
+//
+// The explain subcommand reconstructs the causal provenance of one runtime
+// decision from the same captures (or a flight-recorder dump):
+//
+//	ctgsched explain -list events.jsonl
+//	ctgsched explain -kind reschedule -instance 412 events.jsonl
 package main
 
 import (
@@ -27,6 +33,10 @@ import (
 func main() {
 	if len(os.Args) > 1 && os.Args[1] == "analyze" {
 		runAnalyze(os.Args[2:])
+		return
+	}
+	if len(os.Args) > 1 && os.Args[1] == "explain" {
+		runExplain(os.Args[2:])
 		return
 	}
 	workload := flag.String("workload", "random", "workload: random, mpeg, cruise, wlan, or file")

@@ -29,6 +29,10 @@
 // Telemetry: -trace-out FILE exports the fault campaign's guarded runtimes as
 // a Chrome trace-event file (open in chrome://tracing or
 // https://ui.perfetto.dev — one process per workload, one row per PE/link);
+// -events-out PREFIX writes each stream as PREFIX-<name>.jsonl with full
+// provenance (seq/cause ids) for `ctgsched analyze` and `ctgsched explain`;
+// -flight-out PREFIX replays each stream through the flight recorder and
+// writes its trigger-dump windows;
 // -metrics-addr HOST:PORT serves the campaign's live metrics registry at
 // /metrics (JSON), the standard expvar page at /debug/vars, and the
 // per-workload health snapshots at /health for the duration of the run.
@@ -45,6 +49,7 @@ import (
 	"expvar"
 	"flag"
 	"fmt"
+	"io"
 	"net/http"
 	httppprof "net/http/pprof"
 	"os"
@@ -52,6 +57,7 @@ import (
 	"runtime"
 	"runtime/pprof"
 	"sort"
+	"strings"
 	"sync/atomic"
 	"time"
 
@@ -100,6 +106,10 @@ var (
 
 	traceOut = flag.String("trace-out", "",
 		"write a Chrome trace-event file of a traced experiment's event streams (traced: "+tracedExperiments+")")
+	eventsOut = flag.String("events-out", "",
+		"write each traced stream as PREFIX-<name>.jsonl — the format `ctgsched analyze` and `ctgsched explain` ingest (traced: "+tracedExperiments+")")
+	flightOut = flag.String("flight-out", "",
+		"replay each traced stream through a flight recorder: trigger dumps land in PREFIX-<name>-<n>.jsonl, the final window in PREFIX-<name>-final.jsonl")
 	metricsAddr = flag.String("metrics-addr", "",
 		"serve the live metrics registry over HTTP at this address (/metrics JSON, /debug/vars expvar, /health snapshots)")
 	pprofFlag = flag.Bool("pprof", false,
@@ -116,6 +126,13 @@ var (
 	metricsReg  *telemetry.Registry
 	campaignTel atomic.Pointer[exp.CampaignTelemetry]
 )
+
+// observedMode reports whether any telemetry flag asks the traced campaigns
+// to run in observed mode (recorders + analyzers attached).
+func observedMode() bool {
+	return *traceOut != "" || *eventsOut != "" || *flightOut != "" ||
+		*metricsAddr != "" || *healthFlag
+}
 
 // serveHealth renders the observed campaign's per-workload health snapshots
 // as one JSON object keyed by workload name (503 until a campaign has run).
@@ -135,6 +152,86 @@ func serveHealth(w http.ResponseWriter, _ *http.Request) {
 	if err := enc.Encode(snaps); err != nil {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 	}
+}
+
+// campaignStreamNames returns the observed campaign's stream names in order.
+func campaignStreamNames(tel *exp.CampaignTelemetry) []string {
+	names := make([]string, 0, len(tel.Recorders))
+	for name := range tel.Recorders {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// streamFileName flattens a stream name into a filename fragment — the
+// consolidation campaign keys tenant streams as "cell/tenant".
+func streamFileName(name string) string {
+	return strings.ReplaceAll(name, "/", "_")
+}
+
+// writeCampaignEvents writes each stream as its own JSONL file. The streams
+// are kept separate because each carries its own seq-id space — concatenating
+// them would corrupt the provenance graph `ctgsched explain` walks.
+func writeCampaignEvents(prefix string, tel *exp.CampaignTelemetry) error {
+	for _, name := range campaignStreamNames(tel) {
+		path := fmt.Sprintf("%s-%s.jsonl", prefix, streamFileName(name))
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		jr := telemetry.NewJSONLRecorder(f)
+		events := tel.Recorders[name].Events()
+		for _, e := range events {
+			jr.Record(e)
+		}
+		// Close flushes and closes the underlying file.
+		if err := jr.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %d events to %s\n", len(events), path)
+	}
+	return nil
+}
+
+// writeCampaignFlight replays each stream through a flight recorder with a
+// file sink, exercising the black-box path offline: every armed trigger in
+// the stream (fallback, breaker trip, cap breach, health alert) dumps its
+// ring window to PREFIX-<name>-<n>.jsonl, and the final window is always
+// written to PREFIX-<name>-final.jsonl. Each dump is a self-contained JSONL
+// stream `ctgsched explain` ingests directly.
+func writeCampaignFlight(prefix string, tel *exp.CampaignTelemetry) error {
+	for _, name := range campaignStreamNames(tel) {
+		stream := streamFileName(name)
+		dumpN := 0
+		fr := telemetry.NewFlightRecorder(telemetry.FlightRecorderOptions{
+			Sink: func() (io.WriteCloser, error) {
+				dumpN++
+				return os.Create(fmt.Sprintf("%s-%s-%d.jsonl", prefix, stream, dumpN))
+			},
+		})
+		for _, e := range tel.Recorders[name].Events() {
+			fr.Record(e)
+		}
+		if err := fr.Err(); err != nil {
+			return fmt.Errorf("stream %s: %w", name, err)
+		}
+		finalPath := fmt.Sprintf("%s-%s-final.jsonl", prefix, stream)
+		f, err := os.Create(finalPath)
+		if err != nil {
+			return err
+		}
+		if err := fr.DumpTo(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("flight recorder %s: %d trigger dumps, final window %d/%d events -> %s\n",
+			name, fr.Dumps(), fr.Len(), fr.Total(), finalPath)
+	}
+	return nil
 }
 
 // writeCampaignTrace renders the observed campaign's event streams as one
@@ -248,6 +345,30 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("wrote Chrome trace to %s (open in chrome://tracing or https://ui.perfetto.dev)\n", *traceOut)
+	}
+
+	if *eventsOut != "" {
+		tel := campaignTel.Load()
+		if tel == nil {
+			fmt.Fprintf(os.Stderr, "-events-out: no traced experiment ran (traced: %s)\n", tracedExperiments)
+			os.Exit(1)
+		}
+		if err := writeCampaignEvents(*eventsOut, tel); err != nil {
+			fmt.Fprintf(os.Stderr, "events-out: %v\n", err)
+			os.Exit(1)
+		}
+	}
+
+	if *flightOut != "" {
+		tel := campaignTel.Load()
+		if tel == nil {
+			fmt.Fprintf(os.Stderr, "-flight-out: no traced experiment ran (traced: %s)\n", tracedExperiments)
+			os.Exit(1)
+		}
+		if err := writeCampaignFlight(*flightOut, tel); err != nil {
+			fmt.Fprintf(os.Stderr, "flight-out: %v\n", err)
+			os.Exit(1)
+		}
 	}
 
 	if *healthFlag {

@@ -173,10 +173,11 @@ func orderedRunners() []runner {
 				spec = *sf.Perturb
 			}
 			// Telemetry flags switch the campaign to observed mode: the
-			// guarded runtimes record their event streams (-trace-out),
-			// publish metrics into the served registry (-metrics-addr), and
-			// run the streaming health analyzers (-health, /health).
-			if *traceOut != "" || *metricsAddr != "" || *healthFlag {
+			// guarded runtimes record their event streams (-trace-out,
+			// -events-out, -flight-out), publish metrics into the served
+			// registry (-metrics-addr), and run the streaming health
+			// analyzers (-health, /health).
+			if observedMode() {
 				r, tel, err := exp.FaultCampaignObserved(spec, *faultGuard, metricsReg)
 				if err != nil {
 					return "", err
@@ -237,7 +238,7 @@ func orderedRunners() []runner {
 					return "", fmt.Errorf("-power-cap/-power-window: %w", err)
 				}
 			}
-			if *traceOut != "" || *metricsAddr != "" || *healthFlag {
+			if observedMode() {
 				r, tel, err := exp.ConsolidationCampaignObserved(*consolidationRounds, override, metricsReg)
 				if err != nil {
 					return "", err

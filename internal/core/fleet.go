@@ -54,10 +54,12 @@ type FleetOptions struct {
 	// Recorder receives the fleet's budget events (budget_exceeded,
 	// pe_revoked, tenant_degraded, tenant_restored); nil disables them.
 	Recorder telemetry.Recorder
-	// Metrics is the registry for the fleet's power gauges and counters
-	// (names prefixed "adaptive.power_"); nil gives the fleet a private
-	// registry. Share one registry across the fleet and its tenants for
-	// the consolidated view.
+	// Metrics is the registry for the fleet's gauges and counters: the
+	// fleet-state gauges ("adaptive.fleet_rung", "adaptive.fleet_tenants_live",
+	// per-tenant "adaptive.tenant_guard_level.<name>") and — with a Budget —
+	// the power metrics (names prefixed "adaptive.power_"). Nil gives the
+	// fleet a private registry. Share one registry across the fleet and its
+	// tenants for the consolidated view.
 	Metrics *telemetry.Registry
 }
 
@@ -102,6 +104,10 @@ type fleetTenant struct {
 
 	baseGuard  float64
 	guardScale float64
+
+	// guardGauge mirrors the tenant manager's circuit-breaker guard level
+	// ("adaptive.tenant_guard_level.<name>"), updated every fleet round.
+	guardGauge *telemetry.Gauge
 }
 
 func (t *fleetTenant) held() int { return len(t.partition) - t.revoked }
@@ -118,11 +124,18 @@ func (t *fleetTenant) heldMask(numPEs int) platform.Mask {
 	return t.partMask.Intersect(rev, numPEs)
 }
 
-// fleetMetrics holds the fleet's resolved registry handles.
+// fleetMetrics holds the fleet's resolved registry handles. The power
+// handles ("adaptive.power_*") resolve only with a Budget; the fleet-state
+// gauges (rung, tenantsLive) resolve always.
 type fleetMetrics struct {
 	window, cap, heat, level     *telemetry.Gauge
 	exceeded, revocations, sheds *telemetry.Counter
 	escalations, restores        *telemetry.Counter
+
+	// rung is the degradation-ladder level currently in force
+	// ("adaptive.fleet_rung"); tenantsLive counts tenants not shed
+	// ("adaptive.fleet_tenants_live").
+	rung, tenantsLive *telemetry.Gauge
 }
 
 // Fleet hosts N per-tenant adaptive managers on one shared fabric,
@@ -155,6 +168,15 @@ type Fleet struct {
 	rec telemetry.Recorder
 	reg *telemetry.Registry
 	fm  fleetMetrics
+
+	// Provenance state: one sequencer shared with every tenant manager (so
+	// fleet decisions and tenant reactions interleave on one id space), the
+	// seq of the latest budget_exceeded event (escalations chain to it), and
+	// per-rung escalation seqs (restores chain to the escalation they
+	// reverse).
+	seq           *telemetry.Sequencer
+	lastBreachSeq uint64
+	rungSeq       []uint64
 }
 
 // NewFleet partitions the shared fabric across the tenants and builds their
@@ -196,6 +218,14 @@ func NewFleet(tenants []Tenant, opts FleetOptions) (*Fleet, error) {
 	}
 
 	f := &Fleet{opts: opts, numPEs: numPEs, rec: opts.Recorder}
+	f.seq = telemetry.NewSequencer()
+	reg := opts.Metrics
+	if reg == nil {
+		reg = telemetry.NewRegistry()
+	}
+	f.reg = reg
+	f.fm.rung = reg.Gauge("adaptive.fleet_rung")
+	f.fm.tenantsLive = reg.Gauge("adaptive.fleet_tenants_live")
 	for i := range tenants {
 		f.tenants = append(f.tenants, &fleetTenant{
 			Tenant:     tenants[i],
@@ -238,6 +268,10 @@ func NewFleet(tenants []Tenant, opts FleetOptions) (*Fleet, error) {
 			}
 			t.G = g
 		}
+		// Tenants stamp their events from the fleet's sequencer: decision
+		// provenance crosses the fleet/tenant boundary on one id space.
+		t.Opts.Sequencer = f.seq
+		t.guardGauge = reg.Gauge("adaptive.tenant_guard_level." + t.Name)
 		t.mgr, err = New(t.G, rp, t.Opts)
 		if err != nil {
 			return nil, fmt.Errorf("core: tenant %q: %w", t.Name, err)
@@ -248,6 +282,7 @@ func NewFleet(tenants []Tenant, opts FleetOptions) (*Fleet, error) {
 			f.roundDur = d
 		}
 	}
+	f.fm.tenantsLive.Set(float64(len(f.tenants)))
 
 	if opts.Budget != nil {
 		b := *opts.Budget
@@ -256,22 +291,15 @@ func NewFleet(tenants []Tenant, opts FleetOptions) (*Fleet, error) {
 		if f.window == 0 {
 			f.window = power.DefaultWindow
 		}
-		reg := opts.Metrics
-		if reg == nil {
-			reg = telemetry.NewRegistry()
-		}
-		f.reg = reg
-		f.fm = fleetMetrics{
-			window:      reg.Gauge("adaptive.power_window"),
-			cap:         reg.Gauge("adaptive.power_cap"),
-			heat:        reg.Gauge("adaptive.power_heat"),
-			level:       reg.Gauge("adaptive.power_level"),
-			exceeded:    reg.Counter("adaptive.power_budget_exceeded"),
-			revocations: reg.Counter("adaptive.power_revocations"),
-			sheds:       reg.Counter("adaptive.power_sheds"),
-			escalations: reg.Counter("adaptive.power_escalations"),
-			restores:    reg.Counter("adaptive.power_restores"),
-		}
+		f.fm.window = reg.Gauge("adaptive.power_window")
+		f.fm.cap = reg.Gauge("adaptive.power_cap")
+		f.fm.heat = reg.Gauge("adaptive.power_heat")
+		f.fm.level = reg.Gauge("adaptive.power_level")
+		f.fm.exceeded = reg.Counter("adaptive.power_budget_exceeded")
+		f.fm.revocations = reg.Counter("adaptive.power_revocations")
+		f.fm.sheds = reg.Counter("adaptive.power_sheds")
+		f.fm.escalations = reg.Counter("adaptive.power_escalations")
+		f.fm.restores = reg.Counter("adaptive.power_restores")
 		f.fm.cap.Set(b.Cap)
 		if opts.Ungoverned {
 			m, err := power.NewMeter(b.Cap, f.window)
@@ -284,6 +312,7 @@ func NewFleet(tenants []Tenant, opts FleetOptions) (*Fleet, error) {
 			if err != nil {
 				return nil, err
 			}
+			f.rungSeq = make([]uint64, len(f.rungs))
 			gov, err := power.NewGovernor(b, predicted)
 			if err != nil {
 				return nil, err
@@ -496,12 +525,19 @@ func (f *Fleet) lastGuardScale() float64 {
 
 // applyRung applies (escalate) or releases (restore) ladder rung k at the
 // given fleet round, driving the tenant managers and emitting the budget
-// telemetry.
+// telemetry. The decision event is emitted before the managers are driven so
+// every tenant reaction (mask diff, remap, reschedule) chains back to the
+// decision's seq: escalations chain to the window breach that forced them
+// (0 while priming — the cap itself is the cause), restores to the
+// escalation they reverse.
 func (f *Fleet) applyRung(k, round int, escalate bool) error {
 	ru := f.rungs[k]
 	level := k // the level a restore lands on
+	cause := f.lastBreachSeq
 	if escalate {
 		level = k + 1
+	} else {
+		cause = f.rungSeq[k]
 	}
 	switch ru.kind {
 	case rungGuard:
@@ -512,43 +548,52 @@ func (f *Fleet) applyRung(k, round int, escalate bool) error {
 				scale = f.rungs[k-1].scale
 			}
 		}
+		seq := f.emit(telemetry.Event{
+			Kind: f.degradeKind(escalate), Instance: round,
+			Reason: "guard", Level: level, Value: scale, Threshold: f.capValue,
+			Cause: cause,
+		})
+		if escalate {
+			f.rungSeq[k] = seq
+		}
 		for _, t := range f.tenants {
 			if t.shed {
 				continue // cannot happen: guard rungs sit below every shed rung
 			}
-			if err := t.mgr.SetGuardBand(t.baseGuard * scale); err != nil {
+			t.mgr.extCause = seq
+			err := t.mgr.SetGuardBand(t.baseGuard * scale)
+			t.mgr.extCause = 0
+			if err != nil {
 				return err
 			}
 			t.guardScale = scale
 		}
-		f.emit(telemetry.Event{
-			Kind: f.degradeKind(escalate), Instance: round,
-			Reason: "guard", Level: level, Value: scale, Threshold: f.capValue,
-		})
 	case rungRevoke:
 		t := f.tenants[ru.tenant]
+		var seq uint64
 		if escalate {
 			t.revoked++
-		} else {
-			t.revoked--
-		}
-		if err := t.mgr.ApplyAvailability(t.heldMask(f.numPEs)); err != nil {
-			return err
-		}
-		if escalate {
 			f.revocations++
 			f.fm.revocations.Inc()
-			f.emit(telemetry.Event{
+			seq = f.emit(telemetry.Event{
 				Kind: telemetry.KindPERevoked, Instance: round,
 				PE: ru.pe, Name: t.Name, Level: level, Alive: t.held(),
-				Threshold: f.capValue,
+				Threshold: f.capValue, Cause: cause,
 			})
+			f.rungSeq[k] = seq
 		} else {
-			f.emit(telemetry.Event{
+			t.revoked--
+			seq = f.emit(telemetry.Event{
 				Kind: telemetry.KindTenantRestored, Instance: round,
 				Name: t.Name, Reason: "revoke", Level: level, PE: ru.pe, Alive: t.held(),
-				Threshold: f.capValue,
+				Threshold: f.capValue, Cause: cause,
 			})
+		}
+		t.mgr.extCause = seq
+		err := t.mgr.ApplyAvailability(t.heldMask(f.numPEs))
+		t.mgr.extCause = 0
+		if err != nil {
+			return err
 		}
 	case rungShed:
 		t := f.tenants[ru.tenant]
@@ -557,12 +602,24 @@ func (f *Fleet) applyRung(k, round int, escalate bool) error {
 			f.sheds++
 			f.fm.sheds.Inc()
 		}
-		f.emit(telemetry.Event{
+		seq := f.emit(telemetry.Event{
 			Kind: f.degradeKind(escalate), Instance: round,
 			Name: t.Name, Reason: "shed", Level: level, Threshold: f.capValue,
+			Cause: cause,
 		})
+		if escalate {
+			f.rungSeq[k] = seq
+		}
+		live := 0
+		for _, ft := range f.tenants {
+			if !ft.shed {
+				live++
+			}
+		}
+		f.fm.tenantsLive.Set(float64(live))
 	}
 	f.fm.level.Set(float64(level))
+	f.fm.rung.Set(float64(level))
 	return nil
 }
 
@@ -573,10 +630,15 @@ func (f *Fleet) degradeKind(escalate bool) telemetry.Kind {
 	return telemetry.KindTenantRestored
 }
 
-func (f *Fleet) emit(ev telemetry.Event) {
-	if f.rec != nil {
-		f.rec.Record(ev)
+// emit stamps a fleet decision event from the shared sequencer and records
+// it, returning the seq (0 with no recorder) so effects can chain to it.
+func (f *Fleet) emit(ev telemetry.Event) uint64 {
+	if f.rec == nil {
+		return 0
 	}
+	ev.Seq = f.seq.Next()
+	f.rec.Record(ev)
+	return ev.Seq
 }
 
 // idlePower returns the static chip power of the current configuration:
@@ -606,7 +668,8 @@ func (f *Fleet) observePower(p float64, round int) error {
 		if over := f.gov.Meter().WindowsOverCap(); over > f.prevOver {
 			f.prevOver = over
 			f.fm.exceeded.Inc()
-			f.emit(telemetry.Event{
+			// Ladder escalations chain to the latest window breach.
+			f.lastBreachSeq = f.emit(telemetry.Event{
 				Kind: telemetry.KindBudgetExceeded, Instance: round,
 				Value: f.gov.LastMean(), Threshold: f.capValue, Level: f.gov.Level(),
 			})
@@ -653,6 +716,7 @@ func (f *Fleet) Step(vectors [][]int) error {
 			return fmt.Errorf("core: tenant %q round %d: %w", t.Name, round, err)
 		}
 		t.agg.add(res.Instance)
+		t.guardGauge.Set(float64(res.GuardLevel))
 		energy += res.Instance.Energy
 	}
 	f.rounds++
@@ -784,6 +848,9 @@ func (f *Fleet) Manager(i int) *Manager { return f.tenants[i].mgr }
 // LadderLen returns the degradation ladder's rung count (governed fleets).
 func (f *Fleet) LadderLen() int { return len(f.rungs) }
 
-// Metrics returns the registry the fleet publishes to (nil without a
-// Budget and explicit registry).
+// Metrics returns the registry the fleet publishes to — the one passed via
+// FleetOptions.Metrics, or the private default. Never nil. The fleet-state
+// gauges ("adaptive.fleet_rung", "adaptive.fleet_tenants_live", per-tenant
+// "adaptive.tenant_guard_level.<name>") are always live; the power handles
+// ("adaptive.power_*") additionally require a Budget.
 func (f *Fleet) Metrics() *telemetry.Registry { return f.reg }

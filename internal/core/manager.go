@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"math"
+	"time"
 
 	"ctgdvfs/internal/ctg"
 	"ctgdvfs/internal/faults"
@@ -127,6 +128,13 @@ type Options struct {
 	// aggregates their counters (the campaign-wide view); each manager's
 	// RunStats remain per-manager either way.
 	Metrics *telemetry.Registry
+	// Sequencer, when non-nil, is the id source stamped onto every emitted
+	// event (Event.Seq) so later events can reference earlier ones as their
+	// Cause. Nil gives the manager a private sequencer whenever a Recorder
+	// is attached. Share one across producers writing to one stream — a
+	// Fleet hands its tenants a common sequencer so ids stay unique in the
+	// merged stream.
+	Sequencer *telemetry.Sequencer
 
 	// thresholdSet / windowSet record explicit SetThreshold / SetWindow
 	// calls, so literal zeros are distinguishable from unset fields.
@@ -221,6 +229,19 @@ type Manager struct {
 	metrics *telemetry.Registry
 	mm      managerMetrics
 
+	// Provenance state (live only while rec != nil): the sequencer stamping
+	// event ids, the seq of the current instance's instance_start, the
+	// trigger seq the in-flight reschedule pipeline chains its decision
+	// events to, an externally imposed cause (a Fleet's ladder decision —
+	// set around SetGuardBand/ApplyAvailability calls), and the per-fork
+	// seqs of this step's window-estimate events (so a drift-triggered
+	// reschedule can name the estimate that crossed the threshold).
+	seq      *telemetry.Sequencer
+	startSeq uint64
+	causeSeq uint64
+	extCause uint64
+	estSeqs  []uint64
+
 	// Fault-tolerance state (inert unless Options.Recovery / Faults set).
 	fallback      *sched.Schedule // precomputed full-speed worst-case schedule
 	faultInstance int             // fault-plan cursor, advanced once per Step
@@ -255,7 +276,14 @@ type managerMetrics struct {
 	guardLevel, maxGuardLevel     *telemetry.Gauge
 	drift                         *telemetry.Gauge
 	lateness, makespan            *telemetry.HistogramMetric
+	pipeDiff, pipeDLS             *telemetry.HistogramMetric
+	pipeStretch, pipeValidate     *telemetry.HistogramMetric
 }
+
+// spanHiUS is the upper bound of the pipeline-span histograms in
+// microseconds; phases beyond it clamp into the last bucket (the histogram's
+// exact max still records them).
+const spanHiUS = 50_000
 
 // resolveMetrics binds the manager's metric handles in reg under the
 // "adaptive." prefix. Histogram ranges are deadline-relative: lateness can
@@ -284,6 +312,10 @@ func (m *Manager) resolveMetrics(reg *telemetry.Registry) {
 		drift:         reg.Gauge("adaptive.drift"),
 		lateness:      reg.Histogram("adaptive.lateness", 0, hi, 64),
 		makespan:      reg.Histogram("adaptive.makespan", 0, 2*hi, 64),
+		pipeDiff:      reg.Histogram("adaptive.pipeline_diff_us", 0, spanHiUS, 64),
+		pipeDLS:       reg.Histogram("adaptive.pipeline_dls_us", 0, spanHiUS, 64),
+		pipeStretch:   reg.Histogram("adaptive.pipeline_stretch_us", 0, spanHiUS, 64),
+		pipeValidate:  reg.Histogram("adaptive.pipeline_validate_us", 0, spanHiUS, 64),
 	}
 }
 
@@ -463,6 +495,12 @@ func New(g *ctg.Graph, p *platform.Platform, opts Options) (*Manager, error) {
 		m.cache = newScheduleCache(opts.CacheSize)
 	}
 	m.rec = opts.Recorder
+	if m.rec != nil {
+		m.seq = opts.Sequencer
+		if m.seq == nil {
+			m.seq = telemetry.NewSequencer()
+		}
+	}
 	reg := opts.Metrics
 	if reg == nil {
 		reg = telemetry.NewRegistry()
@@ -496,7 +534,9 @@ func New(g *ctg.Graph, p *platform.Platform, opts Options) (*Manager, error) {
 		m.missRing = make([]bool, opts.MissWindow)
 	}
 	if m.degraded {
-		m.emitMaskDiff(platform.Mask{}, m.mask, 0)
+		// The initial schedule's shape is explained by the already-degraded
+		// topology: chain it to the last loss event.
+		m.causeSeq = m.emitMaskDiff(platform.Mask{}, m.mask, 0)
 	}
 	if err := m.reschedule("initial"); err != nil {
 		return nil, err
@@ -519,6 +559,32 @@ func (m *Manager) effectiveGuard() float64 {
 	return g
 }
 
+// emit stamps the event with the next sequence id and records it, returning
+// the id so the event can be named as the Cause of its effects. Callers must
+// have checked m.rec != nil (the provenance state only exists then).
+func (m *Manager) emit(ev telemetry.Event) uint64 {
+	ev.Seq = m.seq.Next()
+	m.rec.Record(ev)
+	return ev.Seq
+}
+
+// span closes one timed reschedule phase: the wall time since start goes into
+// the phase's histogram and, when a recorder is listening, out as a
+// pipeline_span event chained to the pipeline's trigger. Phases: "diff" (the
+// warm path's fork diff + affected-set marking), "dls" (the full path's
+// mapping/ordering run), "stretch" (slack distribution, full or partial),
+// "validate" (the warm result's deadline + consistency checks).
+func (m *Manager) span(phase string, h *telemetry.HistogramMetric, start time.Time) {
+	us := float64(time.Since(start)) / float64(time.Microsecond)
+	h.Observe(us)
+	if m.rec != nil {
+		m.emit(telemetry.Event{
+			Kind: telemetry.KindSpan, Instance: m.instances,
+			Name: phase, Value: us, Cause: m.causeSeq,
+		})
+	}
+}
+
 // GuardLevel returns the circuit breaker's current escalation level.
 func (m *Manager) GuardLevel() int { return m.guardLevel }
 
@@ -531,13 +597,19 @@ func (m *Manager) Degraded() bool { return m.degraded }
 func (m *Manager) AvailabilityMask() platform.Mask { return m.mask }
 
 // emitMaskDiff records the PE and link transitions between two availability
-// masks. PE deaths carry the timeline's permanence verdict; link events are
-// reported only for links whose endpoints are alive under both masks, so a
-// PE death is one pe_down event rather than a storm of implied link losses.
-func (m *Manager) emitMaskDiff(old, cur platform.Mask, instance int) {
+// masks, returning the last emitted event's seq (0 when no recorder or no
+// transition) so the remap/reschedule that follows can chain to it. Each
+// event's Cause is the externally imposed cause when one is in force (a
+// fleet's revocation decision); timeline-driven outages have no in-stream
+// cause — the hardware failed on its own. PE deaths carry the timeline's
+// permanence verdict; link events are reported only for links whose endpoints
+// are alive under both masks, so a PE death is one pe_down event rather than
+// a storm of implied link losses.
+func (m *Manager) emitMaskDiff(old, cur platform.Mask, instance int) uint64 {
 	if m.rec == nil {
-		return
+		return 0
 	}
+	var last uint64
 	n := m.base.NumPEs()
 	alive := cur.NumAlive(n)
 	for pe := 0; pe < n; pe++ {
@@ -548,13 +620,14 @@ func (m *Manager) emitMaskDiff(old, cur platform.Mask, instance int) {
 			if m.opts.Failures != nil && m.opts.Failures.PermanentlyDead(instance, pe) {
 				reason = "permanent"
 			}
-			m.rec.Record(telemetry.Event{
+			last = m.emit(telemetry.Event{
 				Kind: telemetry.KindPEDown, Instance: instance,
-				PE: pe, Reason: reason, Alive: alive,
+				PE: pe, Reason: reason, Alive: alive, Cause: m.extCause,
 			})
 		case !was && is:
-			m.rec.Record(telemetry.Event{
+			last = m.emit(telemetry.Event{
 				Kind: telemetry.KindPEUp, Instance: instance, PE: pe, Alive: alive,
+				Cause: m.extCause,
 			})
 		}
 	}
@@ -566,16 +639,19 @@ func (m *Manager) emitMaskDiff(old, cur platform.Mask, instance int) {
 			was, is := old.LinkUp(i, j), cur.LinkUp(i, j)
 			switch {
 			case was && !is:
-				m.rec.Record(telemetry.Event{
+				last = m.emit(telemetry.Event{
 					Kind: telemetry.KindLinkDown, Instance: instance, PE: i, PE2: j,
+					Cause: m.extCause,
 				})
 			case !was && is:
-				m.rec.Record(telemetry.Event{
+				last = m.emit(telemetry.Event{
 					Kind: telemetry.KindLinkUp, Instance: instance, PE: i, PE2: j,
+					Cause: m.extCause,
 				})
 			}
 		}
 	}
+	return last
 }
 
 // applyTopology re-maps the runtime onto a changed survivor set: restrict
@@ -587,7 +663,10 @@ func (m *Manager) emitMaskDiff(old, cur platform.Mask, instance int) {
 // what remains.
 func (m *Manager) applyTopology(cur platform.Mask, instance int) error {
 	old := m.mask
-	m.emitMaskDiff(old, cur, instance)
+	// The remap and the topology reschedule below both chain to the last
+	// hardware transition (which itself chains to an external decision when
+	// one drove the change).
+	topoSeq := m.emitMaskDiff(old, cur, instance)
 	rp, err := m.base.Restrict(cur)
 	if err != nil {
 		return fmt.Errorf("core: instance %d availability mask: %w", instance, err)
@@ -619,14 +698,15 @@ func (m *Manager) applyTopology(cur platform.Mask, instance int) error {
 	if m.degraded {
 		reason = "degraded"
 	}
+	m.causeSeq = topoSeq
 	if err := m.reschedule("topology"); err != nil {
 		return err
 	}
 	m.remaps++
 	if m.rec != nil {
-		m.rec.Record(telemetry.Event{
+		m.emit(telemetry.Event{
 			Kind: telemetry.KindRemap, Instance: instance,
-			Reason: reason, Alive: m.p.NumAlivePEs(),
+			Reason: reason, Alive: m.p.NumAlivePEs(), Cause: topoSeq,
 		})
 	}
 	return nil
@@ -684,6 +764,12 @@ func (m *Manager) GuardBand() float64 { return m.opts.GuardBand }
 // changes the cost of an invocation, never the invocation count or its
 // result.
 func (m *Manager) reschedule(reason string) error {
+	if m.causeSeq == 0 {
+		// No in-stream trigger of our own: adopt the externally imposed
+		// cause when a consolidation layer drove this call (guard-rung
+		// SetGuardBand, revocation ApplyAvailability).
+		m.causeSeq = m.extCause
+	}
 	guard := m.effectiveGuard()
 	var key string
 	if m.cache != nil {
@@ -725,28 +811,33 @@ func (m *Manager) reschedule(reason string) error {
 	} else if ok {
 		return nil
 	}
+	dlsStart := time.Now()
 	s, err := sched.DLSInto(m.a, m.p, m.opts.Sched, m.dlsWS)
 	if err != nil {
 		return err
 	}
+	m.span("dls", m.mm.pipeDLS, dlsStart)
+	stretchStart := time.Now()
 	if m.opts.PerScenario {
 		sp, err := stretch.PerScenarioGuarded(s, m.opts.DVFS, guard)
 		if err != nil {
 			return err
 		}
 		m.speeds = sp
+		m.span("stretch", m.mm.pipeStretch, stretchStart)
 	} else {
 		sr, err := stretch.HeuristicGuarded(s, m.opts.DVFS, m.opts.MaxPaths, guard)
 		if err != nil {
 			return err
 		}
 		m.speeds = nil
+		m.span("stretch", m.mm.pipeStretch, stretchStart)
 		if m.rec != nil {
 			// Stretch-pass summary: how much slack Figure 2 distributed and
 			// how much of it the (guarded, possibly discrete) DVFS model
 			// actually converted. The per-scenario path has no single
 			// summary — its detail is a scenarios × tasks table.
-			m.rec.Record(telemetry.Event{
+			m.emit(telemetry.Event{
 				Kind:       telemetry.KindStretch,
 				Instance:   m.instances,
 				Tasks:      sr.Stretched,
@@ -754,6 +845,7 @@ func (m *Manager) reschedule(reason string) error {
 				SlackUsed:  sr.SlackUsed,
 				Energy:     sr.ExpectedEnergy,
 				Makespan:   sr.WorstDelay,
+				Cause:      m.causeSeq,
 			})
 		}
 	}
@@ -769,10 +861,14 @@ func (m *Manager) reschedule(reason string) error {
 	return nil
 }
 
-// emitReschedule records the re-scheduling decision event. The hex rendering
-// of the cache key (raw probability bits) is only materialized when a
-// recorder is listening.
+// emitReschedule records the re-scheduling decision event and consumes the
+// pipeline's trigger seq (every reschedule path ends here, so the cause never
+// leaks into an unrelated later decision). Drift-triggered decisions carry
+// the threshold that tripped them. The hex rendering of the cache key (raw
+// probability bits) is only materialized when a recorder is listening.
 func (m *Manager) emitReschedule(reason, key string, hit, warm bool) {
+	cause := m.causeSeq
+	m.causeSeq = 0
 	if m.rec == nil {
 		return
 	}
@@ -783,11 +879,15 @@ func (m *Manager) emitReschedule(reason, key string, hit, warm bool) {
 		CacheHit: hit,
 		Warm:     warm,
 		Calls:    m.calls,
+		Cause:    cause,
+	}
+	if reason == "drift" || reason == "drift+breaker" {
+		ev.Threshold = m.opts.Threshold
 	}
 	if key != "" {
 		ev.Key = fmt.Sprintf("%x", key)
 	}
-	m.rec.Record(ev)
+	m.emit(ev)
 }
 
 // Schedule returns the current schedule (read-only use).
@@ -847,7 +947,15 @@ func (m *Manager) Step(decisions []int) (StepResult, error) {
 		}
 	}
 	if m.rec != nil {
-		m.rec.Record(telemetry.Event{Kind: telemetry.KindInstanceStart, Instance: idx, Scenario: si})
+		m.startSeq = m.emit(telemetry.Event{Kind: telemetry.KindInstanceStart, Instance: idx, Scenario: si})
+		// Estimate seqs are per-step: forks inactive this instance must not
+		// leave a stale id for the drift trigger to pick up.
+		if m.estSeqs == nil {
+			m.estSeqs = make([]uint64, len(m.g.Forks()))
+		}
+		for i := range m.estSeqs {
+			m.estSeqs[i] = 0
+		}
 	}
 	var cfg sim.Config
 	if m.speeds != nil {
@@ -860,12 +968,15 @@ func (m *Manager) Step(decisions []int) (StepResult, error) {
 	}
 	cfg.Recorder = m.rec
 	cfg.InstanceID = idx
+	cfg.Seq = m.seq
+	cfg.Cause = m.startSeq
 	inst, err := sim.ReplayCfg(m.schedule, si, cfg)
 	if err != nil {
 		return StepResult{}, err
 	}
 	res := StepResult{Instance: inst, Degraded: m.degraded, Remapped: remapped, Rescheduled: remapped}
 	primaryMiss := !inst.DeadlineMet
+	var fbSeq uint64 // the fallback decision, when one fired this step
 	if primaryMiss && m.fallback != nil {
 		// Recovery: re-run the instance at full speed on the worst-case
 		// fallback schedule. The same fault instance applies — the overruns
@@ -889,14 +1000,17 @@ func (m *Manager) Step(decisions []int) (StepResult, error) {
 		}
 		if m.rec != nil {
 			// Makespan is the fallback re-run's; Makespan2 keeps the failed
-			// primary timeline for comparison.
-			m.rec.Record(telemetry.Event{
+			// primary timeline for comparison. The cause is the primary
+			// replay that missed (its overruns are the instance's
+			// fault_overrun events).
+			fbSeq = m.emit(telemetry.Event{
 				Kind:      telemetry.KindFallback,
 				Instance:  idx,
 				Met:       fb.DeadlineMet,
 				Makespan:  fb.Makespan,
 				Makespan2: inst.Makespan,
 				Phase:     telemetry.PhaseFallback,
+				Cause:     m.startSeq,
 			})
 		}
 	}
@@ -918,13 +1032,14 @@ func (m *Manager) Step(decisions []int) (StepResult, error) {
 			if !active.Get(int(fork)) {
 				continue
 			}
-			m.rec.Record(telemetry.Event{
+			m.estSeqs[fi] = m.emit(telemetry.Event{
 				Kind:     telemetry.KindEstimate,
 				Instance: idx,
 				Fork:     fi,
 				Probs:    m.profiler.Estimate(fi),
 				Drift:    res.Drift,
 				Outcome:  decisions[fi],
+				Cause:    m.startSeq,
 			})
 		}
 	}
@@ -933,15 +1048,25 @@ func (m *Manager) Step(decisions []int) (StepResult, error) {
 	if m.fallback != nil {
 		breakerMoved = m.recordPrimaryOutcome(primaryMiss)
 	}
+	var glSeq uint64 // the breaker move, when one fired this step
 	if breakerMoved {
 		m.mm.guardLevel.Set(float64(m.guardLevel))
 		m.mm.maxGuardLevel.SetMax(float64(m.guardLevel))
 		if m.rec != nil {
-			m.rec.Record(telemetry.Event{
-				Kind:     telemetry.KindGuardLevel,
-				Instance: idx,
-				Level:    m.guardLevel,
-				Level2:   prevLevel,
+			// The breaker moved on this step's windowed outcome: chain to
+			// the fallback when one fired (the miss that tipped the window),
+			// to the instance otherwise (e.g. a relaxation on a clean run).
+			cause := m.startSeq
+			if fbSeq != 0 {
+				cause = fbSeq
+			}
+			glSeq = m.emit(telemetry.Event{
+				Kind:      telemetry.KindGuardLevel,
+				Instance:  idx,
+				Level:     m.guardLevel,
+				Level2:    prevLevel,
+				Threshold: m.opts.MissRateBound,
+				Cause:     cause,
 			})
 		}
 	}
@@ -950,6 +1075,7 @@ func (m *Manager) Step(decisions []int) (StepResult, error) {
 	// any update triggers one re-scheduling. The comparison is inclusive:
 	// see FilteredSeries for why "crosses" must admit equality.
 	updated := false
+	var trigSeq uint64 // the first threshold-crossing fork's estimate event
 	for fi, fork := range m.g.Forks() {
 		crossed := false
 		for k := 0; k < m.profiler.NumOutcomes(fi); k++ {
@@ -963,6 +1089,9 @@ func (m *Manager) Step(decisions []int) (StepResult, error) {
 			}
 		}
 		if crossed {
+			if trigSeq == 0 && m.rec != nil {
+				trigSeq = m.estSeqs[fi]
+			}
 			m.probsBuf = m.profiler.SmoothedEstimateInto(fi, m.probsBuf[:0])
 			if err := m.g.SetBranchProbs(fork, m.probsBuf); err != nil {
 				return StepResult{}, err
@@ -980,6 +1109,14 @@ func (m *Manager) Step(decisions []int) (StepResult, error) {
 			reason = "drift+breaker"
 		case breakerMoved:
 			reason = "breaker"
+		}
+		// The decision's provenance: the estimate that crossed the
+		// threshold when drift triggered (or contributed), else the breaker
+		// move that forced the re-stretch.
+		if updated && trigSeq != 0 {
+			m.causeSeq = trigSeq
+		} else if breakerMoved {
+			m.causeSeq = glSeq
 		}
 		if err := m.reschedule(reason); err != nil {
 			return StepResult{}, err
@@ -1005,7 +1142,7 @@ func (m *Manager) Step(decisions []int) (StepResult, error) {
 	m.mm.makespan.Observe(res.Instance.Makespan)
 	m.mm.drift.Set(res.Drift)
 	if m.rec != nil {
-		m.rec.Record(telemetry.Event{
+		m.emit(telemetry.Event{
 			Kind:        telemetry.KindInstanceFinish,
 			Instance:    idx,
 			Scenario:    res.Instance.Scenario,
@@ -1017,6 +1154,7 @@ func (m *Manager) Step(decisions []int) (StepResult, error) {
 			Rescheduled: res.Rescheduled,
 			Drift:       res.Drift,
 			Level:       m.guardLevel,
+			Cause:       m.startSeq,
 		})
 	}
 	return res, nil

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"time"
+
 	"ctgdvfs/internal/ctg"
 	"ctgdvfs/internal/sched"
 	"ctgdvfs/internal/stretch"
@@ -189,12 +191,14 @@ func (m *Manager) tryWarmStart(reason string, guard float64) (bool, error) {
 		// mapping itself must be redone.
 		return false, nil
 	}
+	diffStart := time.Now()
 	changed := m.changedForks()
 	guardChanged := guard != w.schedGuard
 	if len(changed) == 0 && !guardChanged {
 		// The triggering update left the schedule-time state bit-for-bit
 		// intact (e.g. the smoothed estimate reproduced the old values): the
 		// incumbent is exactly what a recompute would rebuild.
+		m.span("diff", m.mm.pipeDiff, diffStart)
 		m.adoptWarm(reason, guard)
 		return true, nil
 	}
@@ -204,7 +208,9 @@ func (m *Manager) tryWarmStart(reason string, guard float64) (bool, error) {
 		// platform, deadline and guard. Pure probability drift keeps both the
 		// (unstretched) schedule and the table valid verbatim; only a guard
 		// change forces a re-stretch, on the same mapping.
+		m.span("diff", m.mm.pipeDiff, diffStart)
 		if guardChanged {
+			stretchStart := time.Now()
 			sp, err := stretch.PerScenarioGuarded(m.schedule, m.opts.DVFS, guard)
 			if err != nil {
 				w.fallbacks++
@@ -212,6 +218,7 @@ func (m *Manager) tryWarmStart(reason string, guard float64) (bool, error) {
 				return false, nil
 			}
 			m.speeds = sp
+			m.span("stretch", m.mm.pipeStretch, stretchStart)
 		}
 		m.adoptWarm(reason, guard)
 		return true, nil
@@ -235,17 +242,21 @@ func (m *Manager) tryWarmStart(reason string, guard float64) (bool, error) {
 			return false, nil
 		}
 	}
+	m.span("diff", m.mm.pipeDiff, diffStart)
 	target := w.bufs.Start(m.schedule)
 	if w.wsGen != m.mapGen {
 		w.ws.Rebind(target)
 		w.wsGen = m.mapGen
 	}
+	stretchStart := time.Now()
 	sr, err := stretch.HeuristicPartial(target, m.opts.DVFS, guard, w.affected, w.ws)
 	if err != nil {
 		w.fallbacks++
 		m.mm.warmFallbacks.Inc()
 		return false, nil
 	}
+	m.span("stretch", m.mm.pipeStretch, stretchStart)
+	validateStart := time.Now()
 	if sr.WorstDelay > m.g.Deadline()*(1+warmEps) {
 		// The incumbent skeleton can no longer hold the deadline under the
 		// new weighting — let the full path find a new mapping.
@@ -258,10 +269,11 @@ func (m *Manager) tryWarmStart(reason string, guard float64) (bool, error) {
 		m.mm.warmFallbacks.Inc()
 		return false, nil
 	}
+	m.span("validate", m.mm.pipeValidate, validateStart)
 	m.schedule = target
 	m.speeds = nil
 	if m.rec != nil {
-		m.rec.Record(telemetry.Event{
+		m.emit(telemetry.Event{
 			Kind:       telemetry.KindStretch,
 			Instance:   m.instances,
 			Tasks:      sr.Stretched,
@@ -269,6 +281,7 @@ func (m *Manager) tryWarmStart(reason string, guard float64) (bool, error) {
 			SlackUsed:  sr.SlackUsed,
 			Energy:     target.ExpectedEnergy(),
 			Makespan:   sr.WorstDelay,
+			Cause:      m.causeSeq,
 		})
 	}
 	m.adoptWarm(reason, guard)

@@ -182,6 +182,7 @@ type AnalyzerRecorder struct {
 	hot    hotState
 	avail  availState
 	power  powerState
+	pipe   pipeState
 
 	timeline        []TimelineEntry
 	timelineDropped int
@@ -259,6 +260,8 @@ func (a *AnalyzerRecorder) Record(e telemetry.Event) {
 	case telemetry.KindBudgetExceeded, telemetry.KindPERevoked,
 		telemetry.KindTenantDegraded, telemetry.KindTenantRestored:
 		a.power.observe(a, e)
+	case telemetry.KindSpan:
+		a.pipe.observe(e)
 	}
 }
 
@@ -311,6 +314,7 @@ func (a *AnalyzerRecorder) Health() Snapshot {
 		Hotspots:        a.hot.snapshot(a.opts.Hotspots),
 		Availability:    a.avail.snapshot(),
 		Power:           a.power.snapshot(),
+		Pipeline:        a.pipe.snapshot(),
 		Timeline:        append([]TimelineEntry(nil), a.timeline...),
 		TimelineDropped: a.timelineDropped,
 		Alerts:          append([]Alert(nil), a.alerts...),

@@ -1,0 +1,93 @@
+package health
+
+import (
+	"sort"
+
+	"ctgdvfs/internal/telemetry"
+)
+
+// pipeState accumulates the reschedule pipeline's phase latencies from
+// pipeline_span events (one per timed phase: diff, dls, stretch, validate).
+type pipeState struct {
+	spans  int
+	phases map[string]*phaseAgg
+}
+
+type phaseAgg struct {
+	count    int
+	total    float64
+	min, max float64
+}
+
+func (ps *pipeState) observe(e telemetry.Event) {
+	if ps.phases == nil {
+		ps.phases = map[string]*phaseAgg{}
+	}
+	ps.spans++
+	agg := ps.phases[e.Name]
+	if agg == nil {
+		agg = &phaseAgg{min: e.Value, max: e.Value}
+		ps.phases[e.Name] = agg
+	}
+	agg.count++
+	agg.total += e.Value
+	if e.Value < agg.min {
+		agg.min = e.Value
+	}
+	if e.Value > agg.max {
+		agg.max = e.Value
+	}
+}
+
+// PhaseLatency is the latency summary of one reschedule-pipeline phase, in
+// microseconds of wall time.
+type PhaseLatency struct {
+	// Phase is "diff", "dls", "stretch" or "validate".
+	Phase string  `json:"phase"`
+	Count int     `json:"count"`
+	Mean  float64 `json:"mean_us"`
+	Min   float64 `json:"min_us"`
+	Max   float64 `json:"max_us"`
+	Total float64 `json:"total_us"`
+}
+
+// PipelineStatus summarizes where reschedule wall time went. It is nil
+// (omitted from JSON and the text report) when the stream carried no
+// pipeline_span events, keeping pre-provenance captures unchanged.
+type PipelineStatus struct {
+	// Spans counts the pipeline_span events observed.
+	Spans  int            `json:"spans"`
+	Phases []PhaseLatency `json:"phases"`
+}
+
+// pipePhaseOrder fixes the report's phase ordering to the pipeline's own:
+// diff the workload, schedule (DLS), stretch, validate. Unknown phases sort
+// after, alphabetically.
+var pipePhaseOrder = map[string]int{"diff": 0, "dls": 1, "stretch": 2, "validate": 3}
+
+func (ps *pipeState) snapshot() *PipelineStatus {
+	if ps.spans == 0 {
+		return nil
+	}
+	st := &PipelineStatus{Spans: ps.spans}
+	for name, agg := range ps.phases {
+		st.Phases = append(st.Phases, PhaseLatency{
+			Phase: name, Count: agg.count,
+			Mean: agg.total / float64(agg.count),
+			Min:  agg.min, Max: agg.max, Total: agg.total,
+		})
+	}
+	sort.Slice(st.Phases, func(a, b int) bool {
+		pa, oka := pipePhaseOrder[st.Phases[a].Phase]
+		pb, okb := pipePhaseOrder[st.Phases[b].Phase]
+		switch {
+		case oka && okb:
+			return pa < pb
+		case oka != okb:
+			return oka
+		default:
+			return st.Phases[a].Phase < st.Phases[b].Phase
+		}
+	})
+	return st
+}

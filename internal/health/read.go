@@ -1,14 +1,35 @@
 package health
 
 import (
+	"bufio"
 	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"sort"
 	"strings"
 
 	"ctgdvfs/internal/telemetry"
 )
+
+// TruncatedTailError reports a JSONL capture whose final line failed to
+// parse — the signature of a recorder killed mid-write (crash, full disk,
+// SIGKILL during a flight-recorder dump). LoadEvents returns it alongside
+// the successfully parsed prefix: callers should treat it as a warning, not
+// a failure, because everything before the torn line is intact.
+type TruncatedTailError struct {
+	// Line is the 1-based line number of the unparseable trailing line.
+	Line int
+	// Err is the underlying JSON decode error.
+	Err error
+}
+
+func (e *TruncatedTailError) Error() string {
+	return fmt.Sprintf("truncated JSONL tail: line %d unparseable (%v); analyzing the %d-line prefix",
+		e.Line, e.Err, e.Line-1)
+}
+
+func (e *TruncatedTailError) Unwrap() error { return e.Err }
 
 // LoadEvents parses a recorded telemetry capture — either a JSONL event
 // stream (telemetry.JSONLRecorder output) or a Chrome trace-event file
@@ -23,17 +44,70 @@ import (
 // the converted stream supports hotspot and decision-timeline analysis but
 // carries no estimate or per-instance SLO data — Analyze on it reports
 // drift and SLO sections as "(no data)".
+//
+// A JSONL capture whose final line is torn (a recorder killed mid-write)
+// parses to its intact prefix with a *TruncatedTailError — the events are
+// still returned and usable; treat the error as a warning. A parse failure
+// anywhere before the last line is a hard error.
 func LoadEvents(data []byte, run string) ([]telemetry.Event, string, error) {
 	var cf chromeInFile
 	if err := json.Unmarshal(data, &cf); err == nil && len(cf.TraceEvents) > 0 {
 		evs, err := convertChrome(cf.TraceEvents, run)
 		return evs, "chrome", err
 	}
-	evs, err := telemetry.ReadJSONL(bytes.NewReader(data))
+	evs, err := readJSONLLines(data)
 	if err != nil {
+		var tail *TruncatedTailError
+		if errors.As(err, &tail) {
+			return evs, "jsonl", err
+		}
 		return nil, "", fmt.Errorf("parse as JSONL: %w (and not a Chrome trace)", err)
 	}
 	return evs, "jsonl", nil
+}
+
+// readJSONLLines parses a JSONL event stream line by line. Unlike
+// telemetry.ReadJSONL's streaming decoder it knows where line boundaries
+// are, so it can distinguish a torn final line (tolerated, reported as
+// *TruncatedTailError) from corruption mid-stream (fatal).
+func readJSONLLines(data []byte) ([]telemetry.Event, error) {
+	sc := bufio.NewScanner(bytes.NewReader(data))
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	var events []telemetry.Event
+	var pendingErr error
+	pendingLine := 0
+	line := 0
+	for sc.Scan() {
+		line++
+		raw := bytes.TrimSpace(sc.Bytes())
+		if len(raw) == 0 {
+			continue
+		}
+		if pendingErr != nil {
+			// The failed line was not the last non-empty one: corruption
+			// mid-stream, not a torn tail.
+			return nil, fmt.Errorf("line %d: %w", pendingLine, pendingErr)
+		}
+		var e telemetry.Event
+		if err := json.Unmarshal(raw, &e); err != nil {
+			pendingErr, pendingLine = err, line
+			continue
+		}
+		events = append(events, e)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if pendingErr != nil {
+		if len(events) == 0 {
+			return nil, fmt.Errorf("line %d: %w", pendingLine, pendingErr)
+		}
+		return events, &TruncatedTailError{Line: pendingLine, Err: pendingErr}
+	}
+	if len(events) == 0 {
+		return nil, fmt.Errorf("no events in stream")
+	}
+	return events, nil
 }
 
 // chromeInFile mirrors the exporter's top-level object for ingestion.

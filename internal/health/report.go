@@ -20,6 +20,9 @@ type Snapshot struct {
 	// Power is nil when the stream carried no power-budget events, so
 	// unbudgeted-run snapshots and reports are unchanged.
 	Power *PowerStatus `json:"power,omitempty"`
+	// Pipeline is nil when the stream carried no pipeline_span events, so
+	// pre-provenance captures render unchanged.
+	Pipeline *PipelineStatus `json:"pipeline,omitempty"`
 
 	Timeline        []TimelineEntry `json:"timeline,omitempty"`
 	TimelineDropped int             `json:"timeline_dropped,omitempty"`
@@ -121,6 +124,15 @@ func (s Snapshot) Report() string {
 			s.Power.Degrades, s.Power.Restores, s.Power.Sheds)
 		for _, name := range s.Power.ShedTenants {
 			fmt.Fprintf(&b, "  tenant %-12s [SHED]\n", name)
+		}
+	}
+
+	if s.Pipeline != nil {
+		b.WriteString("\nreschedule pipeline latency\n")
+		fmt.Fprintf(&b, "  %d spans\n", s.Pipeline.Spans)
+		for _, p := range s.Pipeline.Phases {
+			fmt.Fprintf(&b, "  phase %-9s runs %-5d mean %.1fus  min %.1fus  max %.1fus  total %.1fus\n",
+				p.Phase, p.Count, p.Mean, p.Min, p.Max, p.Total)
 		}
 	}
 

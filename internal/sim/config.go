@@ -63,6 +63,14 @@ type Config struct {
 	// manager marks its worst-case fallback re-runs with
 	// telemetry.PhaseFallback.
 	Phase string
+	// Seq, when non-nil (and a Recorder is attached), stamps every emitted
+	// event with a monotonic sequence id — the identity causal
+	// back-references point at. Cause is copied onto every emitted event as
+	// its Cause field (the adaptive manager passes the instance_start
+	// event's id, tying each slice/overrun to the replay it belongs to).
+	// Both are ignored when Recorder is nil.
+	Seq   *telemetry.Sequencer
+	Cause uint64
 }
 
 // orGuards precomputes, per or-node, the set of branch forks that are

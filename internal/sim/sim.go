@@ -198,14 +198,19 @@ func walkTimeline(s *sched.Schedule, acts []activity, active ctg.Bitset, scenari
 			linkAvail[link] = commFinish[ei]
 			tl.energy += s.CommEnergy(ei)
 			if rec != nil {
-				rec.Record(telemetry.Event{
+				ev := telemetry.Event{
 					Kind: telemetry.KindCommSlice, Instance: cfg.InstanceID,
 					Scenario: scenario, Edge: ei,
 					Task: int(e.From), Task2: int(e.To),
 					PE: link[0], PE2: link[1],
 					Start: start, End: commFinish[ei],
 					Energy: s.CommEnergy(ei), Phase: cfg.Phase,
-				})
+					Cause: cfg.Cause,
+				}
+				if cfg.Seq != nil {
+					ev.Seq = cfg.Seq.Next()
+				}
+				rec.Record(ev)
 			}
 			continue
 		}
@@ -272,18 +277,28 @@ func walkTimeline(s *sched.Schedule, acts []activity, active ctg.Bitset, scenari
 			tl.makespan = finish[t]
 		}
 		if rec != nil {
-			rec.Record(telemetry.Event{
+			ev := telemetry.Event{
 				Kind: telemetry.KindTaskSlice, Instance: cfg.InstanceID,
 				Scenario: scenario, Task: int(t), Name: s.G.Task(t).Name,
 				PE: pe, Start: start, End: finish[t],
 				Speed: speed, Factor: overrun, Energy: taskEnergy,
 				Phase: cfg.Phase,
-			})
+				Cause: cfg.Cause,
+			}
+			if cfg.Seq != nil {
+				ev.Seq = cfg.Seq.Next()
+			}
+			rec.Record(ev)
 			if overrun > 1 {
-				rec.Record(telemetry.Event{
+				ov := telemetry.Event{
 					Kind: telemetry.KindOverrun, Instance: cfg.InstanceID,
 					Task: int(t), PE: pe, Factor: overrun, Phase: cfg.Phase,
-				})
+					Cause: cfg.Cause,
+				}
+				if cfg.Seq != nil {
+					ov.Seq = cfg.Seq.Next()
+				}
+				rec.Record(ov)
 			}
 		}
 	}

@@ -94,6 +94,10 @@ const (
 	// KindTenantRestored is one degradation-ladder rung released: the same
 	// fields as KindTenantDegraded, with Level the level restored *to*.
 	KindTenantRestored Kind = "tenant_restored"
+	// KindSpan is one timed phase of the reschedule pipeline: Instance,
+	// Name (phase: "diff", "dls", "stretch", "validate"), Value (wall time
+	// in microseconds), Cause (the trigger the pipeline ran for).
+	KindSpan Kind = "pipeline_span"
 )
 
 // Event is one telemetry record. A single flat struct (rather than one type
@@ -106,6 +110,18 @@ type Event struct {
 	// Instance is the CTG-instance index the event belongs to (the step
 	// index for adaptive runs, the scenario index for exhaustive replays).
 	Instance int `json:"instance"`
+
+	// Seq is the event's position in its stream: a monotonic 1-based id
+	// stamped from a Sequencer. 0 means the producer was not sequencing
+	// (pre-provenance streams stay readable). Seq identifies an event so
+	// that later events can name it as their Cause.
+	Seq uint64 `json:"seq,omitempty"`
+	// Cause is the Seq of the event that triggered this one — the drifted
+	// estimate behind a reschedule, the budget breach behind a ladder rung,
+	// the pe_down behind a remap. 0 means no recorded cause (spontaneous or
+	// unsequenced). Chains of Cause links reconstruct full decision
+	// provenance; `ctgsched explain` walks them.
+	Cause uint64 `json:"cause,omitempty"`
 
 	Scenario int     `json:"scenario,omitempty"`
 	Task     int     `json:"task,omitempty"`

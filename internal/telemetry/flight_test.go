@@ -1,0 +1,172 @@
+package telemetry
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+)
+
+// closableBuffer is a bytes.Buffer with a Close, counting closes.
+type closableBuffer struct {
+	bytes.Buffer
+	closed int
+}
+
+func (b *closableBuffer) Close() error { b.closed++; return nil }
+
+func TestSequencerMonotonic(t *testing.T) {
+	s := NewSequencer()
+	if got := s.Last(); got != 0 {
+		t.Fatalf("fresh Last = %d, want 0", got)
+	}
+	for want := uint64(1); want <= 5; want++ {
+		if got := s.Next(); got != want {
+			t.Fatalf("Next = %d, want %d", got, want)
+		}
+	}
+	if got := s.Last(); got != 5 {
+		t.Fatalf("Last = %d, want 5", got)
+	}
+}
+
+func TestFlightRecorderWindow(t *testing.T) {
+	r := NewFlightRecorder(FlightRecorderOptions{Capacity: 4})
+	for i := 1; i <= 6; i++ {
+		r.Record(Event{Kind: KindTaskSlice, Instance: i})
+	}
+	if r.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", r.Len())
+	}
+	if r.Total() != 6 {
+		t.Fatalf("Total = %d, want 6", r.Total())
+	}
+	snap := r.Snapshot()
+	for i, e := range snap {
+		if want := i + 3; e.Instance != want {
+			t.Fatalf("snapshot[%d].Instance = %d, want %d (oldest-first window)", i, e.Instance, want)
+		}
+	}
+	var buf bytes.Buffer
+	if err := r.DumpTo(&buf); err != nil {
+		t.Fatalf("DumpTo: %v", err)
+	}
+	evs, err := ReadJSONL(&buf)
+	if err != nil {
+		t.Fatalf("ReadJSONL(dump): %v", err)
+	}
+	if len(evs) != 4 || evs[0].Instance != 3 || evs[3].Instance != 6 {
+		t.Fatalf("dump round-trip = %+v", evs)
+	}
+}
+
+func TestFlightRecorderTriggerDump(t *testing.T) {
+	var sinks []*closableBuffer
+	r := NewFlightRecorder(FlightRecorderOptions{
+		Capacity: 8,
+		Cooldown: -1, // every trigger dumps
+		Sink: func() (io.WriteCloser, error) {
+			b := &closableBuffer{}
+			sinks = append(sinks, b)
+			return b, nil
+		},
+	})
+	for i := 0; i < 3; i++ {
+		r.Record(Event{Kind: KindTaskSlice, Instance: i, Seq: uint64(i + 1)})
+	}
+	if r.Dumps() != 0 {
+		t.Fatalf("dump before any trigger: %d", r.Dumps())
+	}
+	r.Record(Event{Kind: KindFallback, Instance: 3, Seq: 4, Cause: 1})
+	if r.Dumps() != 1 || len(sinks) != 1 {
+		t.Fatalf("Dumps = %d, sinks = %d, want 1/1", r.Dumps(), len(sinks))
+	}
+	if sinks[0].closed != 1 {
+		t.Fatalf("sink closed %d times, want 1", sinks[0].closed)
+	}
+	evs, err := ReadJSONL(&sinks[0].Buffer)
+	if err != nil {
+		t.Fatalf("ReadJSONL: %v", err)
+	}
+	if len(evs) != 4 {
+		t.Fatalf("dump has %d events, want 4 (window incl. trigger)", len(evs))
+	}
+	last := evs[len(evs)-1]
+	if last.Kind != KindFallback || last.Seq != 4 || last.Cause != 1 {
+		t.Fatalf("trigger event not last / fields lost: %+v", last)
+	}
+	// Second trigger (no cooldown): a fresh window through a fresh sink.
+	r.Record(Event{Kind: KindGuardLevel, Instance: 4, Seq: 5})
+	if r.Dumps() != 2 || len(sinks) != 2 {
+		t.Fatalf("after 2nd trigger: Dumps = %d, sinks = %d", r.Dumps(), len(sinks))
+	}
+	if r.Err() != nil {
+		t.Fatalf("Err = %v", r.Err())
+	}
+}
+
+func TestFlightRecorderCooldown(t *testing.T) {
+	dumps := 0
+	r := NewFlightRecorder(FlightRecorderOptions{
+		Capacity: 4, // default cooldown = capacity
+		Sink: func() (io.WriteCloser, error) {
+			dumps++
+			return &closableBuffer{}, nil
+		},
+	})
+	r.Record(Event{Kind: KindFallback})
+	r.Record(Event{Kind: KindFallback}) // within cooldown: suppressed
+	if dumps != 1 {
+		t.Fatalf("dumps = %d, want 1 (cooldown suppresses back-to-back)", dumps)
+	}
+	for i := 0; i < 4; i++ {
+		r.Record(Event{Kind: KindTaskSlice})
+	}
+	r.Record(Event{Kind: KindFallback}) // cooldown elapsed
+	if dumps != 2 {
+		t.Fatalf("dumps = %d, want 2 after cooldown elapsed", dumps)
+	}
+}
+
+func TestFlightRecorderSinkErrorSticky(t *testing.T) {
+	boom := errors.New("sink boom")
+	calls := 0
+	r := NewFlightRecorder(FlightRecorderOptions{
+		Capacity: 4,
+		Cooldown: -1,
+		Sink:     func() (io.WriteCloser, error) { calls++; return nil, boom },
+	})
+	r.Record(Event{Kind: KindFallback})
+	r.Record(Event{Kind: KindFallback})
+	if !errors.Is(r.Err(), boom) {
+		t.Fatalf("Err = %v, want %v", r.Err(), boom)
+	}
+	if calls != 2 {
+		t.Fatalf("sink calls = %d, want 2 (dump still attempted; error sticky)", calls)
+	}
+	if r.Dumps() != 2 {
+		t.Fatalf("Dumps = %d, want 2 (failed dumps counted)", r.Dumps())
+	}
+}
+
+func TestFlightRecorderNilDisabled(t *testing.T) {
+	var r *FlightRecorder
+	r.Record(Event{Kind: KindFallback}) // must not panic
+	if r.Len() != 0 || r.Total() != 0 || r.Dumps() != 0 || r.Err() != nil {
+		t.Fatal("nil recorder reported state")
+	}
+}
+
+func TestFlightRecorderZeroAllocSteadyState(t *testing.T) {
+	r := NewFlightRecorder(FlightRecorderOptions{Capacity: 64})
+	ev := Event{Kind: KindTaskSlice, Instance: 1, Task: 2, PE: 1, Start: 0.5, End: 1.5, Seq: 9}
+	allocs := testing.AllocsPerRun(1000, func() { r.Record(ev) })
+	if allocs != 0 {
+		t.Fatalf("steady-state Record allocates %v/op, want 0", allocs)
+	}
+	var nilRec *FlightRecorder
+	allocs = testing.AllocsPerRun(1000, func() { nilRec.Record(ev) })
+	if allocs != 0 {
+		t.Fatalf("nil Record allocates %v/op, want 0", allocs)
+	}
+}

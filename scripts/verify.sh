@@ -9,8 +9,10 @@
 #   baselines, a short parser fuzzing session, a fault-campaign and a
 #   failover-campaign run of the fault-tolerance layer, a bounded run of the
 #   consolidation campaign (power-budget governor vs ungoverned baseline), a
-#   bounded run of the large-scale warm-start tier (one 10^3-task cell), and
-#   an end-to-end health-analyzer pass over a captured event stream.
+#   bounded run of the large-scale warm-start tier (one 10^3-task cell), an
+#   end-to-end health-analyzer pass over a captured event stream, and an
+#   end-to-end provenance pass (captured campaign streams + flight-recorder
+#   dumps replayed through `ctgsched explain`).
 # Run from anywhere; operates on the repo root.
 set -eu
 
@@ -31,14 +33,14 @@ go test ./...
 echo "== go test -race -short =="
 go test -race -short -timeout 30m ./...
 
-echo "== coverage floors (internal/core, internal/faults, internal/power) =="
+echo "== coverage floors (core, faults, power, telemetry, health) =="
 sh scripts/cover.sh
 
 echo "== bench smoke (1 iteration each) =="
 go test -run '^$' -bench . -benchtime 1x ./... >/dev/null
 
 echo "== bench-regression gate =="
-go run ./scripts/benchgate BENCH_parallel.json BENCH_telemetry.json BENCH_failover.json BENCH_scale.json BENCH_consolidation.json
+go run ./scripts/benchgate BENCH_parallel.json BENCH_telemetry.json BENCH_failover.json BENCH_scale.json BENCH_consolidation.json BENCH_provenance.json
 
 echo "== fuzz smoke (parser, 5s) =="
 go test -run '^$' -fuzz FuzzRead -fuzztime 5s ./internal/ctgio >/dev/null
@@ -65,5 +67,17 @@ go run ./examples/telemetry -events-out "$events_tmp" -trace-out "$example_trace
 go run ./cmd/ctgsched analyze "$events_tmp" >/dev/null
 go run ./cmd/ctgsched analyze -run "mpeg adaptive" "$example_trace_tmp" >/dev/null
 rm -f "$events_tmp" "$example_trace_tmp"
+
+echo "== provenance smoke (capture + flight dumps + explain) =="
+prov_dir="$(mktemp -d)"
+go run ./cmd/experiments -exp faults -events-out "$prov_dir/ev" -flight-out "$prov_dir/fl" >/dev/null
+go run ./cmd/ctgsched explain -list "$prov_dir/ev-mpeg.jsonl" >/dev/null
+go run ./cmd/ctgsched explain -kind reschedule "$prov_dir/ev-mpeg.jsonl" >/dev/null
+go run ./cmd/ctgsched explain -kind fallback "$prov_dir/ev-cruise.jsonl" >/dev/null
+# The first trigger dump ends on the event that armed it, so it always holds
+# an explainable decision; the final window holds whatever the run ended on.
+go run ./cmd/ctgsched explain "$prov_dir/fl-mpeg-1.jsonl" >/dev/null
+go run ./cmd/ctgsched explain "$prov_dir/fl-mpeg-final.jsonl" >/dev/null
+rm -rf "$prov_dir"
 
 echo "verify: OK"
