@@ -1,6 +1,6 @@
 # Standard entry points; `make verify` is the gate a change must pass.
 
-.PHONY: build test race cover bench bench-parallel bench-telemetry bench-failover bench-scale bench-consolidation bench-provenance benchgate bench-baseline fuzz-smoke fault-smoke failover-smoke consolidation-smoke scale-smoke telemetry-smoke analyze-smoke explain-smoke verify
+.PHONY: build test race cover bench bench-parallel bench-telemetry bench-failover bench-scale bench-consolidation bench-provenance bench-monitor benchgate bench-baseline fuzz-smoke fault-smoke failover-smoke consolidation-smoke scale-smoke telemetry-smoke analyze-smoke explain-smoke watch-smoke verify
 
 build:
 	go build ./...
@@ -69,6 +69,12 @@ bench-consolidation:
 bench-provenance:
 	go test -run '^$$' -bench 'FlightRecorder(Record|Disabled)|AdaptiveStepFlight' -benchmem .
 
+# Time-series sampler sweep with and without alert rules armed (both
+# alloc-gated at zero) and the adaptive step sampling its own registry; see
+# BENCH_monitor.json for a recorded baseline.
+bench-monitor:
+	go test -run '^$$' -bench 'SeriesTick|AdaptiveStepSeries' -benchmem .
+
 # Bounded run of the scaling campaign (one 10^3-task cell, warm vs full).
 scale-smoke:
 	go run ./cmd/experiments -exp scale -scale-tasks 1000 -scale-pes 16 -scale-instances 24
@@ -81,11 +87,11 @@ telemetry-smoke:
 # Bench-regression gate: re-run the baselined benchmarks and fail on >10%
 # ns/op regressions against the committed BENCH_*.json files.
 benchgate:
-	go run ./scripts/benchgate BENCH_parallel.json BENCH_telemetry.json BENCH_failover.json BENCH_scale.json BENCH_consolidation.json BENCH_provenance.json
+	go run ./scripts/benchgate BENCH_parallel.json BENCH_telemetry.json BENCH_failover.json BENCH_scale.json BENCH_consolidation.json BENCH_provenance.json BENCH_monitor.json
 
 # Re-bless the benchmark baselines on this host (after a deliberate change).
 bench-baseline:
-	go run ./scripts/benchgate -update BENCH_parallel.json BENCH_telemetry.json BENCH_failover.json BENCH_scale.json BENCH_consolidation.json BENCH_provenance.json
+	go run ./scripts/benchgate -update BENCH_parallel.json BENCH_telemetry.json BENCH_failover.json BENCH_scale.json BENCH_consolidation.json BENCH_provenance.json BENCH_monitor.json
 
 # End-to-end health pipeline: capture a JSONL event stream from the telemetry
 # example, then run the offline analyzer over it.
@@ -100,6 +106,15 @@ explain-smoke:
 	go run ./cmd/ctgsched explain -list /tmp/ctgdvfs_prov-mpeg.jsonl
 	go run ./cmd/ctgsched explain -kind reschedule /tmp/ctgdvfs_prov-mpeg.jsonl
 	go run ./cmd/ctgsched explain /tmp/ctgdvfs_flight-mpeg-1.jsonl
+
+# End-to-end monitoring pipeline: run the fault campaign with alert rules and
+# series capture, walk an alert's cause chain, render the stores in the watch
+# view, and lint the Prometheus exposition.
+watch-smoke:
+	go run ./cmd/experiments -exp faults -rules examples/watch/rules.json -series-out /tmp/ctgdvfs_series -events-out /tmp/ctgdvfs_mon -prom-out /tmp/ctgdvfs_metrics.prom >/dev/null
+	go run ./cmd/ctgsched explain -kind alert_firing /tmp/ctgdvfs_mon-mpeg.jsonl
+	go run ./cmd/ctgsched watch -dump /tmp/ctgdvfs_series-mpeg.json
+	go run ./scripts/promlint /tmp/ctgdvfs_metrics.prom
 
 verify:
 	sh scripts/verify.sh

@@ -15,6 +15,7 @@ import (
 	"ctgdvfs/internal/par"
 	"ctgdvfs/internal/platform"
 	"ctgdvfs/internal/sched"
+	"ctgdvfs/internal/series"
 	"ctgdvfs/internal/sim"
 	"ctgdvfs/internal/stats"
 	"ctgdvfs/internal/stretch"
@@ -180,6 +181,8 @@ const (
 	KindTenantDegraded = telemetry.KindTenantDegraded
 	KindTenantRestored = telemetry.KindTenantRestored
 	KindSpan           = telemetry.KindSpan
+	KindAlertFiring    = telemetry.KindAlertFiring
+	KindAlertResolved  = telemetry.KindAlertResolved
 )
 
 // NewMemoryRecorder returns an empty in-memory event sink.
@@ -208,6 +211,56 @@ func NewFlightRecorder(opts FlightRecorderOptions) *FlightRecorder {
 // AdaptiveOptions.Sequencer to stamp Seq/Cause provenance ids on the event
 // stream; FleetOptions-built runtimes share one automatically.
 func NewSequencer() *Sequencer { return telemetry.NewSequencer() }
+
+// NewMirrorRegistry returns a registry whose handles forward every write to
+// the same-named handles of parent. Sample a private mirror per runtime (via
+// SeriesStoreOptions.Registry) while a shared parent keeps aggregating for
+// live exposition.
+func NewMirrorRegistry(parent *MetricsRegistry) *MetricsRegistry {
+	return telemetry.NewMirrorRegistry(parent)
+}
+
+// Time-series monitoring (package internal/series): a ring-buffer store that
+// samples a metrics registry on deterministic sim-time boundaries (instance
+// or fleet-round index, never wall clock), evaluates threshold/rate/absence
+// alerting rules against the sampled rings, and renders sparkline watch
+// views. Attach a store via AdaptiveOptions.Series (the runtime ticks it once
+// per instance); a nil store keeps the run bit-for-bit identical.
+type (
+	// SeriesStore is the sampling ring-buffer store; Tick is allocation-free
+	// at steady state.
+	SeriesStore = series.Store
+	// SeriesStoreOptions configures a store (registry, ring capacity,
+	// alerting rules).
+	SeriesStoreOptions = series.StoreOptions
+	// SeriesRule is one declarative alerting rule (threshold, rate or
+	// absence, with for-holds and hysteresis).
+	SeriesRule = series.Rule
+	// SeriesRuleSet is the JSON rules-file payload.
+	SeriesRuleSet = series.RuleSet
+	// SeriesAlertStatus is one rule's live firing state.
+	SeriesAlertStatus = series.AlertStatus
+	// SeriesDump is the serialized store state `ctgsched watch -dump` renders.
+	SeriesDump = series.Dump
+	// SeriesWatchOptions configures the watch rendering (sparkline width).
+	SeriesWatchOptions = series.WatchOptions
+)
+
+// NewSeriesStore builds a sampling store; opts.Registry is required.
+func NewSeriesStore(opts SeriesStoreOptions) *SeriesStore { return series.NewStore(opts) }
+
+// LoadSeriesRules reads a JSON alerting-rules file and validates every rule.
+func LoadSeriesRules(path string) (SeriesRuleSet, error) { return series.LoadRules(path) }
+
+// LoadSeriesDump reads a series dump written by SeriesStore.WriteJSON (the
+// `experiments -series-out` format).
+func LoadSeriesDump(path string) (SeriesDump, error) { return series.LoadDump(path) }
+
+// RenderSeriesWatch renders a dump as the sparkline terminal view behind
+// `ctgsched watch`.
+func RenderSeriesWatch(d SeriesDump, opts SeriesWatchOptions) string {
+	return series.RenderWatch(d, opts)
+}
 
 // Health monitoring (package internal/health): streaming analyzers over the
 // telemetry event stream — estimator drift detection, SLO tracking, hotspot

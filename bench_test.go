@@ -809,3 +809,91 @@ func BenchmarkFleetStepUngoverned(b *testing.B) { benchFleetStep(b, true) }
 // BenchmarkFleetStepGoverned runs the full budget governor under a cap the
 // undegraded mix cannot hold.
 func BenchmarkFleetStepGoverned(b *testing.B) { benchFleetStep(b, false) }
+
+// --- Monitoring benchmarks (BENCH_monitor.json) ---
+
+// benchSeriesRegistry builds a registry shaped like a manager's: a handful of
+// counters and gauges plus two histograms, all with live values.
+func benchSeriesRegistry() *ctgdvfs.MetricsRegistry {
+	reg := ctgdvfs.NewMetricsRegistry()
+	for _, n := range []string{"adaptive.instances", "adaptive.misses", "adaptive.calls",
+		"adaptive.cache_hits", "adaptive.overruns"} {
+		reg.Counter(n).Add(17)
+	}
+	for _, n := range []string{"adaptive.miss_rate", "adaptive.miss_rate_window",
+		"adaptive.guard_level", "adaptive.drift"} {
+		reg.Gauge(n).Set(0.25)
+	}
+	for _, n := range []string{"adaptive.makespan", "adaptive.lateness"} {
+		h := reg.Histogram(n, 0, 100, 32)
+		for i := 0; i < 64; i++ {
+			h.Observe(float64(i))
+		}
+	}
+	return reg
+}
+
+// BenchmarkSeriesTick measures the sampler's steady-state cost: one Tick over
+// the representative registry with every handle already discovered. Zero
+// allocs/op is the design invariant that makes the store safe to leave always
+// on (gated by benchgate).
+func BenchmarkSeriesTick(b *testing.B) {
+	reg := benchSeriesRegistry()
+	st := ctgdvfs.NewSeriesStore(ctgdvfs.SeriesStoreOptions{Registry: reg})
+	st.Tick(0, nil, nil, 0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st.Tick(i+1, nil, nil, 0)
+	}
+}
+
+// BenchmarkSeriesTickRules adds four armed-but-quiet alert rules (threshold,
+// rate and absence) to the sampled tick — the always-on alerting engine's
+// steady state, which must stay allocation-free too (gated).
+func BenchmarkSeriesTickRules(b *testing.B) {
+	reg := benchSeriesRegistry()
+	st := ctgdvfs.NewSeriesStore(ctgdvfs.SeriesStoreOptions{Registry: reg, Rules: []ctgdvfs.SeriesRule{
+		{Name: "miss", Metric: "adaptive.miss_rate_window", Value: 10},
+		{Name: "guard", Metric: "adaptive.guard_level", Op: ">=", Value: 10},
+		{Name: "climb", Metric: "adaptive.miss_rate", Kind: "rate", Value: 10},
+		{Name: "late", Metric: "adaptive.lateness.p95", Value: 1e9},
+	}})
+	rec := ctgdvfs.NewMemoryRecorder()
+	seq := ctgdvfs.NewSequencer()
+	st.Tick(0, rec, seq, 0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st.Tick(i+1, rec, seq, 0)
+	}
+}
+
+// BenchmarkAdaptiveStepSeries is the MPEG adaptive step with a series store
+// sampling the manager's own registry on every instance boundary — compare
+// against BenchmarkAdaptiveStepTelemetryOff for the cost of always-on
+// sampling.
+func BenchmarkAdaptiveStepSeries(b *testing.B) {
+	g, p, err := ctgdvfs.BuildMPEG()
+	if err != nil {
+		b.Fatal(err)
+	}
+	g, err = ctgdvfs.TightenDeadline(g, p, 1.6)
+	if err != nil {
+		b.Fatal(err)
+	}
+	vec := ctgdvfs.MovieClips()[0].Generate(g, 4096)
+	st := ctgdvfs.NewSeriesStore(ctgdvfs.SeriesStoreOptions{Registry: ctgdvfs.NewMetricsRegistry()})
+	mgr, err := ctgdvfs.NewAdaptive(g, p, ctgdvfs.AdaptiveOptions{
+		Window: 20, Threshold: 0.1, Metrics: st.Registry(), Series: st,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := mgr.Step(vec[i%len(vec)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

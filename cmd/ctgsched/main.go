@@ -19,6 +19,14 @@
 //
 //	ctgsched explain -list events.jsonl
 //	ctgsched explain -kind reschedule -instance 412 events.jsonl
+//
+// The watch subcommand renders live (or replayed) fleet telemetry as
+// per-tenant sparkline rows — miss rate, guard level, fleet rung, chip power
+// vs cap — either polling a -metrics-addr server or reading a -series-out
+// dump:
+//
+//	ctgsched watch -addr localhost:8080
+//	ctgsched watch -dump series-mpeg.json
 package main
 
 import (
@@ -37,6 +45,10 @@ func main() {
 	}
 	if len(os.Args) > 1 && os.Args[1] == "explain" {
 		runExplain(os.Args[2:])
+		return
+	}
+	if len(os.Args) > 1 && os.Args[1] == "watch" {
+		runWatch(os.Args[2:])
 		return
 	}
 	workload := flag.String("workload", "random", "workload: random, mpeg, cruise, wlan, or file")

@@ -45,11 +45,13 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"expvar"
 	"flag"
 	"fmt"
 	"io"
+	"net"
 	"net/http"
 	httppprof "net/http/pprof"
 	"os"
@@ -118,6 +120,12 @@ var (
 		"keep the -metrics-addr server running after the experiments finish (until interrupted)")
 	healthFlag = flag.Bool("health", false,
 		"attach the streaming health monitor to a traced experiment ("+tracedExperiments+") and print per-stream diagnosis reports")
+	seriesOut = flag.String("series-out", "",
+		"sample per-stream time series during a traced experiment and write each store as PREFIX-<name>.json — the format `ctgsched watch -dump` renders")
+	rulesFile = flag.String("rules", "",
+		"JSON alert-rule file (series.RuleSet) evaluated against the sampled series of a traced experiment; firings land in the event streams")
+	promOut = flag.String("prom-out", "",
+		"write the final metrics registry in Prometheus text format to this file after the experiments finish")
 
 	// metricsReg is the registry served at -metrics-addr and fed by the
 	// observed fault campaign; campaignTel keeps the recorded event streams
@@ -131,7 +139,7 @@ var (
 // to run in observed mode (recorders + analyzers attached).
 func observedMode() bool {
 	return *traceOut != "" || *eventsOut != "" || *flightOut != "" ||
-		*metricsAddr != "" || *healthFlag
+		*metricsAddr != "" || *healthFlag || *seriesOut != "" || *rulesFile != ""
 }
 
 // serveHealth renders the observed campaign's per-workload health snapshots
@@ -234,6 +242,51 @@ func writeCampaignFlight(prefix string, tel *exp.CampaignTelemetry) error {
 	return nil
 }
 
+// writeCampaignSeries writes each sampled series store as its own JSON dump
+// (PREFIX-<name>.json), the format `ctgsched watch -dump` renders and
+// internal/series reads back.
+func writeCampaignSeries(prefix string, tel *exp.CampaignTelemetry) error {
+	if len(tel.Series) == 0 {
+		return fmt.Errorf("campaign recorded no series stores")
+	}
+	names := make([]string, 0, len(tel.Series))
+	for name := range tel.Series {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		st := tel.Series[name]
+		path := fmt.Sprintf("%s-%s.json", prefix, streamFileName(name))
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		if err := st.WriteJSON(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %d series (%d ticks) to %s\n", st.Len(), st.Ticks(), path)
+	}
+	return nil
+}
+
+// writePromFile renders the registry's final state in the Prometheus text
+// exposition format.
+func writePromFile(path string, reg *telemetry.Registry) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := reg.WriteProm(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
 // writeCampaignTrace renders the observed campaign's event streams as one
 // Chrome trace file, one process per workload in name order.
 func writeCampaignTrace(path string, tel *exp.CampaignTelemetry) error {
@@ -277,10 +330,12 @@ func main() {
 		fmt.Fprintln(os.Stderr, "-serve requires -metrics-addr (there is no server to keep alive)")
 		os.Exit(2)
 	}
+	var srv *http.Server
 	if *metricsAddr != "" {
 		metricsReg = telemetry.NewRegistry()
 		mux := http.NewServeMux()
 		mux.Handle("/metrics", metricsReg)
+		mux.HandleFunc("/metrics/prom", metricsReg.ServeProm)
 		mux.Handle("/debug/vars", expvar.Handler())
 		mux.HandleFunc("/health", serveHealth)
 		if *pprofFlag {
@@ -293,11 +348,32 @@ func main() {
 		if err := metricsReg.PublishExpvar("ctgdvfs"); err != nil {
 			fmt.Fprintf(os.Stderr, "metrics-addr: %v\n", err)
 		}
+		// Listen synchronously so a bad address fails before the campaigns
+		// start (a late listen error used to race with the campaign output);
+		// serve in the background and shut down gracefully at exit.
+		ln, err := net.Listen("tcp", *metricsAddr)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "metrics-addr: %v\n", err)
+			os.Exit(1)
+		}
+		srv = &http.Server{Handler: mux}
 		go func() {
-			if err := http.ListenAndServe(*metricsAddr, mux); err != nil {
+			if err := srv.Serve(ln); err != nil && err != http.ErrServerClosed {
 				fmt.Fprintf(os.Stderr, "metrics-addr: %v\n", err)
 			}
 		}()
+	}
+	// shutdownServer drains in-flight scrapes before the process exits —
+	// deferred-style teardown shared by the -serve and fall-through paths.
+	shutdownServer := func() {
+		if srv == nil {
+			return
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			fmt.Fprintf(os.Stderr, "metrics-addr: shutdown: %v\n", err)
+		}
 	}
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
@@ -371,6 +447,36 @@ func main() {
 		}
 	}
 
+	if *seriesOut != "" {
+		tel := campaignTel.Load()
+		if tel == nil {
+			fmt.Fprintf(os.Stderr, "-series-out: no traced experiment ran (traced: %s)\n", tracedExperiments)
+			os.Exit(1)
+		}
+		if err := writeCampaignSeries(*seriesOut, tel); err != nil {
+			fmt.Fprintf(os.Stderr, "series-out: %v\n", err)
+			os.Exit(1)
+		}
+	}
+
+	if *promOut != "" {
+		reg := metricsReg
+		if reg == nil {
+			if tel := campaignTel.Load(); tel != nil {
+				reg = tel.Metrics
+			}
+		}
+		if reg == nil {
+			fmt.Fprintf(os.Stderr, "-prom-out: no metrics registry (needs -metrics-addr or a traced experiment: %s)\n", tracedExperiments)
+			os.Exit(1)
+		}
+		if err := writePromFile(*promOut, reg); err != nil {
+			fmt.Fprintf(os.Stderr, "prom-out: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote Prometheus exposition to %s\n", *promOut)
+	}
+
 	if *healthFlag {
 		tel := campaignTel.Load()
 		if tel == nil {
@@ -402,7 +508,7 @@ func main() {
 	}
 
 	if *serveFlag {
-		endpoints := "/metrics, /debug/vars, /health"
+		endpoints := "/metrics, /metrics/prom, /debug/vars, /health"
 		if *pprofFlag {
 			endpoints += ", /debug/pprof/"
 		}
@@ -410,5 +516,7 @@ func main() {
 		stop := make(chan os.Signal, 1)
 		signal.Notify(stop, os.Interrupt)
 		<-stop
+		fmt.Println("interrupted; shutting down")
 	}
+	shutdownServer()
 }

@@ -8,7 +8,21 @@ import (
 	"ctgdvfs/internal/exp"
 	"ctgdvfs/internal/faults"
 	"ctgdvfs/internal/power"
+	"ctgdvfs/internal/series"
 )
+
+// monitorConfig builds the Monitored campaigns' sampling config from the
+// -rules flag (empty config when unset — sampling still runs, no alerts).
+func monitorConfig() (exp.MonitorConfig, error) {
+	if *rulesFile == "" {
+		return exp.MonitorConfig{}, nil
+	}
+	rs, err := series.LoadRules(*rulesFile)
+	if err != nil {
+		return exp.MonitorConfig{}, fmt.Errorf("-rules: %w", err)
+	}
+	return exp.MonitorConfig{Rules: rs.Rules}, nil
+}
 
 // loadSpecFile loads -faults-spec once per runner that consumes it (nil when
 // the flag is unset).
@@ -178,7 +192,11 @@ func orderedRunners() []runner {
 			// registry (-metrics-addr), and run the streaming health
 			// analyzers (-health, /health).
 			if observedMode() {
-				r, tel, err := exp.FaultCampaignObserved(spec, *faultGuard, metricsReg)
+				mc, err := monitorConfig()
+				if err != nil {
+					return "", err
+				}
+				r, tel, err := exp.FaultCampaignMonitored(spec, *faultGuard, metricsReg, mc)
 				if err != nil {
 					return "", err
 				}
@@ -239,7 +257,11 @@ func orderedRunners() []runner {
 				}
 			}
 			if observedMode() {
-				r, tel, err := exp.ConsolidationCampaignObserved(*consolidationRounds, override, metricsReg)
+				mc, err := monitorConfig()
+				if err != nil {
+					return "", err
+				}
+				r, tel, err := exp.ConsolidationCampaignMonitored(*consolidationRounds, override, metricsReg, mc)
 				if err != nil {
 					return "", err
 				}

@@ -8,6 +8,7 @@ import (
 	"ctgdvfs/internal/platform"
 	"ctgdvfs/internal/power"
 	"ctgdvfs/internal/sched"
+	"ctgdvfs/internal/series"
 	"ctgdvfs/internal/stretch"
 	"ctgdvfs/internal/telemetry"
 )
@@ -61,6 +62,13 @@ type FleetOptions struct {
 	// fleet a private registry. Share one registry across the fleet and its
 	// tenants for the consolidated view.
 	Metrics *telemetry.Registry
+	// Series, when non-nil, is ticked once per fleet round after the power
+	// observation, sampling the fleet's registry (rung, power, per-tenant
+	// miss rate / guard level / round energy) on the deterministic round
+	// axis. A round whose measurement window breached the cap ticks with the
+	// budget_exceeded seq as cause, so alert firings chain to the breach.
+	// Point the store at the same registry as Metrics. Nil disables sampling.
+	Series *series.Store
 }
 
 // rungKind enumerates what one degradation-ladder rung does.
@@ -107,7 +115,16 @@ type fleetTenant struct {
 
 	// guardGauge mirrors the tenant manager's circuit-breaker guard level
 	// ("adaptive.tenant_guard_level.<name>"), updated every fleet round.
-	guardGauge *telemetry.Gauge
+	// missGauge/energyGauge publish the tenant's running miss rate
+	// ("adaptive.tenant_miss_rate.<name>") and last round energy
+	// ("adaptive.tenant_round_energy.<name>") — the per-tenant rows of the
+	// watch view. misses/insts back the rate (registry handles aggregate and
+	// cannot be read back).
+	guardGauge  *telemetry.Gauge
+	missGauge   *telemetry.Gauge
+	energyGauge *telemetry.Gauge
+	misses      int
+	insts       int
 }
 
 func (t *fleetTenant) held() int { return len(t.partition) - t.revoked }
@@ -134,8 +151,10 @@ type fleetMetrics struct {
 
 	// rung is the degradation-ladder level currently in force
 	// ("adaptive.fleet_rung"); tenantsLive counts tenants not shed
-	// ("adaptive.fleet_tenants_live").
-	rung, tenantsLive *telemetry.Gauge
+	// ("adaptive.fleet_tenants_live"); roundPower is the last round's chip
+	// power ("adaptive.power_round") — instantaneous, where window is the
+	// budget's sliding mean.
+	rung, tenantsLive, roundPower *telemetry.Gauge
 }
 
 // Fleet hosts N per-tenant adaptive managers on one shared fabric,
@@ -226,6 +245,7 @@ func NewFleet(tenants []Tenant, opts FleetOptions) (*Fleet, error) {
 	f.reg = reg
 	f.fm.rung = reg.Gauge("adaptive.fleet_rung")
 	f.fm.tenantsLive = reg.Gauge("adaptive.fleet_tenants_live")
+	f.fm.roundPower = reg.Gauge("adaptive.power_round")
 	for i := range tenants {
 		f.tenants = append(f.tenants, &fleetTenant{
 			Tenant:     tenants[i],
@@ -272,6 +292,8 @@ func NewFleet(tenants []Tenant, opts FleetOptions) (*Fleet, error) {
 		// provenance crosses the fleet/tenant boundary on one id space.
 		t.Opts.Sequencer = f.seq
 		t.guardGauge = reg.Gauge("adaptive.tenant_guard_level." + t.Name)
+		t.missGauge = reg.Gauge("adaptive.tenant_miss_rate." + t.Name)
+		t.energyGauge = reg.Gauge("adaptive.tenant_round_energy." + t.Name)
 		t.mgr, err = New(t.G, rp, t.Opts)
 		if err != nil {
 			return nil, fmt.Errorf("core: tenant %q: %w", t.Name, err)
@@ -717,10 +739,29 @@ func (f *Fleet) Step(vectors [][]int) error {
 		}
 		t.agg.add(res.Instance)
 		t.guardGauge.Set(float64(res.GuardLevel))
+		t.insts++
+		if !res.Instance.DeadlineMet {
+			t.misses++
+		}
+		t.missGauge.Set(float64(t.misses) / float64(t.insts))
+		t.energyGauge.Set(res.Instance.Energy)
 		energy += res.Instance.Energy
 	}
 	f.rounds++
-	return f.observePower(energy/f.roundDur+f.idlePower(), round)
+	p := energy/f.roundDur + f.idlePower()
+	f.fm.roundPower.Set(p)
+	prevBreach := f.lastBreachSeq
+	err := f.observePower(p, round)
+	// Sample the time-series store at this round boundary; a fresh window
+	// breach becomes the tick's cause so rule firings chain to it.
+	if f.opts.Series != nil {
+		var cause uint64
+		if f.lastBreachSeq != prevBreach {
+			cause = f.lastBreachSeq
+		}
+		f.opts.Series.Tick(round, f.rec, f.seq, cause)
+	}
+	return err
 }
 
 // TenantResult reports one tenant's end-of-run aggregate.

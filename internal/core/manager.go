@@ -9,6 +9,7 @@ import (
 	"ctgdvfs/internal/faults"
 	"ctgdvfs/internal/platform"
 	"ctgdvfs/internal/sched"
+	"ctgdvfs/internal/series"
 	"ctgdvfs/internal/sim"
 	"ctgdvfs/internal/stats"
 	"ctgdvfs/internal/stretch"
@@ -135,6 +136,16 @@ type Options struct {
 	// Fleet hands its tenants a common sequencer so ids stay unique in the
 	// merged stream.
 	Sequencer *telemetry.Sequencer
+	// Series, when non-nil, is ticked once per processed instance after the
+	// instance_finish event, sampling the manager's metrics registry into
+	// fixed-capacity time series (internal/series) on the deterministic
+	// sim-time axis (the instance index). The tick's cause is the
+	// instance_finish seq, so alert firings chain back to the instance that
+	// tripped them. Point the store at the same registry as Metrics — or, in
+	// parallel campaigns, at a mirror of the shared registry
+	// (telemetry.NewMirrorRegistry) so sampling stays deterministic. Nil
+	// (the default) disables sampling at the cost of one branch.
+	Series *series.Store
 
 	// thresholdSet / windowSet record explicit SetThreshold / SetWindow
 	// calls, so literal zeros are distinguishable from unset fields.
@@ -228,6 +239,10 @@ type Manager struct {
 	rec     telemetry.Recorder
 	metrics *telemetry.Registry
 	mm      managerMetrics
+	// missesTotal is this manager's own deadline-miss count, backing the
+	// adaptive.miss_rate gauge (the registry's miss counter may aggregate
+	// several managers and cannot be read back — see the comment above).
+	missesTotal int
 
 	// Provenance state (live only while rec != nil): the sequencer stamping
 	// event ids, the seq of the current instance's instance_start, the
@@ -275,6 +290,7 @@ type managerMetrics struct {
 	warmStarts, warmFallbacks     *telemetry.Counter
 	guardLevel, maxGuardLevel     *telemetry.Gauge
 	drift                         *telemetry.Gauge
+	missRate, missRateWindow      *telemetry.Gauge
 	lateness, makespan            *telemetry.HistogramMetric
 	pipeDiff, pipeDLS             *telemetry.HistogramMetric
 	pipeStretch, pipeValidate     *telemetry.HistogramMetric
@@ -297,25 +313,27 @@ func (m *Manager) resolveMetrics(reg *telemetry.Registry) {
 	}
 	m.metrics = reg
 	m.mm = managerMetrics{
-		instances:     reg.Counter("adaptive.instances"),
-		misses:        reg.Counter("adaptive.misses"),
-		overruns:      reg.Counter("adaptive.overruns"),
-		calls:         reg.Counter("adaptive.calls"),
-		cacheHits:     reg.Counter("adaptive.cache_hits"),
-		cacheMisses:   reg.Counter("adaptive.cache_misses"),
-		fallbacks:     reg.Counter("adaptive.fallback_activations"),
-		missesAvoided: reg.Counter("adaptive.misses_avoided"),
-		warmStarts:    reg.Counter("adaptive.warm_starts"),
-		warmFallbacks: reg.Counter("adaptive.warm_fallbacks"),
-		guardLevel:    reg.Gauge("adaptive.guard_level"),
-		maxGuardLevel: reg.Gauge("adaptive.max_guard_level"),
-		drift:         reg.Gauge("adaptive.drift"),
-		lateness:      reg.Histogram("adaptive.lateness", 0, hi, 64),
-		makespan:      reg.Histogram("adaptive.makespan", 0, 2*hi, 64),
-		pipeDiff:      reg.Histogram("adaptive.pipeline_diff_us", 0, spanHiUS, 64),
-		pipeDLS:       reg.Histogram("adaptive.pipeline_dls_us", 0, spanHiUS, 64),
-		pipeStretch:   reg.Histogram("adaptive.pipeline_stretch_us", 0, spanHiUS, 64),
-		pipeValidate:  reg.Histogram("adaptive.pipeline_validate_us", 0, spanHiUS, 64),
+		instances:      reg.Counter("adaptive.instances"),
+		misses:         reg.Counter("adaptive.misses"),
+		overruns:       reg.Counter("adaptive.overruns"),
+		calls:          reg.Counter("adaptive.calls"),
+		cacheHits:      reg.Counter("adaptive.cache_hits"),
+		cacheMisses:    reg.Counter("adaptive.cache_misses"),
+		fallbacks:      reg.Counter("adaptive.fallback_activations"),
+		missesAvoided:  reg.Counter("adaptive.misses_avoided"),
+		warmStarts:     reg.Counter("adaptive.warm_starts"),
+		warmFallbacks:  reg.Counter("adaptive.warm_fallbacks"),
+		guardLevel:     reg.Gauge("adaptive.guard_level"),
+		maxGuardLevel:  reg.Gauge("adaptive.max_guard_level"),
+		drift:          reg.Gauge("adaptive.drift"),
+		missRate:       reg.Gauge("adaptive.miss_rate"),
+		missRateWindow: reg.Gauge("adaptive.miss_rate_window"),
+		lateness:       reg.Histogram("adaptive.lateness", 0, hi, 64),
+		makespan:       reg.Histogram("adaptive.makespan", 0, 2*hi, 64),
+		pipeDiff:       reg.Histogram("adaptive.pipeline_diff_us", 0, spanHiUS, 64),
+		pipeDLS:        reg.Histogram("adaptive.pipeline_dls_us", 0, spanHiUS, 64),
+		pipeStretch:    reg.Histogram("adaptive.pipeline_stretch_us", 0, spanHiUS, 64),
+		pipeValidate:   reg.Histogram("adaptive.pipeline_validate_us", 0, spanHiUS, 64),
 	}
 }
 
@@ -1134,6 +1152,7 @@ func (m *Manager) Step(decisions []int) (StepResult, error) {
 	}
 	if !res.Instance.DeadlineMet {
 		m.mm.misses.Inc()
+		m.missesTotal++
 	}
 	if res.Instance.Overruns > 0 {
 		m.mm.overruns.Add(int64(res.Instance.Overruns))
@@ -1141,8 +1160,10 @@ func (m *Manager) Step(decisions []int) (StepResult, error) {
 	m.mm.lateness.Observe(res.Instance.Lateness)
 	m.mm.makespan.Observe(res.Instance.Makespan)
 	m.mm.drift.Set(res.Drift)
+	m.mm.missRate.Set(float64(m.missesTotal) / float64(m.instances))
+	var finSeq uint64
 	if m.rec != nil {
-		m.emit(telemetry.Event{
+		finSeq = m.emit(telemetry.Event{
 			Kind:        telemetry.KindInstanceFinish,
 			Instance:    idx,
 			Scenario:    res.Instance.Scenario,
@@ -1156,6 +1177,11 @@ func (m *Manager) Step(decisions []int) (StepResult, error) {
 			Level:       m.guardLevel,
 			Cause:       m.startSeq,
 		})
+	}
+	// Sample the time-series store at this instance boundary (the sim-time
+	// axis), chaining any alert firing to the instance_finish above.
+	if m.opts.Series != nil {
+		m.opts.Series.Tick(idx, m.rec, m.seq, finSeq)
 	}
 	return res, nil
 }
@@ -1183,6 +1209,7 @@ func (m *Manager) recordPrimaryOutcome(miss bool) bool {
 		return false
 	}
 	rate := float64(m.missCount) / float64(len(m.missRing))
+	m.mm.missRateWindow.Set(rate)
 	switch {
 	case rate > m.opts.MissRateBound && m.guardLevel < maxGuardLevel:
 		m.guardLevel++

@@ -8,6 +8,7 @@ import (
 	"ctgdvfs/internal/par"
 	"ctgdvfs/internal/platform"
 	"ctgdvfs/internal/power"
+	"ctgdvfs/internal/series"
 	"ctgdvfs/internal/telemetry"
 )
 
@@ -179,7 +180,7 @@ type ConsolidationResult struct {
 // ConsolidationCampaign runs the full sweep. rounds ≤ 0 selects
 // DefaultConsolidationRounds.
 func ConsolidationCampaign(rounds int) (*ConsolidationResult, error) {
-	res, _, err := consolidationN(rounds, false, nil, nil)
+	res, _, err := consolidationN(rounds, false, nil, nil, MonitorConfig{})
 	return res, err
 }
 
@@ -189,7 +190,7 @@ func ConsolidationCampaign(rounds int) (*ConsolidationResult, error) {
 // model from the spec when set, otherwise derived from the mix's measured
 // peak as in the default sweep.
 func ConsolidationCampaignBudget(rounds int, b power.Budget) (*ConsolidationResult, error) {
-	res, _, err := consolidationN(rounds, false, &b, nil)
+	res, _, err := consolidationN(rounds, false, &b, nil, MonitorConfig{})
 	return res, err
 }
 
@@ -200,7 +201,16 @@ func ConsolidationCampaignBudget(rounds int, b power.Budget) (*ConsolidationResu
 // nil). A non-nil override replaces the sweep as in
 // ConsolidationCampaignBudget.
 func ConsolidationCampaignObserved(rounds int, override *power.Budget, reg *telemetry.Registry) (*ConsolidationResult, *CampaignTelemetry, error) {
-	return consolidationN(rounds, true, override, reg)
+	return consolidationN(rounds, true, override, reg, MonitorConfig{})
+}
+
+// ConsolidationCampaignMonitored is ConsolidationCampaignObserved plus
+// time-series sampling: each cell's governed fleet samples a per-cell series
+// store (keyed like the recorders) on every round boundary and evaluates
+// mc.Rules against the samples. The stores arrive in
+// CampaignTelemetry.Series.
+func ConsolidationCampaignMonitored(rounds int, override *power.Budget, reg *telemetry.Registry, mc MonitorConfig) (*ConsolidationResult, *CampaignTelemetry, error) {
+	return consolidationN(rounds, true, override, reg, mc)
 }
 
 // consolidationCellKey names a cell's telemetry stream. Under an absolute
@@ -214,7 +224,7 @@ func consolidationCellKey(mix string, frac float64, override bool) string {
 	return fmt.Sprintf("%s@%.2f", mix, frac)
 }
 
-func consolidationN(rounds int, observed bool, override *power.Budget, reg *telemetry.Registry) (*ConsolidationResult, *CampaignTelemetry, error) {
+func consolidationN(rounds int, observed bool, override *power.Budget, reg *telemetry.Registry, mc MonitorConfig) (*ConsolidationResult, *CampaignTelemetry, error) {
 	if rounds <= 0 {
 		rounds = DefaultConsolidationRounds
 	}
@@ -237,6 +247,7 @@ func consolidationN(rounds int, observed bool, override *power.Budget, reg *tele
 			Metrics:   reg,
 			Recorders: make(map[string]*telemetry.MemoryRecorder),
 			Health:    make(map[string]*health.AnalyzerRecorder),
+			Series:    make(map[string]*series.Store),
 		}
 		// Pre-allocate every cell's streams so the parallel sweep only reads
 		// the maps. Each cell gets one recorder for the fleet's budget events
@@ -251,6 +262,14 @@ func consolidationN(rounds int, observed bool, override *power.Budget, reg *tele
 				for _, wi := range m.tenants {
 					tel.Recorders[key+"/"+ws[wi].name] = telemetry.NewMemoryRecorder()
 				}
+				// The governed arm samples a per-cell mirror of the shared
+				// registry, keeping the rings deterministic under the
+				// parallel sweep (see CampaignTelemetry.Series).
+				tel.Series[key] = series.NewStore(series.StoreOptions{
+					Registry: telemetry.NewMirrorRegistry(reg),
+					Capacity: mc.SeriesCapacity,
+					Rules:    mc.Rules,
+				})
 			}
 		}
 	}
@@ -317,6 +336,7 @@ func consolidationN(rounds int, observed bool, override *power.Budget, reg *tele
 		var fleetRec telemetry.Recorder
 		var tenantRec func(name string) telemetry.Recorder
 		var cellReg *telemetry.Registry
+		var cellSeries *series.Store
 		if tel != nil {
 			h := tel.Health[key]
 			fleetRec = telemetry.MultiRecorder{tel.Recorders[key], h}
@@ -324,12 +344,22 @@ func consolidationN(rounds int, observed bool, override *power.Budget, reg *tele
 				return telemetry.MultiRecorder{tel.Recorders[key+"/"+name], h}
 			}
 			cellReg = tel.Metrics
+			if cellSeries = tel.Series[key]; cellSeries != nil {
+				// The governed arm publishes into the cell's mirror registry
+				// (which forwards to the shared one) so its store samples
+				// only this cell's fleet.
+				cellReg = cellSeries.Registry()
+			}
 		}
-		gov, err := runConsolidationFleet(ws, m, rounds, budget, false, fleetRec, tenantRec, cellReg)
+		gov, err := runConsolidationFleet(ws, m, rounds, budget, false, fleetRec, tenantRec, cellReg, cellSeries)
 		if err != nil {
 			return cell, fmt.Errorf("exp: %s governed cap %.2f: %w", m.label, budget.Cap, err)
 		}
-		ungov, err := runConsolidationFleet(ws, m, rounds, budget, true, nil, nil, cellReg)
+		var ungovReg *telemetry.Registry
+		if tel != nil {
+			ungovReg = tel.Metrics
+		}
+		ungov, err := runConsolidationFleet(ws, m, rounds, budget, true, nil, nil, ungovReg)
 		if err != nil {
 			return cell, fmt.Errorf("exp: %s ungoverned cap %.2f: %w", m.label, budget.Cap, err)
 		}
@@ -345,10 +375,17 @@ func consolidationN(rounds int, observed bool, override *power.Budget, reg *tele
 
 // runConsolidationFleet builds and runs one fleet arm for a mix. tenantRec,
 // when non-nil, yields each tenant's own event recorder (tenant streams must
-// stay separate; they replay the same round numbering).
+// stay separate; they replay the same round numbering). An optional series
+// store (at most one) attaches round-boundary sampling to the fleet; pass
+// reg = st.Registry() alongside so the sampled rings see the fleet's writes.
 func runConsolidationFleet(ws []campaignWorkload, m consolidationMix, rounds int,
 	budget power.Budget, ungoverned bool, fleetRec telemetry.Recorder,
-	tenantRec func(name string) telemetry.Recorder, reg *telemetry.Registry) (*core.FleetResult, error) {
+	tenantRec func(name string) telemetry.Recorder, reg *telemetry.Registry,
+	st ...*series.Store) (*core.FleetResult, error) {
+	var fleetSeries *series.Store
+	if len(st) > 0 {
+		fleetSeries = st[0]
+	}
 	tenants := make([]core.Tenant, len(m.tenants))
 	vectors := make([][][]int, len(m.tenants))
 	for i, wi := range m.tenants {
@@ -376,6 +413,7 @@ func runConsolidationFleet(ws []campaignWorkload, m consolidationMix, rounds int
 		DeadlineFactor: DeadlineFactor,
 		Recorder:       fleetRec,
 		Metrics:        reg,
+		Series:         fleetSeries,
 	})
 	if err != nil {
 		return nil, err

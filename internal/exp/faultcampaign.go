@@ -11,6 +11,7 @@ import (
 	"ctgdvfs/internal/health"
 	"ctgdvfs/internal/par"
 	"ctgdvfs/internal/platform"
+	"ctgdvfs/internal/series"
 	"ctgdvfs/internal/sim"
 	"ctgdvfs/internal/telemetry"
 	"ctgdvfs/internal/trace"
@@ -127,7 +128,7 @@ func campaignWorkloads() ([]campaignWorkload, error) {
 // the slack — most of the DVFS saving, a bounded miss rate, and a full-speed
 // fallback for the instances the guard band cannot absorb.
 func FaultCampaign(spec faults.Spec, guard float64) (*FaultCampaignResult, error) {
-	return faultCampaignN(spec, guard, 0, nil)
+	return faultCampaignN(spec, guard, 0, nil, MonitorConfig{})
 }
 
 // CampaignTelemetry carries the observability side of an observed campaign:
@@ -145,6 +146,21 @@ type CampaignTelemetry struct {
 	// and hotspot attribution run live alongside the campaign, and the
 	// per-workload snapshots feed the harness's health summary.
 	Health map[string]*health.AnalyzerRecorder
+	// Series holds one time-series store per workload (or per consolidation
+	// cell), populated only by the Monitored campaign variants. Each store
+	// samples a private mirror of Metrics (telemetry.NewMirrorRegistry), so
+	// sampling is deterministic even though the workloads run in parallel:
+	// every write still forwards into the shared registry for the live
+	// /metrics view, but the per-workload rings see only their own producer.
+	Series map[string]*series.Store
+}
+
+// MonitorConfig configures the Monitored campaign variants: alert rules
+// evaluated per sample and the per-series ring capacity (0 selects
+// series.DefaultCapacity).
+type MonitorConfig struct {
+	Rules          []series.Rule
+	SeriesCapacity int
 }
 
 // FaultCampaignObserved is FaultCampaign with telemetry attached to the
@@ -153,6 +169,15 @@ type CampaignTelemetry struct {
 // summarizes the whole campaign. Pass a registry to watch the campaign live
 // (e.g. one already served over HTTP); nil allocates a private one.
 func FaultCampaignObserved(spec faults.Spec, guard float64, reg *telemetry.Registry) (*FaultCampaignResult, *CampaignTelemetry, error) {
+	return FaultCampaignMonitored(spec, guard, reg, MonitorConfig{})
+}
+
+// FaultCampaignMonitored is FaultCampaignObserved plus time-series sampling:
+// every workload's guarded runtime samples a per-workload series store on
+// each instance boundary and evaluates mc.Rules against the samples (alert
+// firings land in the workload's event stream with full Seq/Cause
+// provenance). The stores arrive in CampaignTelemetry.Series.
+func FaultCampaignMonitored(spec faults.Spec, guard float64, reg *telemetry.Registry, mc MonitorConfig) (*FaultCampaignResult, *CampaignTelemetry, error) {
 	if reg == nil {
 		reg = telemetry.NewRegistry()
 	}
@@ -160,8 +185,9 @@ func FaultCampaignObserved(spec faults.Spec, guard float64, reg *telemetry.Regis
 		Metrics:   reg,
 		Recorders: make(map[string]*telemetry.MemoryRecorder),
 		Health:    make(map[string]*health.AnalyzerRecorder),
+		Series:    make(map[string]*series.Store),
 	}
-	res, err := faultCampaignN(spec, guard, 0, tel)
+	res, err := faultCampaignN(spec, guard, 0, tel, mc)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -173,7 +199,7 @@ func FaultCampaignObserved(spec faults.Spec, guard float64, reg *telemetry.Regis
 // prefix so the campaign stays affordable under the race detector; the
 // truncation changes nothing but the sample size (instance i keeps fault
 // instance i).
-func faultCampaignN(spec faults.Spec, guard float64, maxVec int, tel *CampaignTelemetry) (*FaultCampaignResult, error) {
+func faultCampaignN(spec faults.Spec, guard float64, maxVec int, tel *CampaignTelemetry, mc MonitorConfig) (*FaultCampaignResult, error) {
 	workloads, err := campaignWorkloads()
 	if err != nil {
 		return nil, err
@@ -198,6 +224,17 @@ func faultCampaignN(spec faults.Spec, guard float64, maxVec int, tel *CampaignTe
 				tel.Health[w.name] = health.New(health.Options{
 					Alerts:  rec,
 					Metrics: tel.Metrics,
+				})
+			}
+			if tel.Series != nil {
+				// Each workload samples its own mirror of the campaign
+				// registry — the mirror forwards every write to the shared
+				// parent, so the aggregate /metrics view is unchanged while
+				// the sampled rings stay deterministic under the fan-out.
+				tel.Series[w.name] = series.NewStore(series.StoreOptions{
+					Registry: telemetry.NewMirrorRegistry(tel.Metrics),
+					Capacity: mc.SeriesCapacity,
+					Rules:    mc.Rules,
 				})
 			}
 		}
@@ -232,6 +269,12 @@ func faultCampaignN(spec faults.Spec, guard float64, maxVec int, tel *CampaignTe
 				gopts.Recorder = telemetry.MultiRecorder{tel.Recorders[w.name], h}
 			}
 			gopts.Metrics = tel.Metrics
+			if st := tel.Series[w.name]; st != nil {
+				// The manager publishes into the workload's mirror registry
+				// (which forwards to the shared one) and ticks its store.
+				gopts.Metrics = st.Registry()
+				gopts.Series = st
+			}
 		}
 		guarded, err := core.New(w.g, w.p, gopts)
 		if err != nil {

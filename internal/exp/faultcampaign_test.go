@@ -24,7 +24,7 @@ func TestFaultCampaignAcceptance(t *testing.T) {
 	if testing.Short() {
 		t.Skip("fault campaign replays hundreds of faulty instances per runtime")
 	}
-	r, err := faultCampaignN(DefaultCampaignSpec(), DefaultCampaignGuard, campaignTestVectors, nil)
+	r, err := faultCampaignN(DefaultCampaignSpec(), DefaultCampaignGuard, campaignTestVectors, nil, MonitorConfig{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -72,7 +72,7 @@ func TestFaultCampaignObservedHealth(t *testing.T) {
 	if testing.Short() {
 		t.Skip("fault campaign replays hundreds of faulty instances per runtime")
 	}
-	plain, err := faultCampaignN(DefaultCampaignSpec(), DefaultCampaignGuard, campaignTestVectors, nil)
+	plain, err := faultCampaignN(DefaultCampaignSpec(), DefaultCampaignGuard, campaignTestVectors, nil, MonitorConfig{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -82,7 +82,7 @@ func TestFaultCampaignObservedHealth(t *testing.T) {
 		Recorders: make(map[string]*telemetry.MemoryRecorder),
 		Health:    make(map[string]*health.AnalyzerRecorder),
 	}
-	observed, err := faultCampaignN(DefaultCampaignSpec(), DefaultCampaignGuard, campaignTestVectors, tel)
+	observed, err := faultCampaignN(DefaultCampaignSpec(), DefaultCampaignGuard, campaignTestVectors, tel, MonitorConfig{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -134,7 +134,7 @@ func TestFaultCampaignDeterministicAcrossWorkerBounds(t *testing.T) {
 	var base *FaultCampaignResult
 	for _, workers := range []int{1, 4} {
 		prev := par.SetLimit(workers)
-		r, err := faultCampaignN(DefaultCampaignSpec(), DefaultCampaignGuard, campaignTestVectors, nil)
+		r, err := faultCampaignN(DefaultCampaignSpec(), DefaultCampaignGuard, campaignTestVectors, nil, MonitorConfig{})
 		par.SetLimit(prev)
 		if err != nil {
 			t.Fatal(err)

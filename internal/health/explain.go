@@ -64,6 +64,8 @@ var decisionKinds = map[telemetry.Kind]bool{
 	telemetry.KindPERevoked:      true,
 	telemetry.KindTenantDegraded: true,
 	telemetry.KindTenantRestored: true,
+	telemetry.KindAlertFiring:    true,
+	telemetry.KindAlertResolved:  true,
 }
 
 // Describe renders one event as the one-line description Explain's output
@@ -310,6 +312,11 @@ func describeEvent(e telemetry.Event) string {
 		default:
 			return fmt.Sprintf("tenant %q restored: %s (ladder level %d)", e.Name, e.Reason, e.Level)
 		}
+	case telemetry.KindAlertFiring:
+		return fmt.Sprintf("alert %q firing: %s = %.4g crossed %.4g (held %d samples)",
+			e.Name, e.Reason, e.Value, e.Threshold, e.Level)
+	case telemetry.KindAlertResolved:
+		return fmt.Sprintf("alert %q resolved: %s = %.4g back in bounds", e.Name, e.Reason, e.Value)
 	case telemetry.KindTaskSlice:
 		name := e.Name
 		if name == "" {

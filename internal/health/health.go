@@ -176,13 +176,14 @@ type AnalyzerRecorder struct {
 	mu   sync.Mutex
 	opts Options
 
-	events int
-	drift  driftState
-	slo    sloState
-	hot    hotState
-	avail  availState
-	power  powerState
-	pipe   pipeState
+	events  int
+	drift   driftState
+	slo     sloState
+	hot     hotState
+	avail   availState
+	power   powerState
+	pipe    pipeState
+	salerts seriesAlertState
 
 	timeline        []TimelineEntry
 	timelineDropped int
@@ -262,6 +263,8 @@ func (a *AnalyzerRecorder) Record(e telemetry.Event) {
 		a.power.observe(a, e)
 	case telemetry.KindSpan:
 		a.pipe.observe(e)
+	case telemetry.KindAlertFiring, telemetry.KindAlertResolved:
+		a.salerts.observe(a, e)
 	}
 }
 
@@ -315,6 +318,7 @@ func (a *AnalyzerRecorder) Health() Snapshot {
 		Availability:    a.avail.snapshot(),
 		Power:           a.power.snapshot(),
 		Pipeline:        a.pipe.snapshot(),
+		SeriesAlerts:    a.salerts.snapshot(),
 		Timeline:        append([]TimelineEntry(nil), a.timeline...),
 		TimelineDropped: a.timelineDropped,
 		Alerts:          append([]Alert(nil), a.alerts...),

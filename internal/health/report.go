@@ -23,6 +23,10 @@ type Snapshot struct {
 	// Pipeline is nil when the stream carried no pipeline_span events, so
 	// pre-provenance captures render unchanged.
 	Pipeline *PipelineStatus `json:"pipeline,omitempty"`
+	// SeriesAlerts is nil when the stream carried no alert_firing/
+	// alert_resolved events (no alerting rules were configured), so rule-less
+	// captures render unchanged.
+	SeriesAlerts *SeriesAlertsStatus `json:"series_alerts,omitempty"`
 
 	Timeline        []TimelineEntry `json:"timeline,omitempty"`
 	TimelineDropped int             `json:"timeline_dropped,omitempty"`
@@ -133,6 +137,20 @@ func (s Snapshot) Report() string {
 		for _, p := range s.Pipeline.Phases {
 			fmt.Fprintf(&b, "  phase %-9s runs %-5d mean %.1fus  min %.1fus  max %.1fus  total %.1fus\n",
 				p.Phase, p.Count, p.Mean, p.Min, p.Max, p.Total)
+		}
+	}
+
+	if s.SeriesAlerts != nil {
+		b.WriteString("\nmetric rule alerts\n")
+		fmt.Fprintf(&b, "  firings %d  resolved %d\n",
+			s.SeriesAlerts.Firings, s.SeriesAlerts.Resolved)
+		for _, r := range s.SeriesAlerts.Rules {
+			state := "ok"
+			if r.Firing {
+				state = "FIRING"
+			}
+			fmt.Fprintf(&b, "  rule %-16s %s = %.4g vs %.4g  firings %d  [%s]\n",
+				r.Rule, r.Metric, r.Value, r.Threshold, r.Firings, state)
 		}
 	}
 

@@ -1,0 +1,90 @@
+package series
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+)
+
+// SeriesDump is one series in on-disk form: parallel tick/value arrays,
+// oldest first.
+type SeriesDump struct {
+	Name string    `json:"name"`
+	T    []int     `json:"t"`
+	V    []float64 `json:"v"`
+}
+
+// Dump is the replayable on-disk form of a store: every series (sorted by
+// name) plus the rule statuses at dump time. `ctgsched watch -dump` renders
+// one directly.
+type Dump struct {
+	Capacity int           `json:"capacity"`
+	Ticks    int           `json:"ticks"`
+	Series   []SeriesDump  `json:"series"`
+	Alerts   []AlertStatus `json:"alerts,omitempty"`
+}
+
+func dumpFrom(capacity, ticks int, byName map[string]*Series, alerts []AlertStatus) Dump {
+	d := Dump{Capacity: capacity, Ticks: ticks, Alerts: alerts}
+	names := make([]string, 0, len(byName))
+	for n := range byName {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		s := byName[name]
+		sd := SeriesDump{Name: name, T: make([]int, s.Len()), V: make([]float64, s.Len())}
+		for i := 0; i < s.Len(); i++ {
+			sd.T[i], sd.V[i] = s.At(i)
+		}
+		d.Series = append(d.Series, sd)
+	}
+	return d
+}
+
+// Dump captures the store's full contents, series sorted by name.
+func (st *Store) Dump() Dump {
+	if st == nil {
+		return Dump{}
+	}
+	return dumpFrom(st.capacity, st.ticks, st.byName, st.Alerts())
+}
+
+// WriteJSON writes the dump as indented JSON (series pre-sorted by name, so
+// output is deterministic).
+func (st *Store) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(st.Dump())
+}
+
+// ReadDump decodes a dump written by WriteJSON.
+func ReadDump(r io.Reader) (Dump, error) {
+	var d Dump
+	if err := json.NewDecoder(r).Decode(&d); err != nil {
+		return Dump{}, fmt.Errorf("series: read dump: %w", err)
+	}
+	return d, nil
+}
+
+// LoadDump reads a dump file.
+func LoadDump(path string) (Dump, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return Dump{}, err
+	}
+	defer f.Close()
+	return ReadDump(f)
+}
+
+// Get returns the named series of the dump (nil when absent).
+func (d Dump) Get(name string) *SeriesDump {
+	for i := range d.Series {
+		if d.Series[i].Name == name {
+			return &d.Series[i]
+		}
+	}
+	return nil
+}

@@ -1,0 +1,54 @@
+package series
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"ctgdvfs/internal/telemetry"
+)
+
+// TestDumpRoundTrip checks WriteJSON/ReadDump preserve the store's contents
+// exactly, including rule statuses.
+func TestDumpRoundTrip(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	c := reg.Counter("c")
+	g := reg.Gauge("g")
+	st := NewStore(StoreOptions{Registry: reg, Capacity: 8, Rules: []Rule{
+		{Name: "hot", Metric: "g", Value: 0.5},
+	}})
+	rec := telemetry.NewMemoryRecorder()
+	for i := 0; i < 5; i++ {
+		c.Inc()
+		g.Set(float64(i) / 4)
+		st.Tick(i, rec, nil, 0)
+	}
+
+	var buf bytes.Buffer
+	if err := st.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadDump(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := st.Dump()
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("round-trip mismatch:\ngot  %+v\nwant %+v", got, want)
+	}
+	if gs := got.Get("g"); gs == nil || len(gs.V) != 5 || gs.V[4] != 1 {
+		t.Fatalf("gauge series after round-trip: %+v", got.Get("g"))
+	}
+	if len(got.Alerts) != 1 || !got.Alerts[0].Firing {
+		t.Fatalf("alert status after round-trip: %+v", got.Alerts)
+	}
+	if got.Get("missing") != nil {
+		t.Fatal("Get on absent series must return nil")
+	}
+}
+
+func TestReadDumpRejectsGarbage(t *testing.T) {
+	if _, err := ReadDump(bytes.NewReader([]byte("{not json"))); err == nil {
+		t.Fatal("garbage dump accepted")
+	}
+}

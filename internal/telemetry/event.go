@@ -98,6 +98,15 @@ const (
 	// Name (phase: "diff", "dls", "stretch", "validate"), Value (wall time
 	// in microseconds), Cause (the trigger the pipeline ran for).
 	KindSpan Kind = "pipeline_span"
+	// KindAlertFiring is one series-rule alert starting to fire
+	// (internal/series): Instance (sample tick), Name (rule name), Reason
+	// (watched metric), Value (observed), Threshold (rule bound), Level
+	// (consecutive breaching samples), Cause (the instance_finish — or the
+	// fleet round's budget breach — the triggering sample was taken at).
+	KindAlertFiring Kind = "alert_firing"
+	// KindAlertResolved closes a firing series-rule alert: the same fields
+	// as KindAlertFiring, with Cause the alert_firing being resolved.
+	KindAlertResolved Kind = "alert_resolved"
 )
 
 // Event is one telemetry record. A single flat struct (rather than one type

@@ -1,0 +1,86 @@
+package telemetry
+
+import "testing"
+
+// TestMirrorRegistryForwards checks the mirror contract: every write through
+// a mirror handle lands in both the mirror and the same-named parent handle,
+// so private per-runtime registries stay samplable while a shared parent
+// aggregates for live exposition.
+func TestMirrorRegistryForwards(t *testing.T) {
+	parent := NewRegistry()
+	m1 := NewMirrorRegistry(parent)
+	m2 := NewMirrorRegistry(parent)
+
+	m1.Counter("c").Add(2)
+	m2.Counter("c").Inc()
+	if got := parent.Counter("c").Value(); got != 3 {
+		t.Fatalf("parent counter = %d, want 3 (sum of mirrors)", got)
+	}
+	if got := m1.Counter("c").Value(); got != 2 {
+		t.Fatalf("mirror counter = %d, want its own 2", got)
+	}
+
+	m1.Gauge("g").Set(1.5)
+	if got := parent.Gauge("g").Value(); got != 1.5 {
+		t.Fatalf("parent gauge = %g after mirror Set", got)
+	}
+	m1.Gauge("max").SetMax(5)
+	m2.Gauge("max").SetMax(3)
+	if got := parent.Gauge("max").Value(); got != 5 {
+		t.Fatalf("parent max gauge = %g, want 5", got)
+	}
+	if got := m2.Gauge("max").Value(); got != 3 {
+		t.Fatalf("mirror max gauge = %g, want its own 3", got)
+	}
+
+	m1.Histogram("h", 0, 10, 5).Observe(2)
+	m2.Histogram("h", 0, 10, 5).Observe(4)
+	if got := parent.Histogram("h", 0, 10, 5).Snapshot().Count; got != 2 {
+		t.Fatalf("parent histogram count = %d, want 2", got)
+	}
+	if got := m1.Histogram("h", 0, 10, 5).Snapshot().Count; got != 1 {
+		t.Fatalf("mirror histogram count = %d, want 1", got)
+	}
+
+	// A plain registry has no parent: writes stay local.
+	if parent.Counter("c").Value() != 3 {
+		t.Fatal("parent reads must not double-count")
+	}
+}
+
+// TestRegistrySizesAndVisit covers the sweep API the series sampler is built
+// on: Sizes as the cheap change check, Visit* as the handle enumeration.
+func TestRegistrySizesAndVisit(t *testing.T) {
+	r := NewRegistry()
+	if c, g, h := r.Sizes(); c != 0 || g != 0 || h != 0 {
+		t.Fatalf("empty registry sizes = %d/%d/%d", c, g, h)
+	}
+	r.Counter("a").Add(1)
+	r.Counter("b").Add(2)
+	r.Gauge("g").Set(3)
+	r.Histogram("h", 0, 10, 5).Observe(4)
+	if c, g, h := r.Sizes(); c != 2 || g != 1 || h != 1 {
+		t.Fatalf("sizes = %d/%d/%d, want 2/1/1", c, g, h)
+	}
+	// Re-fetching a handle must not grow the registry.
+	r.Counter("a").Add(1)
+	if c, _, _ := r.Sizes(); c != 2 {
+		t.Fatalf("counter count grew to %d on re-fetch", c)
+	}
+
+	counters := map[string]int64{}
+	r.VisitCounters(func(name string, c *Counter) { counters[name] = c.Value() })
+	if len(counters) != 2 || counters["a"] != 2 || counters["b"] != 2 {
+		t.Fatalf("VisitCounters saw %v", counters)
+	}
+	gauges := map[string]float64{}
+	r.VisitGauges(func(name string, g *Gauge) { gauges[name] = g.Value() })
+	if len(gauges) != 1 || gauges["g"] != 3 {
+		t.Fatalf("VisitGauges saw %v", gauges)
+	}
+	hists := map[string]uint64{}
+	r.VisitHistograms(func(name string, h *HistogramMetric) { hists[name] = h.Snapshot().Count })
+	if len(hists) != 1 || hists["h"] != 1 {
+		t.Fatalf("VisitHistograms saw %v", hists)
+	}
+}

@@ -1,0 +1,97 @@
+package telemetry
+
+import (
+	"bufio"
+	"io"
+	"math"
+	"net/http"
+	"strconv"
+)
+
+// promName sanitizes a registry metric name into the Prometheus name charset
+// [a-zA-Z_:][a-zA-Z0-9_:]*. Dots and any other invalid runes become
+// underscores ("adaptive.miss_rate" → "adaptive_miss_rate"); a leading digit
+// gets an underscore prefix. The mapping is stable, so sorted registry order
+// stays sorted exposition order.
+func promName(name string) string {
+	if name == "" {
+		return "_"
+	}
+	b := make([]byte, 0, len(name))
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+			b = append(b, c)
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				b = append(b, '_')
+			}
+			b = append(b, c)
+		default:
+			b = append(b, '_')
+		}
+	}
+	return string(b)
+}
+
+// promValue formats a sample value the way the text exposition format wants
+// it: shortest round-trip float, with Prometheus' spellings for the
+// non-finite values.
+func promValue(v float64) string {
+	switch {
+	case math.IsNaN(v):
+		return "NaN"
+	case math.IsInf(v, +1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WriteProm renders the registry in the Prometheus text exposition format
+// (version 0.0.4): counters as `counter`, gauges as `gauge`, and histogram
+// metrics as `summary` (pre-computed p50/p95/p99 quantiles plus _sum and
+// _count — the fixed-bucket layout is internal, the quantiles are what the
+// registry guarantees). Families are emitted in sorted sanitized-name order,
+// so scrapes diff cleanly across runs (same contract as WriteJSON).
+func (r *Registry) WriteProm(w io.Writer) error {
+	s := r.Snapshot()
+	bw := bufio.NewWriter(w)
+
+	for _, name := range sortedKeys(s.Counters) {
+		n := promName(name)
+		bw.WriteString("# TYPE " + n + " counter\n")
+		bw.WriteString(n + " " + strconv.FormatInt(s.Counters[name], 10) + "\n")
+	}
+	for _, name := range sortedKeys(s.Gauges) {
+		n := promName(name)
+		bw.WriteString("# TYPE " + n + " gauge\n")
+		bw.WriteString(n + " " + promValue(s.Gauges[name]) + "\n")
+	}
+	for _, name := range sortedKeys(s.Histograms) {
+		h := s.Histograms[name]
+		n := promName(name)
+		bw.WriteString("# TYPE " + n + " summary\n")
+		bw.WriteString(n + "{quantile=\"0.5\"} " + promValue(h.P50) + "\n")
+		bw.WriteString(n + "{quantile=\"0.95\"} " + promValue(h.P95) + "\n")
+		bw.WriteString(n + "{quantile=\"0.99\"} " + promValue(h.P99) + "\n")
+		sum := h.Mean * float64(h.Count)
+		if h.Count == 0 {
+			sum = 0
+		}
+		bw.WriteString(n + "_sum " + promValue(sum) + "\n")
+		bw.WriteString(n + "_count " + strconv.FormatUint(h.Count, 10) + "\n")
+	}
+	return bw.Flush()
+}
+
+// ServeProm exposes WriteProm over HTTP — mount it at /metrics/prom next to
+// the JSON ServeHTTP endpoint.
+func (r *Registry) ServeProm(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	if err := r.WriteProm(w); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}

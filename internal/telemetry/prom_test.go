@@ -1,0 +1,113 @@
+package telemetry
+
+import (
+	"bytes"
+	"math"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestWriteProm(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("adaptive.misses").Add(3)
+	reg.Gauge("power.cap").Set(1.5)
+	reg.Gauge("weird").Set(math.Inf(1))
+	h := reg.Histogram("adaptive.makespan", 0, 10, 10)
+	h.Observe(2)
+	h.Observe(4)
+
+	var buf bytes.Buffer
+	if err := reg.WriteProm(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# TYPE adaptive_misses counter\nadaptive_misses 3\n",
+		"# TYPE power_cap gauge\npower_cap 1.5\n",
+		"weird +Inf\n",
+		"# TYPE adaptive_makespan summary\n",
+		"adaptive_makespan{quantile=\"0.5\"} ",
+		"adaptive_makespan{quantile=\"0.95\"} ",
+		"adaptive_makespan{quantile=\"0.99\"} ",
+		"adaptive_makespan_sum 6\n",
+		"adaptive_makespan_count 2\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	// Every line is either a TYPE comment or a name value sample.
+	for _, line := range strings.Split(strings.TrimRight(out, "\n"), "\n") {
+		if strings.HasPrefix(line, "# TYPE ") {
+			continue
+		}
+		if parts := strings.Split(line, " "); len(parts) != 2 {
+			t.Errorf("malformed sample line %q", line)
+		}
+	}
+}
+
+// TestWritePromSanitizesNames pins the name mapping: dots and invalid runes
+// become underscores and a leading digit gets a prefix.
+func TestWritePromSanitizesNames(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("0day.count-total").Inc()
+	var buf bytes.Buffer
+	if err := reg.WriteProm(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "_0day_count_total 1\n") {
+		t.Fatalf("name not sanitized:\n%s", buf.String())
+	}
+}
+
+// TestExpositionDeterministic pins the sorted-output contract of both
+// exposition formats: two registries holding the same metrics, registered in
+// different orders, serialize byte-identically.
+func TestExpositionDeterministic(t *testing.T) {
+	build := func(order []string) *Registry {
+		reg := NewRegistry()
+		for _, n := range order {
+			reg.Counter("c." + n).Add(int64(len(n)))
+			reg.Gauge("g." + n).Set(0.5)
+			reg.Histogram("h."+n, 0, 10, 4).Observe(3)
+		}
+		return reg
+	}
+	a := build([]string{"beta", "alpha", "gamma"})
+	b := build([]string{"gamma", "beta", "alpha"})
+
+	var aProm, bProm, aJSON, bJSON bytes.Buffer
+	if err := a.WriteProm(&aProm); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.WriteProm(&bProm); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(aProm.Bytes(), bProm.Bytes()) {
+		t.Fatalf("WriteProm depends on registration order:\n%s\nvs\n%s", aProm.String(), bProm.String())
+	}
+	if err := a.WriteJSON(&aJSON); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.WriteJSON(&bJSON); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(aJSON.Bytes(), bJSON.Bytes()) {
+		t.Fatalf("WriteJSON depends on registration order:\n%s\nvs\n%s", aJSON.String(), bJSON.String())
+	}
+}
+
+func TestServeProm(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("c").Inc()
+	rr := httptest.NewRecorder()
+	reg.ServeProm(rr, httptest.NewRequest("GET", "/metrics/prom", nil))
+	if ct := rr.Header().Get("Content-Type"); ct != "text/plain; version=0.0.4; charset=utf-8" {
+		t.Fatalf("Content-Type = %q", ct)
+	}
+	if !strings.Contains(rr.Body.String(), "c 1\n") {
+		t.Fatalf("body:\n%s", rr.Body.String())
+	}
+}

@@ -1,0 +1,156 @@
+// Command promlint checks a Prometheus text-exposition file (version 0.0.4,
+// as written by `experiments -prom-out` / served at /metrics/prom) for the
+// format invariants scrapers rely on:
+//
+//   - every metric name matches [a-zA-Z_:][a-zA-Z0-9_:]*
+//   - every family's # TYPE comment precedes its samples, exactly once
+//   - the TYPE is one of counter, gauge, summary, histogram, untyped
+//   - every sample value parses as a float (NaN/+Inf/-Inf included)
+//   - quantile-labeled samples and _sum/_count only appear under summaries
+//
+// Usage:
+//
+//	go run ./scripts/promlint metrics.prom
+//
+// Exits non-zero listing every violation — the verify.sh exposition check.
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+var (
+	nameRE  = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+	typeRE  = regexp.MustCompile(`^# TYPE ([^ ]+) ([a-z]+)$`)
+	validTy = map[string]bool{"counter": true, "gauge": true, "summary": true, "histogram": true, "untyped": true}
+)
+
+// family strips the _sum/_count suffixes so summary samples resolve to their
+// declared family.
+func family(name string, types map[string]string) string {
+	for _, suf := range []string{"_sum", "_count"} {
+		if base, ok := strings.CutSuffix(name, suf); ok {
+			if _, declared := types[base]; declared {
+				return base
+			}
+		}
+	}
+	return name
+}
+
+func lint(path string) []string {
+	f, err := os.Open(path)
+	if err != nil {
+		return []string{err.Error()}
+	}
+	defer f.Close()
+
+	var errs []string
+	types := map[string]string{}
+	sampled := map[string]bool{}
+	sc := bufio.NewScanner(f)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		fail := func(format string, args ...any) {
+			errs = append(errs, fmt.Sprintf("%s:%d: %s (%q)", path, lineNo, fmt.Sprintf(format, args...), line))
+		}
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			m := typeRE.FindStringSubmatch(line)
+			if m == nil {
+				if strings.HasPrefix(line, "# TYPE") {
+					fail("malformed TYPE comment")
+				}
+				continue // other comments (# HELP etc.) pass through
+			}
+			name, ty := m[1], m[2]
+			if !nameRE.MatchString(name) {
+				fail("invalid metric name %q", name)
+			}
+			if !validTy[ty] {
+				fail("invalid type %q", ty)
+			}
+			if _, dup := types[name]; dup {
+				fail("duplicate TYPE for %q", name)
+			}
+			if sampled[name] {
+				fail("TYPE for %q after its samples", name)
+			}
+			types[name] = ty
+			continue
+		}
+		// Sample line: name[{labels}] value
+		rest := line
+		labels := ""
+		if i := strings.IndexByte(rest, '{'); i >= 0 {
+			j := strings.IndexByte(rest, '}')
+			if j < i {
+				fail("unbalanced label braces")
+				continue
+			}
+			labels = rest[i+1 : j]
+			rest = rest[:i] + rest[j+1:]
+		}
+		parts := strings.Fields(rest)
+		if len(parts) != 2 {
+			fail("want `name value`, got %d fields", len(parts))
+			continue
+		}
+		name := parts[0]
+		if !nameRE.MatchString(name) {
+			fail("invalid metric name %q", name)
+		}
+		if _, err := strconv.ParseFloat(parts[1], 64); err != nil {
+			fail("unparseable value %q", parts[1])
+		}
+		fam := family(name, types)
+		ty, declared := types[fam]
+		if !declared {
+			fail("sample for %q precedes (or lacks) its TYPE", name)
+		}
+		sampled[fam] = true
+		if strings.Contains(labels, "quantile=") && ty != "summary" {
+			fail("quantile label on non-summary family %q", fam)
+		}
+		if fam != name && ty != "summary" && ty != "histogram" {
+			fail("%s suffix on non-summary family %q", strings.TrimPrefix(name, fam), fam)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		errs = append(errs, err.Error())
+	}
+	if len(types) == 0 && len(errs) == 0 {
+		errs = append(errs, path+": no metric families found")
+	}
+	return errs
+}
+
+func main() {
+	if len(os.Args) < 2 {
+		fmt.Fprintln(os.Stderr, "usage: promlint FILE...")
+		os.Exit(2)
+	}
+	failed := false
+	for _, path := range os.Args[1:] {
+		if errs := lint(path); len(errs) > 0 {
+			failed = true
+			for _, e := range errs {
+				fmt.Fprintln(os.Stderr, "promlint: "+e)
+			}
+		} else {
+			fmt.Printf("promlint: %s OK\n", path)
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+}

@@ -10,9 +10,11 @@
 #   failover-campaign run of the fault-tolerance layer, a bounded run of the
 #   consolidation campaign (power-budget governor vs ungoverned baseline), a
 #   bounded run of the large-scale warm-start tier (one 10^3-task cell), an
-#   end-to-end health-analyzer pass over a captured event stream, and an
+#   end-to-end health-analyzer pass over a captured event stream, an
 #   end-to-end provenance pass (captured campaign streams + flight-recorder
-#   dumps replayed through `ctgsched explain`).
+#   dumps replayed through `ctgsched explain`), and an end-to-end monitoring
+#   pass (alert rules + series capture replayed through `ctgsched explain`
+#   and `ctgsched watch`, with the Prometheus exposition linted).
 # Run from anywhere; operates on the repo root.
 set -eu
 
@@ -40,7 +42,7 @@ echo "== bench smoke (1 iteration each) =="
 go test -run '^$' -bench . -benchtime 1x ./... >/dev/null
 
 echo "== bench-regression gate =="
-go run ./scripts/benchgate BENCH_parallel.json BENCH_telemetry.json BENCH_failover.json BENCH_scale.json BENCH_consolidation.json BENCH_provenance.json
+go run ./scripts/benchgate BENCH_parallel.json BENCH_telemetry.json BENCH_failover.json BENCH_scale.json BENCH_consolidation.json BENCH_provenance.json BENCH_monitor.json
 
 echo "== fuzz smoke (parser, 5s) =="
 go test -run '^$' -fuzz FuzzRead -fuzztime 5s ./internal/ctgio >/dev/null
@@ -79,5 +81,17 @@ go run ./cmd/ctgsched explain -kind fallback "$prov_dir/ev-cruise.jsonl" >/dev/n
 go run ./cmd/ctgsched explain "$prov_dir/fl-mpeg-1.jsonl" >/dev/null
 go run ./cmd/ctgsched explain "$prov_dir/fl-mpeg-final.jsonl" >/dev/null
 rm -rf "$prov_dir"
+
+echo "== monitoring smoke (rules + series + watch + promlint) =="
+mon_dir="$(mktemp -d)"
+go run ./cmd/experiments -exp faults -rules examples/watch/rules.json \
+	-series-out "$mon_dir/se" -events-out "$mon_dir/ev" \
+	-prom-out "$mon_dir/metrics.prom" >/dev/null
+# The miss-rate rule fires during the campaign; its cause chain must resolve
+# back through the triggering instance_finish.
+go run ./cmd/ctgsched explain -kind alert_firing "$mon_dir/ev-mpeg.jsonl" >/dev/null
+go run ./cmd/ctgsched watch -dump "$mon_dir/se-mpeg.json" >/dev/null
+go run ./scripts/promlint "$mon_dir/metrics.prom" >/dev/null
+rm -rf "$mon_dir"
 
 echo "verify: OK"
