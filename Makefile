@@ -1,6 +1,6 @@
 # Standard entry points; `make verify` is the gate a change must pass.
 
-.PHONY: build test race cover bench bench-parallel bench-telemetry bench-failover bench-scale bench-consolidation bench-provenance bench-monitor benchgate bench-baseline fuzz-smoke fault-smoke failover-smoke consolidation-smoke scale-smoke telemetry-smoke analyze-smoke explain-smoke watch-smoke verify
+.PHONY: build test race cover bench bench-parallel bench-telemetry bench-failover bench-scale bench-consolidation bench-provenance bench-monitor bench-daemon benchgate bench-baseline fuzz-smoke fault-smoke failover-smoke consolidation-smoke scale-smoke telemetry-smoke analyze-smoke explain-smoke watch-smoke chaos-smoke daemon-smoke verify
 
 build:
 	go build ./...
@@ -84,14 +84,30 @@ telemetry-smoke:
 	go run ./cmd/experiments -exp faults -trace-out /tmp/ctgdvfs_trace.json
 	go run ./scripts/checktrace /tmp/ctgdvfs_trace.json
 
+# Daemon request overhead: steady-state serve loop (alloc-gated) and the
+# full-reschedule worst case; see BENCH_daemon.json for a recorded baseline.
+bench-daemon:
+	go test -run '^$$' -bench 'DaemonStep(Serve|Resched)' -benchmem .
+
+# Daemon chaos campaign: panic isolation, request floods and a kill-restart
+# cycle against an in-process baseline/chaos daemon pair.
+chaos-smoke:
+	go run ./cmd/experiments -exp daemon
+
+# End-to-end daemon smoke: build the real ctgschedd binary, submit the mpeg
+# tenant over HTTP, SIGKILL it mid-run, restart on the same checkpoint
+# directory and verify the resume is bit-for-bit.
+daemon-smoke:
+	go run ./scripts/daemonsmoke
+
 # Bench-regression gate: re-run the baselined benchmarks and fail on >10%
 # ns/op regressions against the committed BENCH_*.json files.
 benchgate:
-	go run ./scripts/benchgate BENCH_parallel.json BENCH_telemetry.json BENCH_failover.json BENCH_scale.json BENCH_consolidation.json BENCH_provenance.json BENCH_monitor.json
+	go run ./scripts/benchgate BENCH_parallel.json BENCH_telemetry.json BENCH_failover.json BENCH_scale.json BENCH_consolidation.json BENCH_provenance.json BENCH_monitor.json BENCH_daemon.json
 
 # Re-bless the benchmark baselines on this host (after a deliberate change).
 bench-baseline:
-	go run ./scripts/benchgate -update BENCH_parallel.json BENCH_telemetry.json BENCH_failover.json BENCH_scale.json BENCH_consolidation.json BENCH_provenance.json BENCH_monitor.json
+	go run ./scripts/benchgate -update BENCH_parallel.json BENCH_telemetry.json BENCH_failover.json BENCH_scale.json BENCH_consolidation.json BENCH_provenance.json BENCH_monitor.json BENCH_daemon.json
 
 # End-to-end health pipeline: capture a JSONL event stream from the telemetry
 # example, then run the offline analyzer over it.

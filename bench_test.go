@@ -7,13 +7,17 @@ package ctgdvfs_test
 // metrics so a bench run doubles as a compact reproduction record.
 
 import (
+	"context"
 	"testing"
 
 	"ctgdvfs"
+	"ctgdvfs/internal/apps/mpeg"
 	"ctgdvfs/internal/core"
 	"ctgdvfs/internal/exp"
 	"ctgdvfs/internal/sched"
+	"ctgdvfs/internal/serve"
 	"ctgdvfs/internal/stretch"
+	"ctgdvfs/internal/trace"
 )
 
 // BenchmarkTable1 regenerates Table 1: online heuristic vs reference
@@ -893,6 +897,66 @@ func BenchmarkAdaptiveStepSeries(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := mgr.Step(vec[i%len(vec)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchDaemon builds an in-process serving daemon with one mpeg tenant and
+// its seeded decision-vector cycle. Checkpointing and event sinks are off:
+// the measurement is the serve loop itself (admission, queue hand-off,
+// worker dispatch, reply) around the adaptive step.
+func benchDaemon(b *testing.B, threshold float64) (*serve.Server, [][]int) {
+	b.Helper()
+	srv, err := serve.New(serve.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { srv.Abandon() })
+	_, err = srv.CreateTenant(serve.TenantSpec{
+		Name: "bench", Workload: "mpeg", DeadlineFactor: 1.6, Threshold: threshold,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	g, _, err := mpeg.Build()
+	if err != nil {
+		b.Fatal(err)
+	}
+	return srv, trace.Fluctuating(g, 1, 256, 0.4)
+}
+
+// BenchmarkDaemonStepServe is the daemon's steady-state serve loop: one
+// in-process Step round trip (admission check, bounded-queue hand-off,
+// worker step, reply) with the drift threshold at its maximum so the pipeline
+// (almost) never recomputes — the cost of hosting a tenant behind the daemon rather
+// than calling the manager directly. Alloc-gated: the serve loop's overhead
+// per request is a fixed small number of allocations (request/reply
+// envelopes and the committed decision-log entry), independent of tenant
+// state size.
+func BenchmarkDaemonStepServe(b *testing.B) {
+	srv, vecs := benchDaemon(b, 1)
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := srv.Step(ctx, "bench", vecs[i%len(vecs)], serve.ChaosSpec{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDaemonStepResched is the same round trip with a near-zero drift
+// threshold, so every request runs the full reschedule pipeline — the
+// worst-case per-request cost a tenant can impose on its own worker (other
+// tenants are unaffected; workers are per-tenant).
+func BenchmarkDaemonStepResched(b *testing.B) {
+	srv, vecs := benchDaemon(b, 1e-9)
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := srv.Step(ctx, "bench", vecs[i%len(vecs)], serve.ChaosSpec{}); err != nil {
 			b.Fatal(err)
 		}
 	}

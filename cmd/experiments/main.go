@@ -65,6 +65,7 @@ import (
 
 	"ctgdvfs/internal/exp"
 	"ctgdvfs/internal/par"
+	"ctgdvfs/internal/serve"
 	"ctgdvfs/internal/telemetry"
 )
 
@@ -180,21 +181,21 @@ func streamFileName(name string) string {
 
 // writeCampaignEvents writes each stream as its own JSONL file. The streams
 // are kept separate because each carries its own seq-id space — concatenating
-// them would corrupt the provenance graph `ctgsched explain` walks.
+// them would corrupt the provenance graph `ctgsched explain` walks. Each file
+// is written atomically (temp file + fsync + rename), so a crash mid-dump
+// never leaves a torn stream where a previous good one stood.
 func writeCampaignEvents(prefix string, tel *exp.CampaignTelemetry) error {
 	for _, name := range campaignStreamNames(tel) {
 		path := fmt.Sprintf("%s-%s.jsonl", prefix, streamFileName(name))
-		f, err := os.Create(path)
-		if err != nil {
-			return err
-		}
-		jr := telemetry.NewJSONLRecorder(f)
 		events := tel.Recorders[name].Events()
-		for _, e := range events {
-			jr.Record(e)
-		}
-		// Close flushes and closes the underlying file.
-		if err := jr.Close(); err != nil {
+		err := telemetry.WriteFileAtomic(path, func(w io.Writer) error {
+			jr := telemetry.NewJSONLRecorder(w)
+			for _, e := range events {
+				jr.Record(e)
+			}
+			return jr.Flush()
+		})
+		if err != nil {
 			return err
 		}
 		fmt.Printf("wrote %d events to %s\n", len(events), path)
@@ -211,12 +212,12 @@ func writeCampaignEvents(prefix string, tel *exp.CampaignTelemetry) error {
 func writeCampaignFlight(prefix string, tel *exp.CampaignTelemetry) error {
 	for _, name := range campaignStreamNames(tel) {
 		stream := streamFileName(name)
-		dumpN := 0
+		// Atomic trigger dumps: each ring window lands complete or not at
+		// all (a crash mid-dump leaves no half-written evidence file).
 		fr := telemetry.NewFlightRecorder(telemetry.FlightRecorderOptions{
-			Sink: func() (io.WriteCloser, error) {
-				dumpN++
-				return os.Create(fmt.Sprintf("%s-%s-%d.jsonl", prefix, stream, dumpN))
-			},
+			Sink: telemetry.AtomicSink(func(dump int) string {
+				return fmt.Sprintf("%s-%s-%d.jsonl", prefix, stream, dump)
+			}),
 		})
 		for _, e := range tel.Recorders[name].Events() {
 			fr.Record(e)
@@ -225,15 +226,7 @@ func writeCampaignFlight(prefix string, tel *exp.CampaignTelemetry) error {
 			return fmt.Errorf("stream %s: %w", name, err)
 		}
 		finalPath := fmt.Sprintf("%s-%s-final.jsonl", prefix, stream)
-		f, err := os.Create(finalPath)
-		if err != nil {
-			return err
-		}
-		if err := fr.DumpTo(f); err != nil {
-			f.Close()
-			return err
-		}
-		if err := f.Close(); err != nil {
+		if err := telemetry.WriteFileAtomic(finalPath, fr.DumpTo); err != nil {
 			return err
 		}
 		fmt.Printf("flight recorder %s: %d trigger dumps, final window %d/%d events -> %s\n",
@@ -257,15 +250,7 @@ func writeCampaignSeries(prefix string, tel *exp.CampaignTelemetry) error {
 	for _, name := range names {
 		st := tel.Series[name]
 		path := fmt.Sprintf("%s-%s.json", prefix, streamFileName(name))
-		f, err := os.Create(path)
-		if err != nil {
-			return err
-		}
-		if err := st.WriteJSON(f); err != nil {
-			f.Close()
-			return err
-		}
-		if err := f.Close(); err != nil {
+		if err := telemetry.WriteFileAtomic(path, st.WriteJSON); err != nil {
 			return err
 		}
 		fmt.Printf("wrote %d series (%d ticks) to %s\n", st.Len(), st.Ticks(), path)
@@ -276,15 +261,7 @@ func writeCampaignSeries(prefix string, tel *exp.CampaignTelemetry) error {
 // writePromFile renders the registry's final state in the Prometheus text
 // exposition format.
 func writePromFile(path string, reg *telemetry.Registry) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	if err := reg.WriteProm(f); err != nil {
-		f.Close()
-		return err
-	}
-	return f.Close()
+	return telemetry.WriteFileAtomic(path, reg.WriteProm)
 }
 
 // writeCampaignTrace renders the observed campaign's event streams as one
@@ -299,15 +276,7 @@ func writeCampaignTrace(path string, tel *exp.CampaignTelemetry) error {
 	for i, name := range names {
 		ct.AddRun(name, i+1, tel.Recorders[name].Events())
 	}
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	if err := ct.Write(f); err != nil {
-		f.Close()
-		return err
-	}
-	return f.Close()
+	return telemetry.WriteFileAtomic(path, ct.Write)
 }
 
 func main() {
@@ -356,7 +325,9 @@ func main() {
 			fmt.Fprintf(os.Stderr, "metrics-addr: %v\n", err)
 			os.Exit(1)
 		}
-		srv = &http.Server{Handler: mux}
+		// Hardened timeouts: a stalled or malicious scraper must not pin
+		// goroutines or memory for the life of the campaign.
+		srv = serve.NewHTTPServer(mux)
 		go func() {
 			if err := srv.Serve(ln); err != nil && err != http.ErrServerClosed {
 				fmt.Fprintf(os.Stderr, "metrics-addr: %v\n", err)

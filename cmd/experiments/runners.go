@@ -141,6 +141,16 @@ func orderedRunners() []runner {
 			return r.Render(), nil
 		}},
 		// Extensions beyond the paper (DESIGN.md §6).
+		{name: "daemon", aliases: []string{"chaos"}, run: func() (string, error) {
+			r, err := exp.Daemon()
+			if err != nil {
+				return "", err
+			}
+			if err := r.Err(); err != nil {
+				return "", fmt.Errorf("%w\n%s", err, r.Render())
+			}
+			return r.Render(), nil
+		}},
 		{name: "sweep", run: func() (string, error) {
 			r, err := exp.Sweep(nil, nil)
 			if err != nil {

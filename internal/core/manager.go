@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"time"
@@ -229,6 +230,19 @@ type Manager struct {
 	mapGen   int
 	dlsWS    *sched.Workspace
 	probsBuf []float64
+
+	// cancel is the cooperative-cancellation hook of the in-flight StepCtx
+	// call (nil outside one): the reschedule pipeline threads it into the
+	// DLS placement loop and the stretching passes, so a request whose
+	// context expires aborts mid-pipeline instead of running to completion.
+	// The incumbent schedule is only replaced at pipeline end, so a
+	// cancelled reschedule never leaves a partial schedule behind — but the
+	// estimator state observed this step's decisions before the pipeline
+	// ran, so a cancelled Step leaves the manager mid-instance (instances is
+	// not advanced). Callers that need replay determinism after a
+	// cancellation rebuild the manager from their decision log (the serve
+	// layer does exactly that).
+	cancel func() error
 
 	// Telemetry (inert unless Options.Recorder / Metrics set — rec nil
 	// means no events; metrics always points at a registry, private by
@@ -830,6 +844,7 @@ func (m *Manager) reschedule(reason string) error {
 		return nil
 	}
 	dlsStart := time.Now()
+	m.dlsWS.Cancel = m.cancel
 	s, err := sched.DLSInto(m.a, m.p, m.opts.Sched, m.dlsWS)
 	if err != nil {
 		return err
@@ -837,14 +852,14 @@ func (m *Manager) reschedule(reason string) error {
 	m.span("dls", m.mm.pipeDLS, dlsStart)
 	stretchStart := time.Now()
 	if m.opts.PerScenario {
-		sp, err := stretch.PerScenarioGuarded(s, m.opts.DVFS, guard)
+		sp, err := stretch.PerScenarioGuardedCancel(s, m.opts.DVFS, guard, stretch.CancelFunc(m.cancel))
 		if err != nil {
 			return err
 		}
 		m.speeds = sp
 		m.span("stretch", m.mm.pipeStretch, stretchStart)
 	} else {
-		sr, err := stretch.HeuristicGuarded(s, m.opts.DVFS, m.opts.MaxPaths, guard)
+		sr, err := stretch.HeuristicGuardedCancel(s, m.opts.DVFS, m.opts.MaxPaths, guard, stretch.CancelFunc(m.cancel))
 		if err != nil {
 			return err
 		}
@@ -918,6 +933,10 @@ func (m *Manager) Metrics() *telemetry.Registry { return m.metrics }
 // Instances returns the number of instances processed so far.
 func (m *Manager) Instances() int { return m.instances }
 
+// ScenarioSpeeds returns the scenario-conditioned speed table of the current
+// schedule, or nil outside PerScenario mode (read-only use).
+func (m *Manager) ScenarioSpeeds() *stretch.ScenarioSpeeds { return m.speeds }
+
 // Calls returns the number of adaptive re-scheduling invocations so far.
 func (m *Manager) Calls() int { return m.calls }
 
@@ -939,6 +958,33 @@ func (m *Manager) Probs(forkIdx int) []float64 {
 		return nil
 	}
 	return m.g.BranchProbs(forks[forkIdx])
+}
+
+// StepCtx is Step under a context: the context's cancellation/deadline is
+// polled at cooperative checkpoints inside the reschedule pipeline — once per
+// DLS placement round, once per stretched task (single-speed heuristic and
+// warm partial pass), and once per scenario in the per-scenario fan-out — so
+// an expired request aborts within one unit of pipeline work rather than
+// running to completion. The returned error is the context's own
+// (context.DeadlineExceeded / context.Canceled), unwrapped, so callers can
+// errors.Is it directly.
+//
+// Guarantees on cancellation: the incumbent schedule is untouched (a new
+// schedule is only adopted when the pipeline completes), and a call that
+// completed before the context expired is bit-for-bit identical to an
+// uncancelled one. The estimator, however, observed this step's decisions
+// before the pipeline ran, so a cancelled step leaves the manager
+// mid-instance — Instances() is not advanced, and re-Stepping the same
+// vector would double-observe it. Callers that need deterministic state
+// after a cancellation rebuild the manager by replaying their decision log
+// (see internal/serve).
+func (m *Manager) StepCtx(ctx context.Context, decisions []int) (StepResult, error) {
+	if err := ctx.Err(); err != nil {
+		return StepResult{}, err
+	}
+	m.cancel = ctx.Err
+	defer func() { m.cancel = nil }()
+	return m.Step(decisions)
 }
 
 // Step processes one CTG instance: replay it under the current schedule,

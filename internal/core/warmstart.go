@@ -211,8 +211,11 @@ func (m *Manager) tryWarmStart(reason string, guard float64) (bool, error) {
 		m.span("diff", m.mm.pipeDiff, diffStart)
 		if guardChanged {
 			stretchStart := time.Now()
-			sp, err := stretch.PerScenarioGuarded(m.schedule, m.opts.DVFS, guard)
+			sp, err := stretch.PerScenarioGuardedCancel(m.schedule, m.opts.DVFS, guard, stretch.CancelFunc(m.cancel))
 			if err != nil {
+				if m.cancelled() {
+					return false, err
+				}
 				w.fallbacks++
 				m.mm.warmFallbacks.Inc()
 				return false, nil
@@ -249,8 +252,15 @@ func (m *Manager) tryWarmStart(reason string, guard float64) (bool, error) {
 		w.wsGen = m.mapGen
 	}
 	stretchStart := time.Now()
+	w.ws.Cancel = stretch.CancelFunc(m.cancel)
 	sr, err := stretch.HeuristicPartial(target, m.opts.DVFS, guard, w.affected, w.ws)
 	if err != nil {
+		// A cancelled partial pass must not fall through to the full
+		// pipeline (which would just re-detect the cancellation after
+		// paying for a DLS round) — propagate the context error directly.
+		if m.cancelled() {
+			return false, err
+		}
 		w.fallbacks++
 		m.mm.warmFallbacks.Inc()
 		return false, nil
@@ -287,6 +297,10 @@ func (m *Manager) tryWarmStart(reason string, guard float64) (bool, error) {
 	m.adoptWarm(reason, guard)
 	return true, nil
 }
+
+// cancelled reports whether the in-flight StepCtx's context has expired
+// (always false outside StepCtx).
+func (m *Manager) cancelled() bool { return m.cancel != nil && m.cancel() != nil }
 
 // adoptWarm finalizes a warm-started (or verbatim-reused) reschedule: the
 // call counts exactly like a full one, the snapshot moves to the new state,

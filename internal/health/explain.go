@@ -66,6 +66,10 @@ var decisionKinds = map[telemetry.Kind]bool{
 	telemetry.KindTenantRestored: true,
 	telemetry.KindAlertFiring:    true,
 	telemetry.KindAlertResolved:  true,
+	telemetry.KindTenantPanic:    true,
+	telemetry.KindTenantRestart:  true,
+	telemetry.KindCheckpoint:     true,
+	telemetry.KindRestore:        true,
 }
 
 // Describe renders one event as the one-line description Explain's output
@@ -312,6 +316,28 @@ func describeEvent(e telemetry.Event) string {
 		default:
 			return fmt.Sprintf("tenant %q restored: %s (ladder level %d)", e.Name, e.Reason, e.Level)
 		}
+	case telemetry.KindTenantPanic:
+		return fmt.Sprintf("tenant %q worker panicked at instance %d (contained): %s (consecutive panic %d)",
+			e.Name, e.Instance, e.Reason, e.Level)
+	case telemetry.KindTenantRestart:
+		how := e.Reason
+		switch e.Reason {
+		case "panic_backoff":
+			how = fmt.Sprintf("after a contained panic, breaker backoff %.4gms", e.Value)
+		case "cancel_rebuild":
+			how = "after a deadline-cancelled step"
+		}
+		return fmt.Sprintf("tenant %q state rebuilt to instance %d %s", e.Name, e.Instance, how)
+	case telemetry.KindCheckpoint:
+		return fmt.Sprintf("tenant %q checkpointed at instance %d (call %d, digest %s)",
+			e.Name, e.Instance, e.Calls, e.Key)
+	case telemetry.KindRestore:
+		from := "from its latest snapshot"
+		if e.Reason == "fallback" {
+			from = "from the previous snapshot generation (primary torn or corrupt)"
+		}
+		return fmt.Sprintf("tenant %q restored to instance %d %s (digest %s verified)",
+			e.Name, e.Instance, from, e.Key)
 	case telemetry.KindAlertFiring:
 		return fmt.Sprintf("alert %q firing: %s = %.4g crossed %.4g (held %d samples)",
 			e.Name, e.Reason, e.Value, e.Threshold, e.Level)

@@ -261,6 +261,16 @@ func (a *AnalyzerRecorder) Record(e telemetry.Event) {
 	case telemetry.KindBudgetExceeded, telemetry.KindPERevoked,
 		telemetry.KindTenantDegraded, telemetry.KindTenantRestored:
 		a.power.observe(a, e)
+	case telemetry.KindTenantPanic:
+		a.note(e.Instance, "tenant_panic", "contained worker panic: "+e.Reason)
+	case telemetry.KindTenantRestart:
+		a.note(e.Instance, "tenant_restart", e.Reason)
+	case telemetry.KindRestore:
+		detail := "from latest snapshot"
+		if e.Reason == "fallback" {
+			detail = "from previous snapshot generation"
+		}
+		a.note(e.Instance, "restore", detail)
 	case telemetry.KindSpan:
 		a.pipe.observe(e)
 	case telemetry.KindAlertFiring, telemetry.KindAlertResolved:

@@ -1,0 +1,98 @@
+package sched
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+
+	"ctgdvfs/internal/ctg"
+)
+
+var errCancelled = errors.New("cancelled")
+
+// countingCancel is a monotone cancel source: nil for the first fuse polls,
+// errCancelled forever after.
+type countingCancel struct {
+	polls atomic.Int64
+	fuse  int64
+}
+
+func (c *countingCancel) fn() func() error {
+	return func() error {
+		if c.polls.Add(1) > c.fuse {
+			return errCancelled
+		}
+		return nil
+	}
+}
+
+// longChain builds a 12-task chain (12 placement rounds).
+func longChain(t *testing.T) *ctg.Analysis {
+	t.Helper()
+	b := ctg.NewBuilder()
+	prev := b.AddTask("", ctg.AndNode)
+	for i := 1; i < 12; i++ {
+		cur := b.AddTask("", ctg.AndNode)
+		b.AddEdge(prev, cur, 0)
+		prev = cur
+	}
+	g, err := b.Build(1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := ctg.Analyze(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+func TestDLSCancelAbortsWithinOneRound(t *testing.T) {
+	a := longChain(t)
+	p := uniformPlatform(t, 12, 2, 10, 5)
+	cc := &countingCancel{fuse: 3}
+	ws := NewWorkspace()
+	ws.Cancel = cc.fn()
+	s, err := DLSInto(a, p, Modified(), ws)
+	if !errors.Is(err, errCancelled) {
+		t.Fatalf("want errCancelled, got %v (schedule %v)", err, s)
+	}
+	if s != nil {
+		t.Fatal("cancelled DLS returned a schedule")
+	}
+	// Promptness: polled once per placement round, so the abort happened on
+	// poll fuse+1 — not after running the remaining rounds to completion.
+	if got := cc.polls.Load(); got != cc.fuse+1 {
+		t.Fatalf("polled %d times, want %d (abort within one round)", got, cc.fuse+1)
+	}
+}
+
+func TestDLSCancelCompletedRunIdentical(t *testing.T) {
+	a := longChain(t)
+	p := uniformPlatform(t, 12, 2, 10, 5)
+	want, err := DLS(a, p, Modified())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A cancel source that never fires during the run must leave the result
+	// bit-for-bit identical to an uncancelled run.
+	cc := &countingCancel{fuse: 1 << 30}
+	ws := NewWorkspace()
+	ws.Cancel = cc.fn()
+	got, err := DLSInto(a, p, Modified(), ws)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cc.polls.Load() == 0 {
+		t.Fatal("cancel source was never polled")
+	}
+	if got.Makespan != want.Makespan {
+		t.Fatalf("makespan %v != %v", got.Makespan, want.Makespan)
+	}
+	for i := range want.PE {
+		if got.PE[i] != want.PE[i] || got.Start[i] != want.Start[i] || got.Speed[i] != want.Speed[i] {
+			t.Fatalf("task %d differs: (%d,%v,%v) vs (%d,%v,%v)", i,
+				got.PE[i], got.Start[i], got.Speed[i], want.PE[i], want.Start[i], want.Speed[i])
+		}
+	}
+}

@@ -59,6 +59,15 @@ type commPlan struct {
 // not safe for concurrent use; one per manager (or per worker) is the
 // intended pattern.
 type Workspace struct {
+	// Cancel, when non-nil, is polled once per placement round (each round
+	// commits one task, the unit of work between checkpoints); a non-nil
+	// return aborts the run with that error before the next placement. The
+	// intended value is a context's Err method: the daemon threads request
+	// deadlines through here so an overloaded reschedule stops within one
+	// round instead of running to completion against a caller that already
+	// gave up. Cancellation must be monotone (once non-nil, always non-nil).
+	Cancel func() error
+
 	sl           []float64
 	scheduled    []bool
 	unschedPreds []int
@@ -265,6 +274,12 @@ func DLSInto(a *ctg.Analysis, p *platform.Platform, opts Options, ws *Workspace)
 	}
 
 	for len(ready) > 0 {
+		if ws.Cancel != nil {
+			if err := ws.Cancel(); err != nil {
+				ws.ready = ready[:0]
+				return nil, err
+			}
+		}
 		bestDL := math.Inf(-1)
 		bestAT := 0.0
 		ws.bestPlans = ws.bestPlans[:0]

@@ -1,0 +1,47 @@
+package chaos
+
+import "testing"
+
+// TestCampaignGreen runs a reduced campaign end to end and requires every
+// robustness invariant to hold: no cross-tenant interference, every panic
+// accounted for with a causal event, and a bounded bit-for-bit kill-restart
+// recovery.
+func TestCampaignGreen(t *testing.T) {
+	cfg := Config{
+		Seed:            7,
+		Victims:         1,
+		Steps:           18,
+		KillAt:          11,
+		CheckpointEvery: 4,
+		PanicEvery:      5,
+		DelayEvery:      4,
+		DelayMS:         10,
+		FloodEvery:      6,
+		FloodSize:       4,
+		Rate:            500,
+		Burst:           100,
+		Dir:             t.TempDir(),
+	}
+	rep, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Green() {
+		t.Fatalf("campaign red:\n%s", rep.Render())
+	}
+	if rep.PanicsInjected == 0 || rep.PanicEvents != rep.PanicsInjected {
+		t.Fatalf("panic accounting: injected %d, events %d", rep.PanicsInjected, rep.PanicEvents)
+	}
+	if rep.FloodSent == 0 || len(rep.FloodByStatus) == 0 {
+		t.Fatalf("floods never rejected: sent %d, statuses %v", rep.FloodSent, rep.FloodByStatus)
+	}
+	if rep.RestoredTenants != cfg.Victims+1 {
+		t.Fatalf("restored %d tenants, want %d", rep.RestoredTenants, cfg.Victims+1)
+	}
+	for _, tr := range rep.Tenants {
+		if tr.Steps == 0 || !tr.DigestMatch {
+			t.Fatalf("tenant %s: steps %d digest match %v", tr.Name, tr.Steps, tr.DigestMatch)
+		}
+	}
+	t.Logf("\n%s", rep.Render())
+}

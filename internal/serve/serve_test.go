@@ -1,0 +1,611 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"ctgdvfs/internal/apps/mpeg"
+	"ctgdvfs/internal/ctgio"
+	"ctgdvfs/internal/telemetry"
+	"ctgdvfs/internal/trace"
+)
+
+// testVectors generates n deterministic decision vectors for the mpeg CTG.
+func testVectors(t testing.TB, n int) [][]int {
+	t.Helper()
+	g, _, err := mpeg.Build()
+	if err != nil {
+		t.Fatalf("mpeg.Build: %v", err)
+	}
+	return trace.Fluctuating(g, 7, n, 0.4)
+}
+
+// mpegSpec is the standard test tenant: tight deadline, near-zero drift
+// threshold so almost every step reschedules (exercising the full pipeline).
+func mpegSpec(name string) TenantSpec {
+	return TenantSpec{Name: name, Workload: "mpeg", DeadlineFactor: 1.6, Threshold: 1e-9}
+}
+
+func mustServer(t testing.TB, opts Options) *Server {
+	t.Helper()
+	s, err := New(opts)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s
+}
+
+func mustCreate(t testing.TB, s *Server, spec TenantSpec) {
+	t.Helper()
+	if _, err := s.CreateTenant(spec); err != nil {
+		t.Fatalf("CreateTenant(%s): %v", spec.Name, err)
+	}
+}
+
+func TestAPIRoundTrip(t *testing.T) {
+	s := mustServer(t, Options{})
+	hs := httptest.NewServer(s.Handler())
+	defer hs.Close()
+	cl := &Client{BaseURL: hs.URL}
+	ctx := context.Background()
+
+	st, err := cl.Submit(ctx, mpegSpec("vid0"))
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	if st.Name != "vid0" || st.Status != "ok" {
+		t.Fatalf("unexpected status after submit: %+v", st)
+	}
+	vecs := testVectors(t, 20)
+	for i, v := range vecs {
+		rep, err := cl.Step(ctx, "vid0", v, ChaosSpec{})
+		if err != nil {
+			t.Fatalf("Step %d: %v", i, err)
+		}
+		if rep.Instance != i {
+			t.Fatalf("Step %d: instance %d", i, rep.Instance)
+		}
+		if rep.Makespan <= 0 {
+			t.Fatalf("Step %d: non-positive makespan %v", i, rep.Makespan)
+		}
+	}
+	sch, err := cl.Schedule(ctx, "vid0")
+	if err != nil {
+		t.Fatalf("Schedule: %v", err)
+	}
+	if len(sch.PE) == 0 || sch.Digest == "" || sch.Instances != len(vecs) {
+		t.Fatalf("unexpected schedule reply: %+v", sch)
+	}
+	h, err := cl.Health(ctx)
+	if err != nil {
+		t.Fatalf("Health: %v", err)
+	}
+	if h.Status != "ok" || h.Steps != int64(len(vecs)) {
+		t.Fatalf("unexpected health: %+v", h)
+	}
+
+	// Typed 404 for an unknown tenant, 400 for a malformed vector.
+	if _, err := cl.StepOnce(ctx, "nope", vecs[0], ChaosSpec{}); err == nil {
+		t.Fatal("expected 404 for unknown tenant")
+	} else if ae, ok := err.(*APIError); !ok || ae.Status != 404 {
+		t.Fatalf("want 404 APIError, got %v", err)
+	}
+	if _, err := cl.StepOnce(ctx, "vid0", []int{1}, ChaosSpec{}); err == nil {
+		t.Fatal("expected 400 for short vector")
+	} else if ae, ok := err.(*APIError); !ok || ae.Status != 400 {
+		t.Fatalf("want 400 APIError, got %v", err)
+	}
+}
+
+func TestRateLimitRejectsWithRetryAfter(t *testing.T) {
+	s := mustServer(t, Options{Rate: 1, Burst: 1})
+	mustCreate(t, s, mpegSpec("a"))
+	vecs := testVectors(t, 2)
+	ctx := context.Background()
+	if _, err := s.Step(ctx, "a", vecs[0], ChaosSpec{}); err != nil {
+		t.Fatalf("first step should pass the bucket: %v", err)
+	}
+	_, err := s.Step(ctx, "a", vecs[1], ChaosSpec{})
+	var rej *RejectionError
+	if !errors.As(err, &rej) || rej.Code != "rate_limited" || rej.Status != 429 {
+		t.Fatalf("want rate_limited 429, got %v", err)
+	}
+	if rej.RetryAfter <= 0 {
+		t.Fatalf("want positive RetryAfter, got %v", rej.RetryAfter)
+	}
+}
+
+func TestQueueFullRejects(t *testing.T) {
+	s := mustServer(t, Options{QueueDepth: 1, Chaos: true})
+	mustCreate(t, s, mpegSpec("a"))
+	vecs := testVectors(t, 1)
+	ctx := context.Background()
+
+	// Occupy the worker with a slow chaos step, then flood concurrently: the
+	// depth-1 queue takes one request and the rest must be rejected with the
+	// typed queue_full error (not blocked, not dropped silently).
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		s.Step(ctx, "a", vecs[0], ChaosSpec{DelayMS: 500})
+	}()
+	time.Sleep(100 * time.Millisecond) // let the slow step reach the worker
+	const flood = 8
+	errs := make(chan error, flood)
+	for i := 0; i < flood; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, err := s.Step(ctx, "a", vecs[0], ChaosSpec{})
+			errs <- err
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	full := 0
+	for err := range errs {
+		var rej *RejectionError
+		if errors.As(err, &rej) && rej.Code == "queue_full" {
+			if rej.Status != 503 {
+				t.Fatalf("queue_full status %d, want 503", rej.Status)
+			}
+			full++
+		}
+	}
+	if full == 0 {
+		t.Fatal("flood against a busy depth-1 queue produced no queue_full rejections")
+	}
+}
+
+func TestPanicIsContainedAndBreakerOpens(t *testing.T) {
+	now := time.Unix(1000, 0)
+	clock := func() time.Time { return now }
+	s := mustServer(t, Options{Chaos: true, BaseBackoff: 100 * time.Millisecond, Now: clock})
+	mustCreate(t, s, mpegSpec("a"))
+	vecs := testVectors(t, 4)
+	ctx := context.Background()
+
+	_, err := s.Step(ctx, "a", vecs[0], ChaosSpec{Panic: "boom"})
+	var pe *PanicError
+	if !errors.As(err, &pe) || !strings.Contains(pe.Value, "boom") {
+		t.Fatalf("want contained PanicError, got %v", err)
+	}
+
+	// The breaker is now open: immediate retry is rejected with a hint.
+	_, err = s.Step(ctx, "a", vecs[0], ChaosSpec{})
+	var rej *RejectionError
+	if !errors.As(err, &rej) || rej.Code != "breaker_open" {
+		t.Fatalf("want breaker_open, got %v", err)
+	}
+
+	// After the backoff expires the half-open probe is admitted and, on
+	// success, the breaker closes.
+	now = now.Add(time.Second)
+	if _, err := s.Step(ctx, "a", vecs[0], ChaosSpec{}); err != nil {
+		t.Fatalf("post-backoff probe: %v", err)
+	}
+	if _, err := s.Step(ctx, "a", vecs[1], ChaosSpec{}); err != nil {
+		t.Fatalf("post-probe step: %v", err)
+	}
+
+	st := s.Tenants()[0]
+	if st.Panics != 1 || st.Restarts != 1 {
+		t.Fatalf("want 1 panic + 1 restart, got %+v", st)
+	}
+
+	// The panic is on the telemetry stream with provenance: a tenant_panic
+	// event carrying the panic value, and a tenant_restart caused by it.
+	var buf bytes.Buffer
+	if err := s.DumpEvents("a", &buf); err != nil {
+		t.Fatalf("DumpEvents: %v", err)
+	}
+	evs, err := telemetry.ReadJSONL(&buf)
+	if err != nil {
+		t.Fatalf("ReadJSONL: %v", err)
+	}
+	var panicSeq uint64
+	var sawRestart bool
+	for _, e := range evs {
+		switch e.Kind {
+		case telemetry.KindTenantPanic:
+			if !strings.Contains(e.Reason, "boom") || e.Seq == 0 {
+				t.Fatalf("bad tenant_panic event: %+v", e)
+			}
+			panicSeq = e.Seq
+		case telemetry.KindTenantRestart:
+			if e.Cause != panicSeq || e.Reason != "panic_backoff" {
+				t.Fatalf("bad tenant_restart event: %+v", e)
+			}
+			sawRestart = true
+		}
+	}
+	if panicSeq == 0 || !sawRestart {
+		t.Fatalf("missing tenant_panic/tenant_restart events in %d events", len(evs))
+	}
+}
+
+// TestPanicIsolationAcrossTenants drives a victim tenant to repeated panics
+// while a sibling processes the same workload as an undisturbed baseline; the
+// sibling's replies must be bit-for-bit identical and the victim's state must
+// be rebuilt deterministically (its final digest matches a never-panicked
+// run of the same committed steps).
+func TestPanicIsolationAcrossTenants(t *testing.T) {
+	now := time.Unix(1000, 0)
+	s := mustServer(t, Options{Chaos: true, Now: func() time.Time { return now }})
+	mustCreate(t, s, mpegSpec("victim"))
+	mustCreate(t, s, mpegSpec("sibling"))
+
+	base := mustServer(t, Options{})
+	mustCreate(t, base, mpegSpec("victim"))
+	mustCreate(t, base, mpegSpec("sibling"))
+
+	vecs := testVectors(t, 30)
+	ctx := context.Background()
+	for i, v := range vecs {
+		if i%7 == 3 {
+			if _, err := s.Step(ctx, "victim", v, ChaosSpec{Panic: "chaos"}); !isPanicErr(err) {
+				t.Fatalf("step %d: want PanicError, got %v", i, err)
+			}
+			now = now.Add(10 * time.Second) // let the backoff expire
+		}
+		got, err := s.Step(ctx, "victim", v, ChaosSpec{})
+		if err != nil {
+			t.Fatalf("victim step %d: %v", i, err)
+		}
+		want, err := base.Step(ctx, "victim", v, ChaosSpec{})
+		if err != nil {
+			t.Fatalf("baseline victim step %d: %v", i, err)
+		}
+		if got != want {
+			t.Fatalf("victim step %d diverged after panics:\n got %+v\nwant %+v", i, got, want)
+		}
+
+		got, err = s.Step(ctx, "sibling", v, ChaosSpec{})
+		if err != nil {
+			t.Fatalf("sibling step %d: %v", i, err)
+		}
+		want, err = base.Step(ctx, "sibling", v, ChaosSpec{})
+		if err != nil {
+			t.Fatalf("baseline sibling step %d: %v", i, err)
+		}
+		if got != want {
+			t.Fatalf("sibling step %d diverged (cross-tenant interference):\n got %+v\nwant %+v", i, got, want)
+		}
+	}
+	// Final state digests agree with the baseline daemon's.
+	for _, name := range []string{"victim", "sibling"} {
+		gs, _ := s.Schedule(name)
+		ws, _ := base.Schedule(name)
+		if gs.Digest != ws.Digest {
+			t.Fatalf("%s: digest %s != baseline %s", name, gs.Digest, ws.Digest)
+		}
+	}
+}
+
+// fakeCtx is a context whose Err flips to context.DeadlineExceeded after a
+// fixed number of polls — deterministic mid-pipeline cancellation.
+type fakeCtx struct {
+	mu    sync.Mutex
+	polls int
+	fuse  int
+}
+
+func (c *fakeCtx) Err() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.polls++
+	if c.polls > c.fuse {
+		return context.DeadlineExceeded
+	}
+	return nil
+}
+func (c *fakeCtx) Done() <-chan struct{}       { return nil }
+func (c *fakeCtx) Deadline() (time.Time, bool) { return time.Time{}, false }
+func (c *fakeCtx) Value(any) any               { return nil }
+
+func TestDeadlineCancelMidStepRebuilds(t *testing.T) {
+	s := mustServer(t, Options{})
+	base := mustServer(t, Options{})
+	mustCreate(t, s, mpegSpec("a"))
+	mustCreate(t, base, mpegSpec("a"))
+	vecs := testVectors(t, 20)
+	ctx := context.Background()
+	for i, v := range vecs[:10] {
+		if _, err := s.Step(ctx, "a", v, ChaosSpec{}); err != nil {
+			t.Fatalf("warmup step %d: %v", i, err)
+		}
+		if _, err := base.Step(ctx, "a", v, ChaosSpec{}); err != nil {
+			t.Fatalf("baseline step %d: %v", i, err)
+		}
+	}
+	// Cancel mid-pipeline: the fuse admits the pre-Step checks, then trips
+	// inside the reschedule pipeline (threshold 1e-9 makes every step
+	// reschedule).
+	fc := &fakeCtx{fuse: 4}
+	_, err := s.Step(fc, "a", vecs[10], ChaosSpec{})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("want DeadlineExceeded from cancelled step, got %v", err)
+	}
+	if fc.polls <= fc.fuse {
+		t.Fatalf("context was never polled past the fuse (%d polls)", fc.polls)
+	}
+	// The rebuild left a provenance trail (checked now, before further steps
+	// rotate it out of the flight-recorder window).
+	var buf bytes.Buffer
+	s.DumpEvents("a", &buf)
+	evs, _ := telemetry.ReadJSONL(&buf)
+	sawRebuild := false
+	for _, e := range evs {
+		if e.Kind == telemetry.KindTenantRestart && e.Reason == "cancel_rebuild" {
+			sawRebuild = true
+		}
+	}
+	if !sawRebuild {
+		t.Fatal("no tenant_restart/cancel_rebuild event recorded")
+	}
+
+	// The cancelled step must not have committed, and the rebuild must leave
+	// the tenant exactly where it was: continuing with the same vectors
+	// yields bit-for-bit the baseline's replies and final digest.
+	for i, v := range vecs[10:] {
+		got, err := s.Step(ctx, "a", v, ChaosSpec{})
+		if err != nil {
+			t.Fatalf("post-cancel step %d: %v", i, err)
+		}
+		want, err := base.Step(ctx, "a", v, ChaosSpec{})
+		if err != nil {
+			t.Fatalf("baseline step %d: %v", i, err)
+		}
+		if got != want {
+			t.Fatalf("post-cancel step %d diverged:\n got %+v\nwant %+v", i, got, want)
+		}
+	}
+	gs, _ := s.Schedule("a")
+	ws, _ := base.Schedule("a")
+	if gs.Digest != ws.Digest {
+		t.Fatalf("digest after cancel-rebuild %s != baseline %s", gs.Digest, ws.Digest)
+	}
+}
+
+func TestExpiredContextRefusedCleanly(t *testing.T) {
+	s := mustServer(t, Options{})
+	mustCreate(t, s, mpegSpec("a"))
+	vecs := testVectors(t, 1)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := s.Step(ctx, "a", vecs[0], ChaosSpec{}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	if st := s.Tenants()[0]; st.Instances != 0 || st.Restarts != 0 {
+		t.Fatalf("clean refusal must not touch state: %+v", st)
+	}
+}
+
+func TestCheckpointRestoreResumesBitForBit(t *testing.T) {
+	dir := t.TempDir()
+	vecs := testVectors(t, 40)
+	ctx := context.Background()
+
+	// Uninterrupted baseline.
+	base := mustServer(t, Options{})
+	mustCreate(t, base, mpegSpec("a"))
+	baseline := make([]StepReply, len(vecs))
+	for i, v := range vecs {
+		rep, err := base.Step(ctx, "a", v, ChaosSpec{})
+		if err != nil {
+			t.Fatalf("baseline step %d: %v", i, err)
+		}
+		baseline[i] = rep
+	}
+
+	// Daemon 1: checkpoint every 8 steps, killed after 27 (last checkpoint
+	// at 24).
+	s1 := mustServer(t, Options{CheckpointDir: dir, CheckpointEvery: 8})
+	mustCreate(t, s1, mpegSpec("a"))
+	for i, v := range vecs[:27] {
+		if _, err := s1.Step(ctx, "a", v, ChaosSpec{}); err != nil {
+			t.Fatalf("s1 step %d: %v", i, err)
+		}
+	}
+	s1.Abandon() // kill -9: no final checkpoint, no flush
+
+	// Daemon 2 resumes from the last durable snapshot.
+	s2 := mustServer(t, Options{CheckpointDir: dir, CheckpointEvery: 8})
+	sts := s2.Tenants()
+	if len(sts) != 1 || !sts[0].Restored || sts[0].RestoredFrom != "ok" {
+		t.Fatalf("tenant not restored: %+v", sts)
+	}
+	resumed := sts[0].Instances
+	if resumed != 24 {
+		t.Fatalf("restored to instance %d, want 24 (last checkpoint)", resumed)
+	}
+	// Re-submit the suffix; every reply must match the uninterrupted run.
+	for i := resumed; i < len(vecs); i++ {
+		rep, err := s2.Step(ctx, "a", vecs[i], ChaosSpec{})
+		if err != nil {
+			t.Fatalf("s2 step %d: %v", i, err)
+		}
+		if rep != baseline[i] {
+			t.Fatalf("step %d after restore diverged:\n got %+v\nwant %+v", i, rep, baseline[i])
+		}
+	}
+	gs, _ := s2.Schedule("a")
+	ws, _ := base.Schedule("a")
+	if gs.Digest != ws.Digest {
+		t.Fatalf("final digest %s != baseline %s", gs.Digest, ws.Digest)
+	}
+}
+
+func TestRestoreFallsBackOnTornSnapshot(t *testing.T) {
+	dir := t.TempDir()
+	vecs := testVectors(t, 20)
+	ctx := context.Background()
+
+	s1 := mustServer(t, Options{CheckpointDir: dir, CheckpointEvery: 8})
+	mustCreate(t, s1, mpegSpec("a"))
+	for i, v := range vecs {
+		if _, err := s1.Step(ctx, "a", v, ChaosSpec{}); err != nil {
+			t.Fatalf("s1 step %d: %v", i, err)
+		}
+	}
+	s1.Abandon()
+
+	// Tear the primary snapshot mid-payload (simulated crash mid-write that
+	// somehow bypassed the atomic rename — e.g. disk corruption).
+	p := snapshotPath(dir, "a")
+	raw, err := os.ReadFile(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(p, raw[:len(raw)-7], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s2 := mustServer(t, Options{CheckpointDir: dir})
+	st := s2.Tenants()[0]
+	if !st.Restored || st.RestoredFrom != "fallback" {
+		t.Fatalf("want fallback restore, got %+v", st)
+	}
+	if st.Instances != 8 {
+		t.Fatalf("fallback restored to %d, want 8 (previous generation)", st.Instances)
+	}
+
+	// With both generations corrupt, restore reports a typed SnapshotError
+	// instead of silently serving bad state.
+	if err := os.WriteFile(p+".prev", []byte("garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err = New(Options{CheckpointDir: dir})
+	var se *SnapshotError
+	if !errors.As(err, &se) {
+		t.Fatalf("want SnapshotError for doubly-corrupt snapshot, got %v", err)
+	}
+}
+
+func TestSnapshotRoundTripAndChecksum(t *testing.T) {
+	dir := t.TempDir()
+	p := filepath.Join(dir, "x.ckpt")
+	pay := &snapshotPayload{Name: "x", Spec: mpegSpec("x"),
+		Vectors: [][]int{{1, 0, 1, 0, 1, 0, 1, 0, 1}}, Instances: 1, Calls: 1, Digest: "00"}
+	if err := writeSnapshot(p, pay); err != nil {
+		t.Fatalf("writeSnapshot: %v", err)
+	}
+	got, err := loadSnapshot(p)
+	if err != nil {
+		t.Fatalf("loadSnapshot: %v", err)
+	}
+	if got.Name != "x" || got.Instances != 1 || len(got.Vectors) != 1 {
+		t.Fatalf("round-trip mismatch: %+v", got)
+	}
+	// Flip one payload byte: the checksum must catch it.
+	raw, _ := os.ReadFile(p)
+	raw[len(raw)-2] ^= 0x20
+	os.WriteFile(p, raw, 0o644)
+	if _, err := loadSnapshot(p); err == nil {
+		t.Fatal("corrupted snapshot loaded without error")
+	} else if !strings.Contains(err.Error(), "checksum") {
+		t.Fatalf("want checksum diagnosis, got %v", err)
+	}
+}
+
+func TestRemoveTenantDeletesSnapshots(t *testing.T) {
+	dir := t.TempDir()
+	s := mustServer(t, Options{CheckpointDir: dir})
+	mustCreate(t, s, mpegSpec("a"))
+	if _, err := os.Stat(snapshotPath(dir, "a")); err != nil {
+		t.Fatalf("initial checkpoint missing: %v", err)
+	}
+	if err := s.RemoveTenant("a"); err != nil {
+		t.Fatalf("RemoveTenant: %v", err)
+	}
+	if _, err := os.Stat(snapshotPath(dir, "a")); !os.IsNotExist(err) {
+		t.Fatalf("snapshot survived removal: %v", err)
+	}
+	if err := s.RemoveTenant("a"); !errors.Is(err, ErrUnknownTenant) {
+		t.Fatalf("want ErrUnknownTenant, got %v", err)
+	}
+}
+
+func TestInlineCTGSubmit(t *testing.T) {
+	// Round-trip an app graph through the ctgio text format and submit it as
+	// an inline CTG.
+	g, p, err := mpeg.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := ctgio.Write(&buf, g, p); err != nil {
+		t.Fatalf("write ctg: %v", err)
+	}
+	s := mustServer(t, Options{})
+	if _, err := s.CreateTenant(TenantSpec{Name: "inline", CTG: buf.String(), Threshold: 1e-9}); err != nil {
+		t.Fatalf("inline submit: %v", err)
+	}
+	vecs := testVectors(t, 3)
+	for i, v := range vecs {
+		if _, err := s.Step(context.Background(), "inline", v, ChaosSpec{}); err != nil {
+			t.Fatalf("inline step %d: %v", i, err)
+		}
+	}
+}
+
+func TestSpecValidation(t *testing.T) {
+	s := mustServer(t, Options{})
+	bad := []TenantSpec{
+		{},                                      // no name
+		{Name: "x/y", Workload: "mpeg"},         // bad charset
+		{Name: "a"},                             // neither workload nor ctg
+		{Name: "a", Workload: "nope"},           // unknown workload
+		{Name: "a", Workload: "mpeg", CTG: "x"}, // both
+	}
+	for i, spec := range bad {
+		if _, err := s.CreateTenant(spec); err == nil {
+			t.Fatalf("spec %d accepted: %+v", i, spec)
+		} else if !isClientErr(err) {
+			t.Fatalf("spec %d: want client error, got %v", i, err)
+		}
+	}
+	mustCreate(t, s, mpegSpec("dup"))
+	if _, err := s.CreateTenant(mpegSpec("dup")); !errors.Is(err, ErrDuplicateTenant) {
+		t.Fatalf("want ErrDuplicateTenant, got %v", err)
+	}
+}
+
+func TestCloseRejectsAndCheckpoints(t *testing.T) {
+	dir := t.TempDir()
+	s, err := New(Options{CheckpointDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustCreate(t, s, mpegSpec("a"))
+	vecs := testVectors(t, 5)
+	for _, v := range vecs {
+		if _, err := s.Step(context.Background(), "a", v, ChaosSpec{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if _, err := s.Step(context.Background(), "a", vecs[0], ChaosSpec{}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("want ErrClosed after Close, got %v", err)
+	}
+	// The graceful final checkpoint captured all 5 instances.
+	pay, err := loadSnapshot(snapshotPath(dir, "a"))
+	if err != nil {
+		t.Fatalf("final snapshot: %v", err)
+	}
+	if pay.Instances != 5 {
+		t.Fatalf("final snapshot has %d instances, want 5", pay.Instances)
+	}
+}

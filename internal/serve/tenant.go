@@ -1,0 +1,571 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"ctgdvfs/internal/core"
+	"ctgdvfs/internal/health"
+	"ctgdvfs/internal/telemetry"
+)
+
+// gateRecorder forwards events to its sink chain unless switched off. The
+// daemon gates a tenant's stream off while replaying its decision log (restore
+// after a crash, rebuild after a panic or a cancelled step): the replayed
+// steps re-emit thousands of events that were already recorded the first time
+// around, and delivering them again would corrupt every downstream consumer's
+// notion of what happened. Toggled and read only under the owning tenant's
+// state lock.
+type gateRecorder struct {
+	next telemetry.Recorder
+	off  bool
+}
+
+func (g *gateRecorder) Record(e telemetry.Event) {
+	if !g.off {
+		g.next.Record(e)
+	}
+}
+
+// tailRecorder remembers the last event that passed the gate, so serve-layer
+// events (tenant_panic, tenant_restart) can name the step they interrupted as
+// their Cause.
+type tailRecorder struct {
+	last telemetry.Event
+	n    int
+}
+
+func (t *tailRecorder) Record(e telemetry.Event) {
+	t.last = e
+	t.n++
+}
+
+func (t *tailRecorder) lastSeq() uint64 { return t.last.Seq }
+
+// ChaosSpec is the per-request fault injection accepted only when the daemon
+// runs with Options.Chaos. It exists for the chaos harness: a production
+// daemon ignores it entirely.
+type ChaosSpec struct {
+	// DelayMS stalls the tenant's worker before the step (a slow tenant —
+	// its own queue backs up; siblings must not notice).
+	DelayMS int `json:"delay_ms,omitempty"`
+	// Panic panics the tenant's worker with this value mid-request.
+	Panic string `json:"panic,omitempty"`
+}
+
+// StepReply is the daemon's answer to one step request.
+type StepReply struct {
+	Tenant       string  `json:"tenant"`
+	Instance     int     `json:"instance"` // 0-based index of the instance just processed
+	Scenario     int     `json:"scenario"`
+	Met          bool    `json:"met"`
+	Energy       float64 `json:"energy"`
+	Makespan     float64 `json:"makespan"`
+	Lateness     float64 `json:"lateness,omitempty"`
+	Rescheduled  bool    `json:"rescheduled,omitempty"`
+	FallbackUsed bool    `json:"fallback_used,omitempty"`
+	GuardLevel   int     `json:"guard_level,omitempty"`
+	Degraded     bool    `json:"degraded,omitempty"`
+}
+
+// stepDone carries one request's outcome back to the HTTP handler.
+type stepDone struct {
+	reply StepReply
+	err   error
+}
+
+// stepReq is one queued step request.
+type stepReq struct {
+	ctx       context.Context
+	decisions []int
+	chaos     ChaosSpec
+	done      chan stepDone
+}
+
+// tenant is one hosted manager plus everything that isolates it from its
+// siblings: a private worker goroutine and queue, private admission state
+// (token bucket + circuit breaker), a private telemetry chain, and a private
+// decision log that makes its state rebuildable at any moment.
+//
+// Lock order: stMu may be taken alone or before admMu; admMu is never held
+// while taking stMu.
+type tenant struct {
+	name string
+	spec TenantSpec
+	srv  *Server
+
+	queue chan *stepReq
+	stop  chan struct{}
+	done  chan struct{} // closed when the worker exits
+
+	// admMu guards admission state, touched by HTTP handler goroutines.
+	admMu      sync.Mutex
+	bucket     tokenBucket
+	brk        breaker
+	rng        *rand.Rand
+	rejRate    int
+	rejQueue   int
+	rejBreaker int
+	rejShed    int
+
+	// stMu guards the engine state, touched by the worker (and by read-only
+	// HTTP handlers for schedules/stats).
+	stMu         sync.Mutex
+	mgr          *core.Manager
+	log          [][]int
+	seq          *telemetry.Sequencer
+	gate         *gateRecorder
+	tail         *tailRecorder
+	sinks        telemetry.MultiRecorder // post-gate sinks; serve events bypass the gate
+	flight       *telemetry.FlightRecorder
+	analyzer     *health.AnalyzerRecorder
+	events       *telemetry.JSONLRecorder // nil unless Options.EventsDir
+	status       string                   // "ok", "degraded", "failed"
+	consecPanics int
+	steps        int
+	panics       int
+	restarts     int
+	checkpoints  int
+	restored     bool
+	restoredFrom string // "", "ok", "fallback"
+}
+
+// newTenant builds a tenant (manager, telemetry chain, admission state) but
+// does not start its worker; the caller starts it once any restore replay is
+// done.
+func newTenant(srv *Server, spec TenantSpec) (*tenant, error) {
+	if err := spec.validate(); err != nil {
+		return nil, err
+	}
+	t := &tenant{
+		name:   spec.Name,
+		spec:   spec,
+		srv:    srv,
+		queue:  make(chan *stepReq, srv.opts.QueueDepth),
+		stop:   make(chan struct{}),
+		done:   make(chan struct{}),
+		seq:    telemetry.NewSequencer(),
+		tail:   &tailRecorder{},
+		status: "ok",
+	}
+	t.bucket = tokenBucket{rate: srv.opts.Rate, burst: srv.opts.Burst}
+	// Deterministic per-tenant jitter: seed derived from the daemon seed and
+	// the tenant name so chaos runs are reproducible.
+	t.rng = rand.New(rand.NewSource(srv.opts.Seed ^ int64(fnvString(spec.Name))))
+
+	t.flight = telemetry.NewFlightRecorder(telemetry.FlightRecorderOptions{
+		Capacity: srv.opts.FlightWindow,
+	})
+	t.sinks = telemetry.MultiRecorder{t.tail, t.flight}
+	if srv.opts.SLO != (health.SLO{}) {
+		t.analyzer = health.New(health.Options{SLO: srv.opts.SLO})
+		t.sinks = append(t.sinks, t.analyzer)
+	}
+	if dir := srv.opts.EventsDir; dir != "" {
+		// O_TRUNC: a prior run's stream may end in a torn tail (the daemon
+		// was killed); appending after it would turn crash damage readers
+		// tolerate at the tail into mid-stream corruption they must report.
+		f, err := os.OpenFile(filepath.Join(dir, spec.Name+".events.jsonl"),
+			os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+		if err != nil {
+			return nil, fmt.Errorf("serve: events stream for %s: %w", spec.Name, err)
+		}
+		t.events = telemetry.NewJSONLRecorder(f)
+		t.sinks = append(t.sinks, t.events)
+	}
+	t.gate = &gateRecorder{next: t.sinks}
+
+	m, err := t.buildManager()
+	if err != nil {
+		t.closeSinks()
+		return nil, err
+	}
+	t.mgr = m
+	return t, nil
+}
+
+// buildManager constructs a fresh manager from the spec, wired to the
+// tenant's telemetry chain.
+func (t *tenant) buildManager() (*core.Manager, error) {
+	g, p, err := t.spec.build()
+	if err != nil {
+		return nil, err
+	}
+	opts := t.spec.coreOptions()
+	opts.Recorder = t.gate
+	opts.Sequencer = t.seq
+	return core.New(g, p, opts)
+}
+
+// start launches the worker goroutine.
+func (t *tenant) start() {
+	go t.worker()
+}
+
+// halt stops the worker and waits for it to exit. Queued requests are failed
+// with ErrClosed.
+func (t *tenant) halt() {
+	close(t.stop)
+	<-t.done
+	for {
+		select {
+		case req := <-t.queue:
+			req.done <- stepDone{err: ErrClosed}
+		default:
+			return
+		}
+	}
+}
+
+// closeSinks flushes and closes the tenant's owned sinks (the JSONL stream).
+func (t *tenant) closeSinks() {
+	if t.events != nil {
+		t.events.Close()
+	}
+}
+
+func (t *tenant) worker() {
+	defer close(t.done)
+	for {
+		select {
+		case <-t.stop:
+			return
+		case req := <-t.queue:
+			t.handle(req)
+		}
+	}
+}
+
+// handle runs one request with panic containment and breaker bookkeeping.
+func (t *tenant) handle(req *stepReq) {
+	var d stepDone
+	func() {
+		defer func() {
+			if r := recover(); r != nil {
+				d = stepDone{err: t.containPanic(r)}
+			}
+		}()
+		d.reply, d.err = t.step(req)
+	}()
+	t.admMu.Lock()
+	switch {
+	case d.err == nil:
+		t.brk.onSuccess()
+	case isClientErr(d.err):
+		// Malformed input is the caller's fault, not tenant ill-health.
+	case isPanicErr(d.err):
+		// containPanic already opened the breaker with its own backoff.
+	default:
+		t.brk.onFailure(t.srv.now(), t.srv.opts.MaxFailures,
+			t.srv.opts.BaseBackoff, t.srv.opts.MaxBackoff, t.rng)
+	}
+	t.admMu.Unlock()
+	// Drain the event stream's write buffer after every request so a later
+	// kill -9 loses at most the in-flight step's events — in particular,
+	// tenant_panic and tenant_restart records are durable the moment the
+	// caller sees the outcome. JSONLRecorder.Flush is self-locking.
+	if t.events != nil {
+		t.events.Flush()
+	}
+	req.done <- d
+}
+
+// step processes one instance on the worker goroutine.
+func (t *tenant) step(req *stepReq) (StepReply, error) {
+	// A request whose deadline expired while queued is refused cleanly: no
+	// engine state was touched, so no rebuild is needed.
+	if err := req.ctx.Err(); err != nil {
+		t.srv.metrics.deadlineCancels.Inc()
+		return StepReply{}, err
+	}
+	if t.srv.opts.Chaos {
+		if req.chaos.DelayMS > 0 {
+			t.srv.sleep(time.Duration(req.chaos.DelayMS) * time.Millisecond)
+		}
+		if req.chaos.Panic != "" {
+			panic("chaos: " + req.chaos.Panic)
+		}
+	}
+	t.stMu.Lock()
+	defer t.stMu.Unlock()
+	if t.status == "failed" {
+		return StepReply{}, &RejectionError{Tenant: t.name, Code: "tenant_failed",
+			Status: 503}
+	}
+	idx := len(t.log)
+	res, err := t.mgr.StepCtx(req.ctx, req.decisions)
+	if err != nil {
+		if isCtxErr(err) {
+			// The estimator observed this step's decisions before the
+			// pipeline was cancelled, leaving the manager mid-instance.
+			// Rebuild deterministically from the decision log so the next
+			// admitted step sees exactly the pre-cancellation state.
+			t.srv.metrics.deadlineCancels.Inc()
+			t.recoverLocked("cancel_rebuild", t.tail.lastSeq(), 0)
+			return StepReply{}, err
+		}
+		return StepReply{}, clientErrorf("step: %v", err)
+	}
+	t.log = append(t.log, append([]int(nil), req.decisions...))
+	t.steps++
+	t.status = "ok"
+	t.consecPanics = 0
+	t.srv.metrics.steps.Inc()
+	rep := StepReply{
+		Tenant:       t.name,
+		Instance:     idx,
+		Scenario:     res.Instance.Scenario,
+		Met:          res.Instance.DeadlineMet,
+		Energy:       res.Instance.Energy,
+		Makespan:     res.Instance.Makespan,
+		Lateness:     res.Instance.Lateness,
+		Rescheduled:  res.Rescheduled,
+		FallbackUsed: res.FallbackUsed,
+		GuardLevel:   res.GuardLevel,
+		Degraded:     res.Degraded,
+	}
+	if every := t.srv.opts.CheckpointEvery; every > 0 && len(t.log)%every == 0 {
+		t.checkpointLocked()
+	}
+	return rep, nil
+}
+
+// containPanic is the isolation boundary: the panicking request fails, the
+// tenant is marked degraded, its breaker opens with an escalating backoff,
+// and its engine state is rebuilt from the decision log — the daemon and
+// every sibling tenant never notice.
+func (t *tenant) containPanic(r any) error {
+	val := fmt.Sprint(r)
+	t.srv.metrics.panics.Inc()
+	t.stMu.Lock()
+	defer t.stMu.Unlock()
+	t.consecPanics++
+	t.panics++
+	t.status = "degraded"
+	cause := t.tail.lastSeq()
+	panicSeq := t.seq.Next()
+	t.emitLocked(telemetry.Event{
+		Kind:     telemetry.KindTenantPanic,
+		Seq:      panicSeq,
+		Cause:    cause,
+		Instance: len(t.log),
+		Name:     t.name,
+		Reason:   val,
+		Level:    t.consecPanics,
+	})
+	t.admMu.Lock()
+	backoff := t.brk.open(t.srv.now(), t.srv.opts.BaseBackoff, t.srv.opts.MaxBackoff, t.rng)
+	t.admMu.Unlock()
+	t.recoverLocked("panic_backoff", panicSeq, backoff)
+	return &PanicError{Tenant: t.name, Value: val}
+}
+
+// recoverLocked rebuilds the tenant's engine state by replaying the decision
+// log with the telemetry gate off, then emits the tenant_restart event. A
+// rebuild failure (it should be impossible: the log replayed fine once)
+// permanently fails the tenant rather than serving undefined state.
+func (t *tenant) recoverLocked(reason string, cause uint64, backoff time.Duration) {
+	if err := t.rebuildLocked(); err != nil {
+		t.status = "failed"
+		return
+	}
+	t.restarts++
+	t.srv.metrics.restarts.Inc()
+	t.emitLocked(telemetry.Event{
+		Kind:     telemetry.KindTenantRestart,
+		Seq:      t.seq.Next(),
+		Cause:    cause,
+		Instance: len(t.log),
+		Name:     t.name,
+		Reason:   reason,
+		Value:    float64(backoff.Milliseconds()),
+	})
+}
+
+// rebuildLocked replaces the manager with a fresh one fast-forwarded through
+// the decision log. The gate stays off for the whole replay so already-
+// recorded events are not re-delivered; the shared sequencer keeps advancing,
+// so post-replay events never collide with pre-rebuild seqs.
+func (t *tenant) rebuildLocked() error {
+	m, err := t.buildManager()
+	if err != nil {
+		return err
+	}
+	t.gate.off = true
+	defer func() { t.gate.off = false }()
+	for i, v := range t.log {
+		if _, err := m.Step(v); err != nil {
+			return fmt.Errorf("serve: tenant %s replay instance %d: %w", t.name, i, err)
+		}
+	}
+	t.mgr = m
+	return nil
+}
+
+// checkpointLocked writes one atomic snapshot of the tenant.
+func (t *tenant) checkpointLocked() error {
+	dir := t.srv.opts.CheckpointDir
+	if dir == "" {
+		return nil
+	}
+	pay := &snapshotPayload{
+		Name:       t.name,
+		Spec:       t.spec,
+		Vectors:    t.log,
+		Instances:  len(t.log),
+		Calls:      t.mgr.Calls(),
+		GuardLevel: t.mgr.GuardLevel(),
+		Digest:     digestHex(scheduleDigest(t.mgr)),
+	}
+	if err := writeSnapshot(snapshotPath(dir, t.name), pay); err != nil {
+		return err
+	}
+	t.checkpoints++
+	t.srv.metrics.checkpoints.Inc()
+	t.emitLocked(telemetry.Event{
+		Kind:     telemetry.KindCheckpoint,
+		Seq:      t.seq.Next(),
+		Instance: pay.Instances,
+		Name:     t.name,
+		Calls:    pay.Calls,
+		Key:      pay.Digest,
+	})
+	return nil
+}
+
+// emitLocked records one serve-layer event directly to the post-gate sinks,
+// so daemon lifecycle events are captured even while a replay is gated.
+func (t *tenant) emitLocked(e telemetry.Event) {
+	t.sinks.Record(e)
+}
+
+// admit runs the tenant's admission chain: circuit breaker, then token
+// bucket, then SLO shedding. Returns nil when the request may be enqueued.
+func (t *tenant) admit() error {
+	now := t.srv.now()
+	t.admMu.Lock()
+	if ok, retry := t.brk.admit(now); !ok {
+		t.rejBreaker++
+		t.admMu.Unlock()
+		t.srv.metrics.rejBreaker.Inc()
+		return &RejectionError{Tenant: t.name, Code: "breaker_open", Status: 503, RetryAfter: retry}
+	}
+	if ok, retry := t.bucket.admit(now); !ok {
+		t.rejRate++
+		t.admMu.Unlock()
+		t.srv.metrics.rejRate.Inc()
+		return &RejectionError{Tenant: t.name, Code: "rate_limited", Status: 429, RetryAfter: retry}
+	}
+	t.admMu.Unlock()
+	if t.srv.opts.SLOShed && t.sloFailing() {
+		t.admMu.Lock()
+		t.rejShed++
+		t.admMu.Unlock()
+		t.srv.metrics.rejShed.Inc()
+		return &RejectionError{Tenant: t.name, Code: "slo_shed", Status: 503,
+			RetryAfter: t.srv.opts.BaseBackoff}
+	}
+	return nil
+}
+
+// sloFailing reports whether any non-pending SLO verdict is currently failing
+// (the health budget is blown — shed load instead of digging deeper).
+func (t *tenant) sloFailing() bool {
+	if t.analyzer == nil {
+		return false
+	}
+	s := t.analyzer.Health()
+	for _, v := range s.SLO.Verdicts {
+		if !v.Pass && !v.Pending {
+			return true
+		}
+	}
+	return false
+}
+
+// probeFailed releases a half-open probe slot that never reached the worker
+// (enqueue failed): without this, a full queue during half-open would wedge
+// the breaker in probing state forever.
+func (t *tenant) probeFailed() {
+	t.admMu.Lock()
+	if t.brk.state == brkHalfOpen {
+		t.brk.probing = false
+	}
+	t.admMu.Unlock()
+}
+
+// TenantStatus is the externally visible state of one tenant.
+type TenantStatus struct {
+	Name         string `json:"name"`
+	Status       string `json:"status"` // "ok", "degraded", "failed"
+	Breaker      string `json:"breaker"`
+	Instances    int    `json:"instances"`
+	Calls        int    `json:"calls"`
+	GuardLevel   int    `json:"guard_level"`
+	Steps        int    `json:"steps"`
+	Panics       int    `json:"panics"`
+	Restarts     int    `json:"restarts"`
+	Checkpoints  int    `json:"checkpoints"`
+	Restored     bool   `json:"restored,omitempty"`
+	RestoredFrom string `json:"restored_from,omitempty"`
+	QueueDepth   int    `json:"queue_depth"`
+	QueueLen     int    `json:"queue_len"`
+
+	RejectedRate    int `json:"rejected_rate,omitempty"`
+	RejectedQueue   int `json:"rejected_queue,omitempty"`
+	RejectedBreaker int `json:"rejected_breaker,omitempty"`
+	RejectedShed    int `json:"rejected_shed,omitempty"`
+
+	Digest string `json:"digest"`
+}
+
+// statusSnapshot assembles the tenant's externally visible state.
+func (t *tenant) statusSnapshot() TenantStatus {
+	t.stMu.Lock()
+	st := TenantStatus{
+		Name:         t.name,
+		Status:       t.status,
+		Instances:    len(t.log),
+		Calls:        t.mgr.Calls(),
+		GuardLevel:   t.mgr.GuardLevel(),
+		Steps:        t.steps,
+		Panics:       t.panics,
+		Restarts:     t.restarts,
+		Checkpoints:  t.checkpoints,
+		Restored:     t.restored,
+		RestoredFrom: t.restoredFrom,
+		QueueDepth:   cap(t.queue),
+		QueueLen:     len(t.queue),
+		Digest:       digestHex(scheduleDigest(t.mgr)),
+	}
+	t.stMu.Unlock()
+	t.admMu.Lock()
+	st.Breaker = breakerStateName(t.brk.state)
+	st.RejectedRate = t.rejRate
+	st.RejectedQueue = t.rejQueue
+	st.RejectedBreaker = t.rejBreaker
+	st.RejectedShed = t.rejShed
+	t.admMu.Unlock()
+	return st
+}
+
+// isPanicErr reports whether err is a contained-panic error.
+func isPanicErr(err error) bool {
+	_, ok := err.(*PanicError)
+	return ok
+}
+
+// fnvString is a tiny FNV-1a over a string for seed derivation.
+func fnvString(s string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}

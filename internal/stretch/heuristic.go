@@ -65,7 +65,7 @@ type Observer func(t ctg.TaskID, slack, speed float64)
 // receive slack, contradicting the stated goal of giving more slack to
 // likely tasks; under this reading the worked examples of §III.A hold.
 func Heuristic(s *sched.Schedule, d platform.DVFS, maxPaths int) (*Result, error) {
-	return heuristicOpts(s, d, maxPaths, false, 0, nil)
+	return heuristicOpts(s, d, maxPaths, false, 0, nil, nil)
 }
 
 // HeuristicGuarded is Heuristic with a guard band: a fraction guard ∈ [0, 1]
@@ -84,7 +84,7 @@ func HeuristicObserved(s *sched.Schedule, d platform.DVFS, maxPaths int, guard f
 	if err := validGuard(guard); err != nil {
 		return nil, err
 	}
-	return heuristicOpts(s, d, maxPaths, false, guard, obs)
+	return heuristicOpts(s, d, maxPaths, false, guard, obs, nil)
 }
 
 // validGuard checks a guard-band fraction.
@@ -102,10 +102,10 @@ func validGuard(guard float64) error {
 // shares shrink geometrically along a path, leaving slack unused). See the
 // ablation benchmarks for the measured difference.
 func HeuristicVariant(s *sched.Schedule, d platform.DVFS, maxPaths int, literalRatio bool) (*Result, error) {
-	return heuristicOpts(s, d, maxPaths, literalRatio, 0, nil)
+	return heuristicOpts(s, d, maxPaths, literalRatio, 0, nil, nil)
 }
 
-func heuristicOpts(s *sched.Schedule, d platform.DVFS, maxPaths int, literalRatio bool, guard float64, obs Observer) (*Result, error) {
+func heuristicOpts(s *sched.Schedule, d platform.DVFS, maxPaths int, literalRatio bool, guard float64, obs Observer, cancel CancelFunc) (*Result, error) {
 	if err := d.Validate(); err != nil {
 		return nil, err
 	}
@@ -115,6 +115,11 @@ func heuristicOpts(s *sched.Schedule, d platform.DVFS, maxPaths int, literalRati
 	scratch := newSlackScratch(s.G.NumTasks())
 	res := &Result{}
 	for _, t := range s.Order {
+		if cancel != nil {
+			if err := cancel(); err != nil {
+				return nil, err
+			}
+		}
 		slk := calculateSlack(dag, t, locked, literalRatio, scratch)
 		if slk > 0 {
 			wcet := s.WCET(t)

@@ -42,7 +42,7 @@ type ScenarioSpeeds struct {
 // heuristic whenever minterm workloads differ, at the cost of a speed
 // table of size scenarios × tasks.
 func PerScenario(s *sched.Schedule, d platform.DVFS) (*ScenarioSpeeds, error) {
-	return perScenarioOpts(s, d, 0)
+	return perScenarioOpts(s, d, 0, nil)
 }
 
 // PerScenarioGuarded is PerScenario with a guard band: a fraction guard of
@@ -52,10 +52,10 @@ func PerScenarioGuarded(s *sched.Schedule, d platform.DVFS, guard float64) (*Sce
 	if err := validGuard(guard); err != nil {
 		return nil, err
 	}
-	return perScenarioOpts(s, d, guard)
+	return perScenarioOpts(s, d, guard, nil)
 }
 
-func perScenarioOpts(s *sched.Schedule, d platform.DVFS, guard float64) (*ScenarioSpeeds, error) {
+func perScenarioOpts(s *sched.Schedule, d platform.DVFS, guard float64, cancel CancelFunc) (*ScenarioSpeeds, error) {
 	if err := d.Validate(); err != nil {
 		return nil, err
 	}
@@ -72,11 +72,24 @@ func perScenarioOpts(s *sched.Schedule, d platform.DVFS, guard float64) (*Scenar
 	// independent subgraph, so the loop fans out over the worker pool with
 	// per-worker scratch (graph view + DP buffers); results land in
 	// scenario-indexed slots, identical to the serial loop.
+	// Cancellation polls per scenario: a worker that observes a cancelled
+	// run skips its scenario (the slot stays nil), so a cancelled pass stops
+	// within one scenario batch — in-flight scenarios finish, queued ones
+	// cost one poll each — and the post-barrier check below surfaces the
+	// error before the folding stage ever sees the partial table.
 	ideal := par.MapScratch(a.NumScenarios(),
 		func() *scenarioScratch { return newScenarioScratch(base) },
 		func(scr *scenarioScratch, si int) []float64 {
+			if cancel != nil && cancel() != nil {
+				return nil
+			}
 			return scenarioStretch(s, d, si, scr, guard)
 		})
+	if cancel != nil {
+		if err := cancel(); err != nil {
+			return nil, err
+		}
+	}
 
 	// Step 2: causality folding by ancestor-fork signature. Tasks are
 	// independent (each writes one speed-table column), so this fans out

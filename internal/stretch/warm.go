@@ -32,6 +32,11 @@ import (
 // HeuristicPartial call on that mapping allocates nothing. Not safe for
 // concurrent use.
 type Workspace struct {
+	// Cancel, when non-nil, is polled once per affected task inside
+	// HeuristicPartial (the same granularity as the full heuristic); a
+	// non-nil return aborts the pass with that error. See CancelFunc.
+	Cancel CancelFunc
+
 	dag     *dagModel
 	locked  []bool
 	scratch *slackScratch
@@ -116,6 +121,11 @@ func HeuristicPartial(s *sched.Schedule, d platform.DVFS, guard float64, affecte
 	for _, t := range s.Order {
 		if !affected[t] {
 			continue
+		}
+		if w.Cancel != nil {
+			if err := w.Cancel(); err != nil {
+				return Result{}, err
+			}
 		}
 		slk := calculateSlack(dag, t, w.locked, false, w.scratch)
 		if slk > 0 {

@@ -107,6 +107,32 @@ const (
 	// KindAlertResolved closes a firing series-rule alert: the same fields
 	// as KindAlertFiring, with Cause the alert_firing being resolved.
 	KindAlertResolved Kind = "alert_resolved"
+	// KindTenantPanic is one contained tenant-worker panic in the serving
+	// daemon (internal/serve): Instance (the tenant's instance count when it
+	// panicked), Name (tenant), Reason (the recovered panic value), Level
+	// (consecutive panic count), Cause (the last event the tenant's stream
+	// recorded before the panic — typically the instance_start of the
+	// panicking step).
+	KindTenantPanic Kind = "tenant_panic"
+	// KindTenantRestart is one tenant-worker restart after a contained
+	// failure: Instance (the instance count the rebuilt state replayed to),
+	// Name (tenant), Reason ("panic_backoff" after a panic, "cancel_rebuild"
+	// after a deadline-cancelled step left the estimator mid-instance),
+	// Value (the backoff that was served, in milliseconds), Cause (the
+	// tenant_panic — or the last pre-cancellation event — being recovered
+	// from).
+	KindTenantRestart Kind = "tenant_restart"
+	// KindCheckpoint is one atomic tenant-state snapshot written by the
+	// daemon: Instance (instances captured), Name (tenant), Calls
+	// (reschedule calls captured), Key (hex schedule digest the restore must
+	// reproduce).
+	KindCheckpoint Kind = "checkpoint"
+	// KindRestore is one tenant resumed from a snapshot at daemon startup:
+	// Instance (instances replayed to), Name (tenant), Key (hex schedule
+	// digest, verified bit-for-bit against the snapshot's), Reason ("ok", or
+	// "fallback" when the primary snapshot was torn/corrupt and the previous
+	// generation was used).
+	KindRestore Kind = "restore"
 )
 
 // Event is one telemetry record. A single flat struct (rather than one type

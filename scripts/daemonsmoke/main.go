@@ -1,0 +1,208 @@
+// Command daemonsmoke is the end-to-end kill-restart check `make verify`
+// runs against the real ctgschedd binary: build it, start it with a
+// checkpoint directory, submit the mpeg tenant over HTTP, stream decision
+// vectors in, kill the process with SIGKILL mid-run, restart it on the same
+// directory, and require that it resumes from its latest snapshot and
+// finishes the run bit-for-bit identical to an uninterrupted in-process
+// reference — replies and final schedule digest alike.
+//
+//	go run ./scripts/daemonsmoke            # uses a temp dir and a free port
+//	go run ./scripts/daemonsmoke -steps 30 -kill-at 19
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"syscall"
+	"time"
+
+	"ctgdvfs/internal/apps/mpeg"
+	"ctgdvfs/internal/serve"
+	"ctgdvfs/internal/trace"
+)
+
+var (
+	steps     = flag.Int("steps", 25, "decision vectors to stream")
+	killAt    = flag.Int("kill-at", 17, "SIGKILL the daemon after this many steps")
+	ckptEvery = flag.Int("checkpoint-every", 5, "daemon snapshot period")
+	seed      = flag.Int64("seed", 9, "decision-vector seed")
+)
+
+func main() {
+	flag.Parse()
+	if err := run(); err != nil {
+		fmt.Fprintf(os.Stderr, "daemonsmoke: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// freePort reserves an ephemeral port and releases it for the daemon. The
+// tiny reuse window is fine for a smoke test on a loopback interface.
+func freePort() (string, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return "", err
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	return addr, nil
+}
+
+// startDaemon launches the built binary and waits until its API answers.
+func startDaemon(bin, addr, ckptDir, eventsDir string) (*exec.Cmd, error) {
+	cmd := exec.Command(bin,
+		"-addr", addr,
+		"-checkpoint-dir", ckptDir,
+		"-checkpoint-every", fmt.Sprint(*ckptEvery),
+		"-events-dir", eventsDir,
+	)
+	cmd.Stdout = os.Stderr
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		return nil, err
+	}
+	cl := &serve.Client{BaseURL: "http://" + addr}
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+		_, err := cl.Health(ctx)
+		cancel()
+		if err == nil {
+			return cmd, nil
+		}
+		if time.Now().After(deadline) {
+			cmd.Process.Kill()
+			return nil, fmt.Errorf("daemon on %s never became healthy: %v", addr, err)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+func run() error {
+	if *killAt <= 0 || *killAt >= *steps {
+		return fmt.Errorf("need 0 < -kill-at < -steps")
+	}
+	dir, err := os.MkdirTemp("", "daemonsmoke-")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	ckptDir := filepath.Join(dir, "ckpt")
+	eventsDir := filepath.Join(dir, "events")
+
+	bin := filepath.Join(dir, "ctgschedd")
+	build := exec.Command("go", "build", "-o", bin, "./cmd/ctgschedd")
+	build.Stdout, build.Stderr = os.Stderr, os.Stderr
+	if err := build.Run(); err != nil {
+		return fmt.Errorf("build ctgschedd: %w", err)
+	}
+
+	spec := serve.TenantSpec{Name: "mpeg", Workload: "mpeg", DeadlineFactor: 1.6, Threshold: 1e-9}
+	g, _, err := mpeg.Build()
+	if err != nil {
+		return err
+	}
+	vecs := trace.Fluctuating(g, *seed, *steps, 0.4)
+
+	// Uninterrupted in-process reference: the ground truth every reply and
+	// the final digest must match.
+	ref, err := serve.New(serve.Options{})
+	if err != nil {
+		return err
+	}
+	defer ref.Close()
+	if _, err := ref.CreateTenant(spec); err != nil {
+		return err
+	}
+	want := make([]serve.StepReply, *steps)
+	for i, v := range vecs {
+		if want[i], err = ref.Step(context.Background(), "mpeg", v, serve.ChaosSpec{}); err != nil {
+			return fmt.Errorf("reference step %d: %w", i, err)
+		}
+	}
+	wantSched, err := ref.Schedule("mpeg")
+	if err != nil {
+		return err
+	}
+
+	// Generation 1: submit, stream until the kill point, SIGKILL.
+	addr, err := freePort()
+	if err != nil {
+		return err
+	}
+	cmd, err := startDaemon(bin, addr, ckptDir, eventsDir)
+	if err != nil {
+		return err
+	}
+	cl := &serve.Client{BaseURL: "http://" + addr}
+	ctx := context.Background()
+	if _, err := cl.Submit(ctx, spec); err != nil {
+		cmd.Process.Kill()
+		return fmt.Errorf("submit: %w", err)
+	}
+	for i := 0; i < *killAt; i++ {
+		got, err := cl.Step(ctx, "mpeg", vecs[i], serve.ChaosSpec{})
+		if err != nil {
+			cmd.Process.Kill()
+			return fmt.Errorf("step %d: %w", i, err)
+		}
+		if got != want[i] {
+			cmd.Process.Kill()
+			return fmt.Errorf("step %d diverged from reference:\n got %+v\nwant %+v", i, got, want[i])
+		}
+	}
+	if err := cmd.Process.Signal(syscall.SIGKILL); err != nil {
+		return err
+	}
+	cmd.Wait() // reaps the zombie; the error is the kill, not a failure
+
+	// Generation 2: restart on the same checkpoint directory and resume.
+	addr2, err := freePort()
+	if err != nil {
+		return err
+	}
+	cmd2, err := startDaemon(bin, addr2, ckptDir, eventsDir)
+	if err != nil {
+		return fmt.Errorf("restart: %w", err)
+	}
+	defer func() {
+		cmd2.Process.Signal(syscall.SIGTERM)
+		cmd2.Wait()
+	}()
+	cl2 := &serve.Client{BaseURL: "http://" + addr2}
+	st, err := cl2.Status(ctx, "mpeg")
+	if err != nil {
+		return fmt.Errorf("restored status: %w", err)
+	}
+	if !st.Restored {
+		return fmt.Errorf("tenant did not report restored state after restart")
+	}
+	if st.Instances > *killAt || st.Instances < *killAt-*ckptEvery {
+		return fmt.Errorf("resumed at instance %d, outside the (%d, %d] recovery bound",
+			st.Instances, *killAt-*ckptEvery, *killAt)
+	}
+	for i := st.Instances; i < *steps; i++ {
+		got, err := cl2.Step(ctx, "mpeg", vecs[i], serve.ChaosSpec{})
+		if err != nil {
+			return fmt.Errorf("resumed step %d: %w", i, err)
+		}
+		if got != want[i] {
+			return fmt.Errorf("resumed step %d diverged from reference:\n got %+v\nwant %+v", i, got, want[i])
+		}
+	}
+	gotSched, err := cl2.Schedule(ctx, "mpeg")
+	if err != nil {
+		return err
+	}
+	if gotSched.Digest != wantSched.Digest {
+		return fmt.Errorf("final digest %s != reference %s", gotSched.Digest, wantSched.Digest)
+	}
+	fmt.Printf("daemonsmoke: OK — killed at step %d, resumed at %d, %d steps replayed bit-for-bit, digest %s\n",
+		*killAt, st.Instances, *steps-st.Instances, gotSched.Digest)
+	return nil
+}
